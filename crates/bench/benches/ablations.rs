@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! placement effort vs wirelength, router layer-spill behaviour, the
+//! top-silicon extraction bracketing, and the T-MI WLM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use m3d_bench::bench_design;
+use m3d_cells::{layout::generate_layout, CellFunction, Topology};
+use m3d_extract::{extract_cell, TopSiliconModel};
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_place::Placer;
+use m3d_route::Router;
+use m3d_tech::{DesignStyle, MetalStack, NodeId, StackKind, TechNode};
+use monolith3d::{Flow, FlowConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let node = TechNode::n45();
+
+    // Placement-quality ablation: effort (iterations) vs result. Criterion
+    // measures the cost; the HPWL landing points are printed once.
+    let (lib, netlist) = bench_design(Benchmark::M256);
+    for iters in [8usize, 40, 120] {
+        let p = Placer::new(&lib).iterations(iters).place(&netlist);
+        println!(
+            "[ablation] placement iterations {iters}: HPWL {:.1} mm",
+            p.total_hpwl_um(&netlist) * 1e-3
+        );
+    }
+    let mut g = c.benchmark_group("ablation_placement_effort");
+    g.sample_size(10);
+    for iters in [8usize, 40] {
+        g.bench_function(format!("iters_{iters}"), |b| {
+            b.iter(|| black_box(Placer::new(&lib).iterations(iters).place(&netlist)));
+        });
+    }
+    g.finish();
+
+    // Router stack ablation: 2D vs T-MI vs T-MI+M capacity structure.
+    let mut g = c.benchmark_group("ablation_router_stack");
+    g.sample_size(10);
+    let placement = Placer::new(&lib).iterations(40).place(&netlist);
+    for kind in [StackKind::TwoD, StackKind::Tmi, StackKind::TmiPlusM] {
+        let stack = MetalStack::new(&node, kind);
+        g.bench_function(format!("{kind}"), |b| {
+            b.iter(|| black_box(Router::new(&node, &stack).route(&netlist, &placement, &lib)));
+        });
+    }
+    g.finish();
+
+    // Extraction bracketing ablation (Table 1's dielectric vs conductor).
+    let mut g = c.benchmark_group("ablation_top_silicon");
+    let topo = Topology::for_function(CellFunction::Dff);
+    let geom = generate_layout(&node, &topo, DesignStyle::Tmi, 1);
+    for (name, model) in [
+        ("dielectric", TopSiliconModel::Dielectric),
+        ("conductor", TopSiliconModel::Conductor),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(extract_cell(&node, &geom.shapes, model)));
+        });
+    }
+    g.finish();
+
+    // T-MI WLM ablation (Table 15): flow with and without the T-MI WLM.
+    let mut g = c.benchmark_group("ablation_tmi_wlm");
+    g.sample_size(10);
+    for (name, tmi_wlm) in [("tmi_wlm", true), ("wlm_2d", false)] {
+        g.bench_function(name, |b| {
+            let mut cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
+            cfg.tmi_wlm = tmi_wlm;
+            b.iter(|| {
+                black_box(Flow::new(Benchmark::Ldpc, DesignStyle::Tmi, cfg.clone()).run())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, bench_ablations);
+criterion_main!(ablations);

@@ -1,0 +1,75 @@
+//! Benches of the cell substrate: layout generation, parasitic
+//! extraction (Table 1 machinery) and SPICE characterization (Table 2
+//! machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use m3d_cells::{
+    characterize::{characterize_analytic, characterize_spice},
+    layout::generate_layout,
+    CellFunction, CellLibrary, Topology,
+};
+use m3d_extract::{extract_cell, TopSiliconModel};
+use m3d_tech::{DesignStyle, TechNode};
+
+fn bench_cells(c: &mut Criterion) {
+    let node = TechNode::n45();
+
+    c.bench_function("layout_generate_dff_tmi", |b| {
+        let topo = Topology::for_function(CellFunction::Dff);
+        b.iter(|| black_box(generate_layout(&node, &topo, DesignStyle::Tmi, 1)));
+    });
+
+    c.bench_function("cell_extraction_dff_tmi", |b| {
+        let topo = Topology::for_function(CellFunction::Dff);
+        let geom = generate_layout(&node, &topo, DesignStyle::Tmi, 1);
+        b.iter(|| {
+            black_box(extract_cell(
+                &node,
+                &geom.shapes,
+                TopSiliconModel::Dielectric,
+            ))
+        });
+    });
+
+    c.bench_function("characterize_analytic_mux2", |b| {
+        let topo = Topology::for_function(CellFunction::Mux2);
+        let geom = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
+        b.iter(|| {
+            black_box(characterize_analytic(
+                &node,
+                DesignStyle::TwoD,
+                CellFunction::Mux2,
+                1,
+                &topo,
+                &geom,
+            ))
+        });
+    });
+
+    let mut slow = c.benchmark_group("spice");
+    slow.sample_size(10);
+    slow.bench_function("characterize_spice_inv_1pt", |b| {
+        let topo = Topology::for_function(CellFunction::Inv);
+        let geom = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
+        b.iter(|| {
+            black_box(characterize_spice(
+                &node,
+                CellFunction::Inv,
+                1,
+                &topo,
+                &geom,
+                vec![7.5],
+                vec![0.8],
+            ))
+        });
+    });
+    slow.bench_function("library_build_tmi", |b| {
+        b.iter(|| black_box(CellLibrary::build(&node, DesignStyle::Tmi)));
+    });
+    slow.finish();
+}
+
+criterion_group!(cells, bench_cells);
+criterion_main!(cells);

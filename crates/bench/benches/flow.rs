@@ -1,0 +1,51 @@
+//! End-to-end flow benches: one per paper table family, on reduced-scale
+//! circuits (the full-scale tables come from the `paper_tables` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{Flow, FlowConfig};
+
+fn cfg45() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+
+    // Table 4 family: the 45 nm iso-performance flows.
+    for bench in [Benchmark::Aes, Benchmark::Des, Benchmark::Ldpc] {
+        g.bench_function(format!("table4_{}_2d", bench.name()), |b| {
+            b.iter(|| black_box(Flow::new(bench, DesignStyle::TwoD, cfg45()).run()));
+        });
+        g.bench_function(format!("table4_{}_tmi", bench.name()), |b| {
+            b.iter(|| black_box(Flow::new(bench, DesignStyle::Tmi, cfg45()).run()));
+        });
+    }
+
+    // Table 7 family: the 7 nm projection.
+    g.bench_function("table7_aes_tmi_7nm", |b| {
+        let cfg = FlowConfig::new(NodeId::N7).scale(BenchScale::Small);
+        b.iter(|| black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run()));
+    });
+
+    // Fig. 4 family: a clock-sweep point.
+    g.bench_function("fig4_aes_fast_clock", |b| {
+        let cfg = cfg45().clock(720.0);
+        b.iter(|| black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run()));
+    });
+
+    // Table 8 family: pin-cap variant.
+    g.bench_function("table8_des_pincap", |b| {
+        let mut cfg = FlowConfig::new(NodeId::N7).scale(BenchScale::Small);
+        cfg.pin_cap_scale = 0.6;
+        b.iter(|| black_box(Flow::new(Benchmark::Des, DesignStyle::Tmi, cfg.clone()).run()));
+    });
+    g.finish();
+}
+
+criterion_group!(flow, bench_flow);
+criterion_main!(flow);

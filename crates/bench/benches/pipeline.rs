@@ -1,0 +1,86 @@
+//! Benches of the physical-design pipeline stages: synthesis, placement,
+//! routing, STA and power analysis (the engines behind Tables 4/7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use m3d_bench::bench_design;
+use m3d_netlist::Benchmark;
+use m3d_place::Placer;
+use m3d_power::{analyze_power, PowerConfig};
+use m3d_route::Router;
+use m3d_sta::{analyze, TimingConfig};
+use m3d_synth::{synthesize, wlm_net_models, SynthConfig, WireLoadModel};
+use m3d_tech::{MetalStack, StackKind, TechNode};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let node = TechNode::n45();
+    let stack = MetalStack::new(&node, StackKind::TwoD);
+    let (lib, netlist) = bench_design(Benchmark::Des);
+    let placement = Placer::new(&lib).iterations(40).place(&netlist);
+    let routed = Router::new(&node, &stack).route(&netlist, &placement, &lib);
+    let models: Vec<m3d_sta::NetModel> = netlist
+        .net_ids()
+        .map(|id| {
+            let rn = routed.net(id);
+            let p = m3d_extract::extract_net(&node, &routed.stack, &rn.segments, rn.via_count);
+            m3d_sta::NetModel {
+                c_wire: p.c_wire,
+                r_wire: p.r_wire,
+            }
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("synthesis_des_small", |b| {
+        let wlm = WireLoadModel::from_placement(&netlist, &placement);
+        b.iter(|| {
+            black_box(synthesize(
+                netlist.clone(),
+                &lib,
+                &wlm,
+                &SynthConfig::new(2500.0),
+            ))
+        });
+    });
+
+    g.bench_function("placement_des_small", |b| {
+        b.iter(|| black_box(Placer::new(&lib).iterations(40).place(&netlist)));
+    });
+
+    g.bench_function("routing_des_small", |b| {
+        b.iter(|| black_box(Router::new(&node, &stack).route(&netlist, &placement, &lib)));
+    });
+
+    g.bench_function("extraction_des_small", |b| {
+        b.iter(|| {
+            black_box(wlm_net_models(
+                &netlist,
+                &WireLoadModel::uniform(10.0, 2.0),
+                &node,
+                &stack,
+            ))
+        });
+    });
+
+    g.bench_function("sta_des_small", |b| {
+        b.iter(|| black_box(analyze(&netlist, &lib, &models, &TimingConfig::new(2500.0))));
+    });
+
+    g.bench_function("power_des_small", |b| {
+        b.iter(|| {
+            black_box(analyze_power(
+                &netlist,
+                &lib,
+                &models,
+                &PowerConfig::new(2500.0),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(pipeline, bench_pipeline);
+criterion_main!(pipeline);

@@ -1,0 +1,36 @@
+//! Benchmark harness for the `monolith3d` toolkit.
+//!
+//! Two kinds of artifacts live here:
+//!
+//! * the **`paper_tables` binary** — regenerates every table and figure
+//!   of the paper at full (`--paper`) or reduced (`--small`) benchmark
+//!   scale. `paper_tables all` writes the complete run that
+//!   `EXPERIMENTS.md` records.
+//! * **Criterion benches** (`cells`, `pipeline`, `flow`, `ablations`) —
+//!   performance measurements of the toolkit's engines plus the ablation
+//!   studies DESIGN.md calls out, run on reduced-scale circuits so a
+//!   `cargo bench` pass stays in minutes.
+
+use m3d_cells::CellLibrary;
+use m3d_netlist::{BenchScale, Benchmark, Netlist};
+use m3d_tech::{DesignStyle, TechNode};
+
+/// Builds the (library, netlist) pair the pipeline benches share.
+pub fn bench_design(bench: Benchmark) -> (CellLibrary, Netlist) {
+    let node = TechNode::n45();
+    let lib = CellLibrary::build(&node, DesignStyle::TwoD);
+    let netlist = bench.generate(&lib, BenchScale::Small);
+    (lib, netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_design_is_usable() {
+        let (lib, n) = bench_design(Benchmark::Aes);
+        assert!(n.instance_count() > 100);
+        n.check_consistency(&lib);
+    }
+}

@@ -1,0 +1,509 @@
+//! Programmatic transistor-level layout generation.
+//!
+//! One generator renders every [`Topology`] in both styles:
+//!
+//! * **2D**: classic planar cell — PMOS diffusion row at the top, NMOS row
+//!   at the bottom, shared vertical poly gates spanning both rows, M1
+//!   straps stitching the source/drain taps (1.4 µm cell height at 45 nm).
+//! * **T-MI**: the folded cell of the paper's Fig. 2 — the PMOS row moves
+//!   to the bottom tier (DiffP/PolyBottom/ContactBottom/MetalB1), the NMOS
+//!   row stays on the top tier, and every signal present on both tiers
+//!   gets a monolithic inter-tier via (MIV). The fold cuts cell height to
+//!   0.84 µm (40 %) because the rows stack instead of sitting side by
+//!   side; the residual 0.24 µm comes from P/N size mismatch and MIV
+//!   keep-out (paper Section 3.2).
+//!
+//! The geometry is deliberately simple (rectangles on a column grid) but
+//! dimensionally faithful, so the RC extractor sees realistic wire lengths:
+//! in 2D an input poly runs ~1.2 µm to cross both rows; in T-MI each
+//! tier's poly is ~0.4 µm plus an MIV.
+
+use m3d_geom::{LayerShape, Nm, Point, Rect, ShapeSet};
+use m3d_spice::MosKind;
+use m3d_tech::{CellLayer, DesignStyle, TechNode};
+use serde::{Deserialize, Serialize};
+
+use crate::{Signal, Topology};
+
+/// Generated cell geometry plus summary figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellGeometry {
+    /// All drawn shapes, tagged with [`Signal::node_id`]s.
+    pub shapes: ShapeSet,
+    /// Cell width (placement footprint), nm.
+    pub width_nm: Nm,
+    /// Cell height (row height), nm.
+    pub height_nm: Nm,
+    /// Number of MIVs in the cell (0 for 2D).
+    pub miv_count: u32,
+}
+
+impl CellGeometry {
+    /// Footprint area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.width_nm as f64 * self.height_nm as f64 * 1e-6
+    }
+}
+
+/// Column assignment: device index -> first finger column.
+fn assign_columns(topo: &Topology, fingers: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut p_cols = Vec::new();
+    let mut n_cols = Vec::new();
+    let mut next_p = 0usize;
+    let mut next_n = 0usize;
+    for d in &topo.devices {
+        match d.kind {
+            MosKind::Pmos => {
+                p_cols.push(next_p);
+                next_p += fingers;
+            }
+            MosKind::Nmos => {
+                n_cols.push(next_n);
+                next_n += fingers;
+            }
+        }
+    }
+    let cols = next_p.max(next_n).max(1);
+    (p_cols, n_cols, cols)
+}
+
+/// Generates the layout of `topo` at `drive` strength (1, 2, 4, ... poly
+/// fingers per device) in the requested style.
+pub fn generate_layout(
+    node: &TechNode,
+    topo: &Topology,
+    style: DesignStyle,
+    drive: u8,
+) -> CellGeometry {
+    let s = node.dimension_scale();
+    let sc = |v: f64| -> Nm { ((v * s).round() as Nm).max(1) };
+    // Base 45 nm dimensions.
+    let poly_pitch = sc(190.0);
+    let poly_w = sc(50.0);
+    let cut = sc(70.0);
+    let m1_w = sc(70.0);
+    let track = sc(140.0);
+    let diff_h = sc(320.0); // diffusion strip height (device width direction)
+    let diff_ext = sc(100.0);
+    let height = node.cell_height(style);
+
+    let fingers = drive.max(1) as usize;
+    let (p_cols, n_cols, cols) = assign_columns(topo, fingers);
+    let width = (cols as Nm + 1) * poly_pitch;
+    let col_x = |c: usize| poly_pitch / 2 + c as Nm * poly_pitch;
+
+    let mut shapes = ShapeSet::new();
+    let mut miv_count = 0u32;
+
+    // Row geometry.
+    let (n_diff_y, p_diff_y, fold) = match style {
+        DesignStyle::TwoD => {
+            // NMOS strip near the bottom rail, PMOS near the top rail.
+            let n_y = sc(200.0);
+            let p_y = height - sc(200.0) - diff_h;
+            (n_y, p_y, false)
+        }
+        DesignStyle::Tmi => {
+            // Both strips sit low in their own tier; same y band.
+            let y = sc(180.0);
+            (y, y, true)
+        }
+    };
+
+    let (diff_p_layer, poly_p_layer, ct_p_layer) = if fold {
+        (
+            CellLayer::DiffP,
+            CellLayer::PolyBottom,
+            CellLayer::ContactBottom,
+        )
+    } else {
+        (CellLayer::DiffP, CellLayer::Poly, CellLayer::Contact)
+    };
+
+    // Diffusion strips (one rect per device span, per polarity).
+    let mut push = |layer: CellLayer, rect: Rect, sig: Signal| {
+        shapes.push(LayerShape::new(layer.index(), rect, sig.node_id()));
+    };
+
+    // Track allocator for horizontal straps, per tier.
+    let strap_band_lo = if fold { sc(540.0) } else { sc(600.0) };
+
+    // Emit device stacks.
+    struct Tap {
+        sig: Signal,
+        x: Nm,
+        top_tier: bool,
+    }
+    let mut taps: Vec<Tap> = Vec::new();
+    let mut poly_done: std::collections::BTreeSet<(Signal, Nm)> = std::collections::BTreeSet::new();
+    let mut p_i = 0usize;
+    let mut n_i = 0usize;
+    for d in &topo.devices {
+        let (c0, diff_y, diff_layer, poly_layer, ct_layer, is_top) = match d.kind {
+            MosKind::Pmos => {
+                let c = p_cols[p_i];
+                p_i += 1;
+                (c, p_diff_y, diff_p_layer, poly_p_layer, ct_p_layer, !fold)
+            }
+            MosKind::Nmos => {
+                let c = n_cols[n_i];
+                n_i += 1;
+                (
+                    c,
+                    n_diff_y,
+                    CellLayer::DiffN,
+                    CellLayer::Poly,
+                    CellLayer::Contact,
+                    true,
+                )
+            }
+        };
+        // Diffusion spanning all fingers plus tap landings.
+        let x0 = col_x(c0) - poly_pitch / 2;
+        let x1 = col_x(c0 + fingers - 1) + poly_pitch / 2;
+        push(
+            diff_layer,
+            Rect::new(Point::new(x0, diff_y), Point::new(x1, diff_y + diff_h)),
+            if d.a.is_supply() { d.a } else { d.b }, // diffusion body: tag with a terminal
+        );
+        for f in 0..fingers {
+            let x = col_x(c0 + f);
+            // Poly gate. In 2D a shared gate is ONE column spanning from the
+            // NMOS row across the middle routing gap to the PMOS row (the
+            // classic standard-cell gate, ~1.1 µm at 45 nm); emit it once
+            // per (gate, x). In T-MI each tier keeps a short private poly
+            // over its own diffusion -- the length reduction the paper
+            // credits for the lower 3D cell-internal R.
+            if fold {
+                let (py0, py1) = (diff_y - diff_ext, diff_y + diff_h + sc(100.0));
+                push(
+                    poly_layer,
+                    Rect::new(
+                        Point::new(x - poly_w / 2, py0),
+                        Point::new(x + poly_w / 2, py1),
+                    ),
+                    d.gate,
+                );
+            } else if poly_done.insert((d.gate, x)) {
+                let py0 = n_diff_y - diff_ext;
+                let py1 = p_diff_y + diff_h + diff_ext;
+                push(
+                    CellLayer::Poly,
+                    Rect::new(
+                        Point::new(x - poly_w / 2, py0),
+                        Point::new(x + poly_w / 2, py1),
+                    ),
+                    d.gate,
+                );
+            }
+            // Source/drain taps alternate a, b, a, b...
+            let left_sig = if f % 2 == 0 { d.a } else { d.b };
+            taps.push(Tap {
+                sig: left_sig,
+                x: x - poly_pitch / 2 + cut / 2,
+                top_tier: is_top,
+            });
+            if f == fingers - 1 {
+                let right_sig = if fingers % 2 == 1 { d.b } else { d.a };
+                taps.push(Tap {
+                    sig: right_sig,
+                    x: x + poly_pitch / 2 - cut / 2,
+                    top_tier: is_top,
+                });
+            }
+            // Contacts for both taps of this finger.
+            for dx in [-poly_pitch / 2 + cut / 2, poly_pitch / 2 - cut / 2] {
+                let sig = if dx < 0 { left_sig } else { d.b };
+                push(
+                    ct_layer,
+                    Rect::from_size(
+                        Point::new(x + dx - cut / 2, diff_y + diff_h / 2 - cut / 2),
+                        cut,
+                        cut,
+                    ),
+                    sig,
+                );
+            }
+            // Gate contact at the poly end (to M1/MB1 for strap access).
+            let gate_ct_y = diff_y + diff_h + sc(60.0);
+            push(
+                ct_layer,
+                Rect::from_size(Point::new(x - cut / 2, gate_ct_y), cut, cut),
+                d.gate,
+            );
+        }
+    }
+
+    // Horizontal straps per signal per tier, with vertical stubs.
+    let mut signals = topo.signals();
+    signals.retain(|s| !s.is_supply());
+    let mut track_top = 0usize;
+    let mut track_bot = 0usize;
+    for sig in &signals {
+        for top in [true, false] {
+            let xs: Vec<Nm> = taps
+                .iter()
+                .filter(|t| t.sig == *sig && (t.top_tier == top || !fold))
+                .map(|t| t.x)
+                .collect();
+            // Gate taps: poly columns of devices gated by sig on this tier.
+            let gate_xs: Vec<Nm> = {
+                let mut v = Vec::new();
+                let mut pi = 0usize;
+                let mut ni = 0usize;
+                for d in &topo.devices {
+                    let (c0, on_top) = match d.kind {
+                        MosKind::Pmos => {
+                            let c = p_cols[pi];
+                            pi += 1;
+                            (c, !fold)
+                        }
+                        MosKind::Nmos => {
+                            let c = n_cols[ni];
+                            ni += 1;
+                            (c, true)
+                        }
+                    };
+                    if d.gate == *sig && (on_top == top || !fold) {
+                        for f in 0..fingers {
+                            v.push(col_x(c0 + f));
+                        }
+                    }
+                }
+                v
+            };
+            let mut all_x = xs;
+            all_x.extend(gate_xs);
+            if all_x.is_empty() {
+                continue;
+            }
+            // A folded tier with a single connection point needs no strap:
+            // it ties straight into the MIV landing pad (paper Fig. 2(b) --
+            // the inverter's A and Z nets have no in-tier metal at all).
+            if fold && all_x.len() < 2 {
+                continue;
+            }
+            all_x.sort_unstable();
+            let (mut metal, ct, tr) = if top || !fold {
+                let t = track_top;
+                track_top += 1;
+                (CellLayer::Metal1, CellLayer::Contact, t)
+            } else {
+                let t = track_bot;
+                track_bot += 1;
+                (CellLayer::MetalB1, CellLayer::ContactBottom, t)
+            };
+            let tracks = if fold { 3 } else { 4 };
+            // Folded cells have only two horizontal metal tracks per tier
+            // (the fold halves the cell height). Cells with rich internal
+            // connectivity (DFF, MUX) overflow them and must jumper the
+            // extra nets in resistive poly -- the reason the paper's DFF
+            // internal RC comes out *worse* in 3D (Table 1 discussion).
+            if fold && tr >= tracks as usize + 1 {
+                metal = if top {
+                    CellLayer::Poly
+                } else {
+                    CellLayer::PolyBottom
+                };
+            }
+            let pitch = if fold { sc(100.0) } else { track };
+            let y = strap_band_lo + (tr as Nm % tracks) * pitch;
+            let x_lo = *all_x.first().expect("non-empty") - m1_w / 2;
+            let x_hi = *all_x.last().expect("non-empty") + m1_w / 2;
+            push(
+                metal,
+                Rect::new(Point::new(x_lo, y), Point::new(x_hi.max(x_lo + m1_w), y + m1_w)),
+                *sig,
+            );
+            // Vertical stubs from the diffusion band up to the strap.
+            let stub_y0 = if fold {
+                n_diff_y + diff_h / 2
+            } else if top {
+                n_diff_y + diff_h / 2
+            } else {
+                p_diff_y + diff_h / 2
+            };
+            for &x in &all_x {
+                let r = Rect::new(
+                    Point::new(x - m1_w / 2, stub_y0.min(y)),
+                    Point::new(x + m1_w / 2, (y + m1_w).max(stub_y0)),
+                );
+                push(metal, r, *sig);
+                push(
+                    ct,
+                    Rect::from_size(Point::new(x - cut / 2, y + (m1_w - cut) / 2), cut, cut),
+                    *sig,
+                );
+            }
+            if !fold {
+                // 2D uses a single strap serving both rows.
+                break;
+            }
+        }
+        // MIV stitching for folded cells: one per signal present on both tiers.
+        if fold {
+            let on_top = taps.iter().any(|t| t.sig == *sig && t.top_tier)
+                || topo.devices.iter().zip(0..).any(|(d, _)| {
+                    d.gate == *sig && d.kind == MosKind::Nmos
+                });
+            let on_bot = taps.iter().any(|t| t.sig == *sig && !t.top_tier)
+                || topo.devices.iter().any(|d| d.gate == *sig && d.kind == MosKind::Pmos);
+            if on_top && on_bot {
+                let mean_x: Nm = {
+                    let xs: Vec<Nm> = taps.iter().filter(|t| t.sig == *sig).map(|t| t.x).collect();
+                    if xs.is_empty() {
+                        width / 2
+                    } else {
+                        xs.iter().sum::<Nm>() / xs.len() as Nm
+                    }
+                };
+                let d = node.miv.diameter;
+                let y = strap_band_lo + sc(160.0);
+                push(
+                    CellLayer::Miv,
+                    Rect::from_size(Point::new(mean_x - d / 2, y), d, d),
+                    *sig,
+                );
+                // Landing metal on MB1 and M1. I/O signals get pin rails on
+                // *both* tiers ("by folding, each input/output pin is on
+                // both tiers", Section 3.1) so the router can reach either;
+                // internal nets only need compact landing pads.
+                let is_io = matches!(sig, Signal::Input(_) | Signal::Output(_));
+                let pad_len = if is_io {
+                    width.min(sc(450.0)).max(2 * m1_w)
+                } else {
+                    2 * m1_w
+                };
+                for layer in [CellLayer::MetalB1, CellLayer::Metal1] {
+                    push(
+                        layer,
+                        Rect::from_size(
+                            Point::new(mean_x - pad_len / 2, y - m1_w / 2),
+                            pad_len,
+                            m1_w,
+                        ),
+                        *sig,
+                    );
+                }
+                miv_count += 1;
+            }
+        }
+    }
+
+    // Power rails: VDD top, VSS bottom (both tiers overlap in T-MI,
+    // paper Fig. 2(b)).
+    let rail_h = sc(140.0);
+    push(
+        CellLayer::Metal1,
+        Rect::from_size(Point::new(0, height - rail_h), width, rail_h),
+        Signal::Vdd,
+    );
+    push(
+        CellLayer::Metal1,
+        Rect::from_size(Point::new(0, 0), width, rail_h),
+        Signal::Vss,
+    );
+    if fold {
+        push(
+            CellLayer::MetalB1,
+            Rect::from_size(Point::new(0, height - rail_h), width, rail_h),
+            Signal::Vdd,
+        );
+    }
+
+    CellGeometry {
+        shapes,
+        width_nm: width,
+        height_nm: height,
+        miv_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellFunction;
+    use m3d_extract::{extract_cell, TopSiliconModel};
+
+    fn geom(f: CellFunction, style: DesignStyle) -> CellGeometry {
+        let node = TechNode::n45();
+        generate_layout(&node, &Topology::for_function(f), style, 1)
+    }
+
+    #[test]
+    fn inverter_widths_match_nangate() {
+        let g = geom(CellFunction::Inv, DesignStyle::TwoD);
+        assert_eq!(g.width_nm, 380); // INV_X1 is two poly pitches wide
+        assert_eq!(g.height_nm, 1400);
+        assert_eq!(g.miv_count, 0);
+        let g3 = geom(CellFunction::Inv, DesignStyle::Tmi);
+        assert_eq!(g3.height_nm, 840);
+        assert_eq!(g3.width_nm, 380);
+    }
+
+    #[test]
+    fn folded_inverter_has_input_and_output_mivs() {
+        let g = geom(CellFunction::Inv, DesignStyle::Tmi);
+        // Paper Fig. 2(b): the A and Z nets each cross tiers once.
+        assert_eq!(g.miv_count, 2);
+    }
+
+    #[test]
+    fn footprint_reduction_is_40_percent() {
+        for f in [CellFunction::Inv, CellFunction::Nand2, CellFunction::Dff] {
+            let a2 = geom(f, DesignStyle::TwoD).area_um2();
+            let a3 = geom(f, DesignStyle::Tmi).area_um2();
+            assert!(((1.0 - a3 / a2) - 0.4).abs() < 1e-9, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn dff_needs_many_mivs() {
+        // Complex internal connectivity: most internal nets cross tiers
+        // (the reason the paper's DFF has *worse* internal RC in 3D).
+        let g = geom(CellFunction::Dff, DesignStyle::Tmi);
+        assert!(g.miv_count >= 8, "got {} MIVs", g.miv_count);
+    }
+
+    #[test]
+    fn drive_scaling_multiplies_width() {
+        let node = TechNode::n45();
+        let topo = Topology::for_function(CellFunction::Inv);
+        let x1 = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
+        let x4 = generate_layout(&node, &topo, DesignStyle::TwoD, 4);
+        // Width is (cols + 1) * pitch: X1 = 2 pitches, X4 = 5 pitches.
+        assert!(x4.width_nm > 2 * x1.width_nm);
+        assert_eq!(x4.height_nm, x1.height_nm);
+    }
+
+    #[test]
+    fn extraction_sees_lower_r_in_folded_simple_cells() {
+        // Table 1 headline: INV/NAND2 3D resistance < 2D because the
+        // in-cell poly and metal runs shrink.
+        let node = TechNode::n45();
+        for f in [CellFunction::Inv, CellFunction::Nand2] {
+            let topo = Topology::for_function(f);
+            let g2 = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
+            let g3 = generate_layout(&node, &topo, DesignStyle::Tmi, 1);
+            let sum_signal = |e: &m3d_extract::CellExtraction| -> f64 {
+                e.node_r
+                    .iter()
+                    .filter(|(&n, _)| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id())
+                    .map(|(_, r)| r)
+                    .sum()
+            };
+            let r2 = sum_signal(&extract_cell(&node, &g2.shapes, TopSiliconModel::Dielectric));
+            let r3 = sum_signal(&extract_cell(&node, &g3.shapes, TopSiliconModel::Dielectric));
+            assert!(r3 < r2, "{f:?}: r3 {r3} !< r2 {r2}");
+        }
+    }
+
+    #[test]
+    fn seven_nm_layout_shrinks_geometrically() {
+        let n7 = TechNode::n7();
+        let topo = Topology::for_function(CellFunction::Nand2);
+        let g = generate_layout(&n7, &topo, DesignStyle::TwoD, 1);
+        assert_eq!(g.height_nm, 218);
+        assert!(g.width_nm < 100); // 570 * 0.156 ~ 89
+    }
+}

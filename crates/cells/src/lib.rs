@@ -1,0 +1,50 @@
+//! Transistor-level standard-cell library for the `monolith3d` toolkit.
+//!
+//! This crate is the T-MI study's "cell library construction and
+//! characterization" step (paper Section 3.1-3.2):
+//!
+//! * [`CellFunction`] / [`Topology`] — the logic functions of a
+//!   Nangate-45-class library with explicit transistor-level topologies
+//!   (every device's gate and channel connections), including a 28T mirror
+//!   full adder and a transmission-gate master-slave DFF.
+//! * [`layout`] — a programmatic layout generator that renders each
+//!   topology either as a planar 2D cell or as a *folded* T-MI cell with
+//!   PMOS devices on the bottom tier, NMOS on the top tier, and MIVs
+//!   stitching the tiers (paper Fig. 2/5). The T-MI cell height is 0.84 µm
+//!   vs 1.4 µm in 2D: a 40 % footprint reduction.
+//! * [`Nldm`] — non-linear delay/power tables over (input slew × load)
+//!   grids, the Liberty table model.
+//! * [`characterize`] — builds the NLDM tables from the extracted layout
+//!   parasitics, either analytically (fast, used by the full design flow)
+//!   or by transient SPICE simulation via `m3d-spice` (used to regenerate
+//!   the paper's Table 2 and to validate the analytic model).
+//! * [`CellLibrary`] — the assembled library for a (node, style) pair,
+//!   plus the ITRS scaling path that derives the 7 nm library from the
+//!   45 nm one exactly as the paper does (Section 5 / S3).
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_cells::{CellFunction, CellLibrary};
+//! use m3d_tech::{DesignStyle, TechNode};
+//!
+//! let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::Tmi);
+//! let inv = lib.cell_named("INV_X1").expect("INV_X1 exists");
+//! assert_eq!(inv.function, CellFunction::Inv);
+//! // Folded cell: 40% lower height than the 1.4 um 2D cell.
+//! assert_eq!(inv.height_nm, 840);
+//! ```
+
+pub mod characterize;
+mod function;
+pub mod gds;
+pub mod liberty;
+pub mod layout;
+mod library;
+mod nldm;
+mod topology;
+
+pub use function::CellFunction;
+pub use library::{Cell, CellId, CellLibrary, Pin, PinDir, SeqSpec};
+pub use nldm::Nldm;
+pub use topology::{DeviceSpec, Signal, Topology};

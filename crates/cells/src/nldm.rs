@@ -1,0 +1,186 @@
+use serde::{Deserialize, Serialize};
+
+/// A non-linear delay/power model table: values over an
+/// (input slew × output load) grid with bilinear interpolation, the
+/// Liberty `table_lookup` model.
+///
+/// # Example
+///
+/// ```
+/// use m3d_cells::Nldm;
+///
+/// let t = Nldm::new(
+///     vec![10.0, 100.0],
+///     vec![1.0, 2.0],
+///     vec![5.0, 8.0, 14.0, 17.0],
+/// );
+/// // Exact grid points.
+/// assert_eq!(t.lookup(10.0, 1.0), 5.0);
+/// assert_eq!(t.lookup(100.0, 2.0), 17.0);
+/// // Bilinear midpoint.
+/// assert!((t.lookup(55.0, 1.5) - 11.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nldm {
+    slews: Vec<f64>,
+    loads: Vec<f64>,
+    /// Row-major `values[slew_idx * loads.len() + load_idx]`.
+    values: Vec<f64>,
+}
+
+impl Nldm {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when axes are empty/unsorted or `values` has the wrong size.
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(!slews.is_empty() && !loads.is_empty(), "empty axis");
+        assert!(
+            slews.windows(2).all(|w| w[0] < w[1]) && loads.windows(2).all(|w| w[0] < w[1]),
+            "axes must be strictly increasing"
+        );
+        assert_eq!(values.len(), slews.len() * loads.len(), "value grid size");
+        Nldm {
+            slews,
+            loads,
+            values,
+        }
+    }
+
+    /// Builds a table by evaluating `f(slew, load)` on the grid.
+    pub fn from_fn(slews: Vec<f64>, loads: Vec<f64>, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let mut values = Vec::with_capacity(slews.len() * loads.len());
+        for &s in &slews {
+            for &l in &loads {
+                values.push(f(s, l));
+            }
+        }
+        Nldm::new(slews, loads, values)
+    }
+
+    /// The slew axis.
+    pub fn slews(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// The load axis.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Bilinear lookup with linear extrapolation beyond the grid edges
+    /// (matching Liberty semantics).
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (si, sf) = axis_pos(&self.slews, slew);
+        let (li, lf) = axis_pos(&self.loads, load);
+        let n = self.loads.len();
+        // Single-point axes pin both corners to the same row/column.
+        let si1 = (si + 1).min(self.slews.len() - 1);
+        let li1 = (li + 1).min(n - 1);
+        let v = |s: usize, l: usize| self.values[s * n + l];
+        let v0 = v(si, li) * (1.0 - lf) + v(si, li1) * lf;
+        let v1 = v(si1, li) * (1.0 - lf) + v(si1, li1) * lf;
+        v0 * (1.0 - sf) + v1 * sf
+    }
+
+    /// Returns a copy with every value multiplied by `factor` — the
+    /// mechanism used to derive the 7 nm library from the 45 nm one.
+    pub fn scaled(&self, factor: f64) -> Nldm {
+        Nldm {
+            slews: self.slews.clone(),
+            loads: self.loads.clone(),
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Returns a copy with both axes scaled (slew axis by `slew_factor`,
+    /// load axis by `load_factor`) so that lookups address the same table
+    /// corners in scaled units.
+    pub fn with_axes_scaled(&self, slew_factor: f64, load_factor: f64) -> Nldm {
+        Nldm {
+            slews: self.slews.iter().map(|s| s * slew_factor).collect(),
+            loads: self.loads.iter().map(|l| l * load_factor).collect(),
+            values: self.values.clone(),
+        }
+    }
+}
+
+/// Lower index plus fractional position of `x` on `axis`; the fraction can
+/// leave [0, 1] for extrapolation. Single-point axes pin to the point.
+fn axis_pos(axis: &[f64], x: f64) -> (usize, f64) {
+    if axis.len() == 1 {
+        return (0, 0.0);
+    }
+    let mut i = axis.len() - 2;
+    for (k, pair) in axis.windows(2).enumerate() {
+        if x <= pair[1] {
+            i = k;
+            break;
+        }
+    }
+    let (a, b) = (axis[i], axis[i + 1]);
+    (i, (x - a) / (b - a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> Nldm {
+        Nldm::from_fn(
+            vec![7.5, 37.5, 150.0],
+            vec![0.8, 3.2, 12.8],
+            |s, l| 0.5 * s + 8.0 * l,
+        )
+    }
+
+    #[test]
+    fn exact_points_round_trip() {
+        let t = table();
+        for &s in &[7.5, 37.5, 150.0] {
+            for &l in &[0.8, 3.2, 12.8] {
+                assert!((t.lookup(s, l) - (0.5 * s + 8.0 * l)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolation_follows_edge_slope() {
+        let t = table();
+        // The generator is affine, so extrapolation is exact.
+        assert!((t.lookup(300.0, 20.0) - (150.0 + 160.0)).abs() < 1e-9);
+        assert!((t.lookup(1.0, 0.1) - (0.5 + 0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_multiplies_values() {
+        let t = table().scaled(0.471);
+        assert!((t.lookup(37.5, 3.2) - 0.471 * (18.75 + 25.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_axis_rejected() {
+        let _ = Nldm::new(vec![2.0, 1.0], vec![1.0], vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_stays_within_affine_model(s in 7.5f64..150.0, l in 0.8f64..12.8) {
+            // Bilinear interpolation of an affine function is exact.
+            let t = table();
+            prop_assert!((t.lookup(s, l) - (0.5 * s + 8.0 * l)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn monotone_table_interpolates_monotonically(
+            s1 in 7.5f64..150.0, s2 in 7.5f64..150.0, l in 0.8f64..12.8,
+        ) {
+            let t = table();
+            let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(t.lookup(lo, l) <= t.lookup(hi, l) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_spice::MosKind;
+
+use crate::CellFunction;
+
+/// An electrical net inside a cell topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Signal {
+    /// Power rail.
+    Vdd,
+    /// Ground rail.
+    Vss,
+    /// The n-th input pin (order of [`CellFunction::input_names`]).
+    Input(u8),
+    /// The n-th output pin (order of [`CellFunction::output_names`]).
+    Output(u8),
+    /// Cell-internal node.
+    Internal(u8),
+}
+
+impl Signal {
+    /// Stable numeric id used by layout generation and extraction.
+    pub fn node_id(self) -> u32 {
+        match self {
+            Signal::Vdd => 1,
+            Signal::Vss => 2,
+            Signal::Input(i) => 10 + i as u32,
+            Signal::Output(o) => 40 + o as u32,
+            Signal::Internal(k) => 60 + k as u32,
+        }
+    }
+
+    /// `true` for VDD/VSS.
+    pub fn is_supply(self) -> bool {
+        matches!(self, Signal::Vdd | Signal::Vss)
+    }
+}
+
+/// One transistor of a cell: polarity, width, and its three terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// NMOS or PMOS.
+    pub kind: MosKind,
+    /// Gate net.
+    pub gate: Signal,
+    /// One channel terminal (source/drain are symmetric).
+    pub a: Signal,
+    /// The other channel terminal.
+    pub b: Signal,
+    /// Channel width, µm (X1 widths; drive scaling multiplies these).
+    pub width: f64,
+}
+
+/// The transistor-level structure of a cell.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// All devices.
+    pub devices: Vec<DeviceSpec>,
+}
+
+/// Base NMOS width (µm) of the X1 library, Nangate-class.
+pub(crate) const WN: f64 = 0.415;
+/// Base PMOS width (µm): wider to compensate the hole-mobility deficit
+/// (paper Section 3.1).
+pub(crate) const WP: f64 = 0.630;
+/// Upsizing factor for devices in series stacks.
+const STACK: f64 = 1.35;
+
+impl Topology {
+    fn dev(&mut self, kind: MosKind, gate: Signal, a: Signal, b: Signal, width: f64) {
+        self.devices.push(DeviceSpec {
+            kind,
+            gate,
+            a,
+            b,
+            width,
+        });
+    }
+
+    fn inverter(&mut self, input: Signal, output: Signal, scale: f64) {
+        self.dev(MosKind::Pmos, input, Signal::Vdd, output, WP * scale);
+        self.dev(MosKind::Nmos, input, output, Signal::Vss, WN * scale);
+    }
+
+    fn tgate(&mut self, from: Signal, to: Signal, clk_n_gate: Signal, clk_p_gate: Signal) {
+        // Transmission gate: NMOS gated by the "pass when high" phase,
+        // PMOS gated by its complement.
+        self.dev(MosKind::Nmos, clk_n_gate, from, to, WN * 0.8);
+        self.dev(MosKind::Pmos, clk_p_gate, from, to, WP * 0.8);
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All distinct signals, supplies first, in deterministic order.
+    pub fn signals(&self) -> Vec<Signal> {
+        let mut sigs: Vec<Signal> = self
+            .devices
+            .iter()
+            .flat_map(|d| [d.gate, d.a, d.b])
+            .collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs
+    }
+
+    /// Total gate width connected to an input, µm (pin-cap basis).
+    pub fn gate_width_on(&self, sig: Signal) -> f64 {
+        self.devices
+            .iter()
+            .filter(|d| d.gate == sig)
+            .map(|d| d.width)
+            .sum()
+    }
+
+    /// Total device width (area/leakage basis), µm.
+    pub fn total_width(&self) -> f64 {
+        self.devices.iter().map(|d| d.width).sum()
+    }
+
+    /// Worst (longest) series stack length in the pull-down network driving
+    /// `out`, conservatively estimated as the number of distinct NMOS
+    /// devices between `out` and VSS on the deepest path.
+    pub fn nmos_stack_depth(&self, out: Signal) -> usize {
+        self.stack_depth(out, MosKind::Nmos, Signal::Vss)
+    }
+
+    /// Worst series stack length in the pull-up network driving `out`.
+    pub fn pmos_stack_depth(&self, out: Signal) -> usize {
+        self.stack_depth(out, MosKind::Pmos, Signal::Vdd)
+    }
+
+    fn stack_depth(&self, out: Signal, kind: MosKind, rail: Signal) -> usize {
+        // DFS over channel connectivity, longest simple path out -> rail.
+        fn dfs(
+            devices: &[DeviceSpec],
+            kind: MosKind,
+            here: Signal,
+            rail: Signal,
+            used: &mut Vec<bool>,
+        ) -> Option<usize> {
+            if here == rail {
+                return Some(0);
+            }
+            let mut best: Option<usize> = None;
+            for (i, d) in devices.iter().enumerate() {
+                if used[i] || d.kind != kind {
+                    continue;
+                }
+                let next = if d.a == here {
+                    Some(d.b)
+                } else if d.b == here {
+                    Some(d.a)
+                } else {
+                    None
+                };
+                if let Some(next) = next {
+                    used[i] = true;
+                    if let Some(rest) = dfs(devices, kind, next, rail, used) {
+                        let len = rest + 1;
+                        best = Some(best.map_or(len, |b: usize| b.max(len)));
+                    }
+                    used[i] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; self.devices.len()];
+        dfs(&self.devices, kind, out, rail, &mut used).unwrap_or(1)
+    }
+
+    /// Builds the X1 transistor topology for a function.
+    pub fn for_function(function: CellFunction) -> Topology {
+        use MosKind::{Nmos, Pmos};
+        use Signal::{Input as In, Internal as Int, Output as Out, Vdd, Vss};
+        let mut t = Topology::default();
+        match function {
+            CellFunction::Inv => t.inverter(In(0), Out(0), 1.0),
+            CellFunction::Buf => {
+                t.inverter(In(0), Int(0), 0.7);
+                t.inverter(Int(0), Out(0), 1.3);
+            }
+            CellFunction::Nand2 => {
+                t.dev(Pmos, In(0), Vdd, Out(0), WP);
+                t.dev(Pmos, In(1), Vdd, Out(0), WP);
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(1), Int(0), Vss, WN * STACK);
+            }
+            CellFunction::Nand3 => {
+                for i in 0..3 {
+                    t.dev(Pmos, In(i), Vdd, Out(0), WP);
+                }
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK * 1.2);
+                t.dev(Nmos, In(1), Int(0), Int(1), WN * STACK * 1.2);
+                t.dev(Nmos, In(2), Int(1), Vss, WN * STACK * 1.2);
+            }
+            CellFunction::Nor2 => {
+                t.dev(Pmos, In(0), Vdd, Int(0), WP * STACK);
+                t.dev(Pmos, In(1), Int(0), Out(0), WP * STACK);
+                t.dev(Nmos, In(0), Out(0), Vss, WN);
+                t.dev(Nmos, In(1), Out(0), Vss, WN);
+            }
+            CellFunction::Nor3 => {
+                t.dev(Pmos, In(0), Vdd, Int(0), WP * STACK * 1.2);
+                t.dev(Pmos, In(1), Int(0), Int(1), WP * STACK * 1.2);
+                t.dev(Pmos, In(2), Int(1), Out(0), WP * STACK * 1.2);
+                for i in 0..3 {
+                    t.dev(Nmos, In(i), Out(0), Vss, WN);
+                }
+            }
+            CellFunction::And2 => {
+                // NAND into inverter.
+                t.dev(Pmos, In(0), Vdd, Int(0), WP);
+                t.dev(Pmos, In(1), Vdd, Int(0), WP);
+                t.dev(Nmos, In(0), Int(0), Int(1), WN * STACK);
+                t.dev(Nmos, In(1), Int(1), Vss, WN * STACK);
+                t.inverter(Int(0), Out(0), 1.0);
+            }
+            CellFunction::Or2 => {
+                t.dev(Pmos, In(0), Vdd, Int(1), WP * STACK);
+                t.dev(Pmos, In(1), Int(1), Int(0), WP * STACK);
+                t.dev(Nmos, In(0), Int(0), Vss, WN);
+                t.dev(Nmos, In(1), Int(0), Vss, WN);
+                t.inverter(Int(0), Out(0), 1.0);
+            }
+            CellFunction::Xor2 => {
+                // Internal complements.
+                t.inverter(In(0), Int(0), 0.7); // Int(0) = !A
+                t.inverter(In(1), Int(1), 0.7); // Int(1) = !B
+                // PDN: (A & B) | (!A & !B)  -> output low on equality.
+                t.dev(Nmos, In(0), Out(0), Int(2), WN * STACK);
+                t.dev(Nmos, In(1), Int(2), Vss, WN * STACK);
+                t.dev(Nmos, Int(0), Out(0), Int(3), WN * STACK);
+                t.dev(Nmos, Int(1), Int(3), Vss, WN * STACK);
+                // PUN: (!A | !B) & (A | B) via gates (A,B) then (!A,!B).
+                t.dev(Pmos, In(0), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, In(1), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, Int(0), Int(4), Out(0), WP * STACK);
+                t.dev(Pmos, Int(1), Int(4), Out(0), WP * STACK);
+            }
+            CellFunction::Xnor2 => {
+                t.inverter(In(0), Int(0), 0.7);
+                t.inverter(In(1), Int(1), 0.7);
+                // PDN: (A & !B) | (!A & B) -> low on inequality.
+                t.dev(Nmos, In(0), Out(0), Int(2), WN * STACK);
+                t.dev(Nmos, Int(1), Int(2), Vss, WN * STACK);
+                t.dev(Nmos, Int(0), Out(0), Int(3), WN * STACK);
+                t.dev(Nmos, In(1), Int(3), Vss, WN * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, Int(1), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, Int(0), Int(4), Out(0), WP * STACK);
+                t.dev(Pmos, In(1), Int(4), Out(0), WP * STACK);
+            }
+            CellFunction::Mux2 => {
+                // Z = S ? B : A. Complement select, two tgates, output buffer.
+                t.inverter(In(2), Int(0), 0.7); // Int(0) = !S
+                t.tgate(In(0), Int(1), Int(0), In(2)); // A passes when S low
+                t.tgate(In(1), Int(1), In(2), Int(0)); // B passes when S high
+                t.inverter(Int(1), Int(2), 0.8);
+                t.inverter(Int(2), Out(0), 1.2);
+            }
+            CellFunction::Aoi21 => {
+                // ZN = !(A&B | C).
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(1), Int(0), Vss, WN * STACK);
+                t.dev(Nmos, In(2), Out(0), Vss, WN);
+                t.dev(Pmos, In(0), Vdd, Int(1), WP * STACK);
+                t.dev(Pmos, In(1), Vdd, Int(1), WP * STACK);
+                t.dev(Pmos, In(2), Int(1), Out(0), WP * STACK);
+            }
+            CellFunction::Oai21 => {
+                // ZN = !((A|B) & C).
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(1), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(2), Int(0), Vss, WN * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(1), WP * STACK);
+                t.dev(Pmos, In(1), Int(1), Out(0), WP * STACK);
+                t.dev(Pmos, In(2), Vdd, Out(0), WP);
+            }
+            CellFunction::Aoi22 => {
+                // ZN = !(A&B | C&D).
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(1), Int(0), Vss, WN * STACK);
+                t.dev(Nmos, In(2), Out(0), Int(1), WN * STACK);
+                t.dev(Nmos, In(3), Int(1), Vss, WN * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(2), WP * STACK);
+                t.dev(Pmos, In(1), Vdd, Int(2), WP * STACK);
+                t.dev(Pmos, In(2), Int(2), Out(0), WP * STACK);
+                t.dev(Pmos, In(3), Int(2), Out(0), WP * STACK);
+            }
+            CellFunction::Oai22 => {
+                t.dev(Nmos, In(0), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(1), Out(0), Int(0), WN * STACK);
+                t.dev(Nmos, In(2), Int(0), Vss, WN * STACK);
+                t.dev(Nmos, In(3), Int(0), Vss, WN * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(1), WP * STACK);
+                t.dev(Pmos, In(1), Int(1), Int(2), WP * STACK);
+                t.dev(Pmos, In(2), Int(2), Out(0), WP * STACK);
+                t.dev(Pmos, In(3), Int(2), Out(0), WP * STACK);
+            }
+            CellFunction::HalfAdder => {
+                // S = XOR(A,B), CO = AND(A,B); shares input inverters.
+                t.inverter(In(0), Int(0), 0.7);
+                t.inverter(In(1), Int(1), 0.7);
+                // XOR core onto S.
+                t.dev(Nmos, In(0), Out(0), Int(2), WN * STACK);
+                t.dev(Nmos, In(1), Int(2), Vss, WN * STACK);
+                t.dev(Nmos, Int(0), Out(0), Int(3), WN * STACK);
+                t.dev(Nmos, Int(1), Int(3), Vss, WN * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, In(1), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, Int(0), Int(4), Out(0), WP * STACK);
+                t.dev(Pmos, Int(1), Int(4), Out(0), WP * STACK);
+                // CO = !(!A | !B): NOR of complements.
+                t.dev(Pmos, Int(0), Vdd, Int(5), WP * STACK);
+                t.dev(Pmos, Int(1), Int(5), Out(1), WP * STACK);
+                t.dev(Nmos, Int(0), Out(1), Vss, WN);
+                t.dev(Nmos, Int(1), Out(1), Vss, WN);
+            }
+            CellFunction::FullAdder => {
+                // 28T mirror adder. Int(0) = !CO, Int(5) = !S.
+                let nco = Int(0);
+                let ns = Int(5);
+                // !CO PDN: A·B | CI·(A|B).
+                t.dev(Nmos, In(0), nco, Int(1), WN * STACK);
+                t.dev(Nmos, In(1), Int(1), Vss, WN * STACK);
+                t.dev(Nmos, In(2), nco, Int(2), WN * STACK);
+                t.dev(Nmos, In(0), Int(2), Vss, WN * STACK);
+                t.dev(Nmos, In(1), Int(2), Vss, WN * STACK);
+                // !CO PUN (mirror).
+                t.dev(Pmos, In(0), Vdd, Int(3), WP * STACK);
+                t.dev(Pmos, In(1), Int(3), nco, WP * STACK);
+                t.dev(Pmos, In(2), Vdd, Int(4), WP * STACK);
+                t.dev(Pmos, In(0), Int(4), nco, WP * STACK);
+                t.dev(Pmos, In(1), Int(4), nco, WP * STACK);
+                // !S PDN: !CO·(A|B|CI) | A·B·CI.
+                t.dev(Nmos, nco, ns, Int(6), WN * STACK);
+                t.dev(Nmos, In(0), Int(6), Vss, WN * STACK);
+                t.dev(Nmos, In(1), Int(6), Vss, WN * STACK);
+                t.dev(Nmos, In(2), Int(6), Vss, WN * STACK);
+                t.dev(Nmos, In(0), ns, Int(7), WN * STACK);
+                t.dev(Nmos, In(1), Int(7), Int(8), WN * STACK);
+                t.dev(Nmos, In(2), Int(8), Vss, WN * STACK);
+                // !S PUN (mirror).
+                t.dev(Pmos, nco, Int(9), ns, WP * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(9), WP * STACK);
+                t.dev(Pmos, In(1), Vdd, Int(9), WP * STACK);
+                t.dev(Pmos, In(2), Vdd, Int(9), WP * STACK);
+                t.dev(Pmos, In(0), Vdd, Int(10), WP * STACK);
+                t.dev(Pmos, In(1), Int(10), Int(11), WP * STACK);
+                t.dev(Pmos, In(2), Int(11), ns, WP * STACK);
+                // Output inverters.
+                t.inverter(nco, Out(1), 1.0);
+                t.inverter(ns, Out(0), 1.0);
+            }
+            CellFunction::Dff => {
+                // Transmission-gate master-slave, rising edge.
+                // Clock buffers: Int(0) = !CK, Int(1) = CK buffered.
+                t.inverter(In(1), Int(0), 0.7);
+                t.inverter(Int(0), Int(1), 0.7);
+                // Master: D passes while CK low.
+                t.tgate(In(0), Int(2), Int(0), Int(1));
+                t.inverter(Int(2), Int(3), 0.8);
+                t.inverter(Int(3), Int(4), 0.6);
+                t.tgate(Int(4), Int(2), Int(1), Int(0)); // feedback while CK high
+                // Slave: master out passes while CK high.
+                t.tgate(Int(3), Int(5), Int(1), Int(0));
+                t.inverter(Int(5), Int(6), 0.8);
+                t.inverter(Int(6), Int(7), 0.6);
+                t.tgate(Int(7), Int(5), Int(0), Int(1)); // feedback while CK low
+                // Output buffer.
+                t.inverter(Int(6), Out(0), 1.2);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_counts_match_textbook_structures() {
+        assert_eq!(Topology::for_function(CellFunction::Inv).device_count(), 2);
+        assert_eq!(Topology::for_function(CellFunction::Nand2).device_count(), 4);
+        assert_eq!(Topology::for_function(CellFunction::Xor2).device_count(), 12);
+        assert_eq!(
+            Topology::for_function(CellFunction::FullAdder).device_count(),
+            28
+        );
+        assert_eq!(Topology::for_function(CellFunction::Dff).device_count(), 22);
+    }
+
+    #[test]
+    fn every_function_touches_both_rails() {
+        for f in CellFunction::ALL {
+            let t = Topology::for_function(f);
+            let sigs = t.signals();
+            assert!(sigs.contains(&Signal::Vdd), "{f:?} missing VDD");
+            assert!(sigs.contains(&Signal::Vss), "{f:?} missing VSS");
+            for i in 0..f.input_count() {
+                assert!(
+                    sigs.contains(&Signal::Input(i as u8)),
+                    "{f:?} missing input {i}"
+                );
+            }
+            for o in 0..f.output_count() {
+                assert!(
+                    sigs.contains(&Signal::Output(o as u8)),
+                    "{f:?} missing output {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_depths() {
+        let nand3 = Topology::for_function(CellFunction::Nand3);
+        assert_eq!(nand3.nmos_stack_depth(Signal::Output(0)), 3);
+        assert_eq!(nand3.pmos_stack_depth(Signal::Output(0)), 1);
+        let nor2 = Topology::for_function(CellFunction::Nor2);
+        assert_eq!(nor2.pmos_stack_depth(Signal::Output(0)), 2);
+        assert_eq!(nor2.nmos_stack_depth(Signal::Output(0)), 1);
+    }
+
+    #[test]
+    fn gate_width_counts_all_fingers() {
+        let inv = Topology::for_function(CellFunction::Inv);
+        let w = inv.gate_width_on(Signal::Input(0));
+        assert!((w - (WN + WP)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_ids_do_not_collide() {
+        let mut ids = std::collections::HashSet::new();
+        for s in [
+            Signal::Vdd,
+            Signal::Vss,
+            Signal::Input(0),
+            Signal::Input(7),
+            Signal::Output(0),
+            Signal::Output(1),
+            Signal::Internal(0),
+            Signal::Internal(11),
+        ] {
+            assert!(ids.insert(s.node_id()), "collision for {s:?}");
+        }
+    }
+}

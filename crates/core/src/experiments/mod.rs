@@ -1,0 +1,49 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Every driver regenerates its artifact from scratch — cell library,
+//! layouts, extraction, full physical flows — and returns a formatted
+//! report comparing the measured values against the paper's published
+//! numbers. The `paper_tables` binary (in `m3d-bench`) exposes them on
+//! the command line; `EXPERIMENTS.md` records a full run.
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`table1_cell_rc`] | Table 1 — cell-internal parasitic RC |
+//! | [`table2_cell_timing_power`] | Table 2 — SPICE cell delay/power |
+//! | [`table3_metal_layers`] | Table 3 — metal layer summary |
+//! | [`table4_layout_45nm`] | Tables 4 & 13 — 45 nm layout results |
+//! | [`table5_prior_work`] | Table 5 — comparison with prior works |
+//! | [`fig3_circuit_character`] | Fig. 3 — LDPC vs DES layout character |
+//! | [`fig4_clock_sweep`] | Fig. 4 — power benefit vs target clock |
+//! | [`table6_node_setup`] | Table 6 — 45 nm vs 7 nm setup |
+//! | [`table7_layout_7nm`] | Tables 7 & 14 — 7 nm layout results |
+//! | [`table8_pin_cap`] | Table 8 — pin-cap reduction study |
+//! | [`table9_resistivity`] | Table 9 — lower metal resistivity |
+//! | [`table11_7nm_cells`] | Table 11 — 7 nm cell characterization |
+//! | [`table12_benchmarks`] | Table 12 — benchmark synthesis results |
+//! | [`table15_wlm_impact`] | Table 15 — T-MI wire-load-model impact |
+//! | [`table16_net_breakdown`] | Table 16 — wire vs pin capacitance |
+//! | [`table17_metal_stack`] | Table 17 — T-MI+M metal stack |
+//! | [`fig5_cell_inventory`] | Fig. 5 — the T-MI cell library |
+//! | [`fig6_wlm_curves`] | Fig. 6 — fanout vs wirelength WLMs |
+//! | [`fig10_layer_usage`] | Fig. 10 — per-class metal usage |
+//! | [`fig11_activity_sweep`] | Fig. 11 — switching-activity sweep |
+//! | [`fig_s5_blockage`] | S5 — MIV/MB1 blockage impact |
+
+mod cells_exp;
+mod layout_exp;
+mod sweeps;
+
+pub use cells_exp::{
+    fig5_cell_inventory, table11_7nm_cells, table1_cell_rc, table2_cell_timing_power,
+    table3_metal_layers, table6_node_setup,
+};
+pub use layout_exp::{
+    fig3_circuit_character, fig6_wlm_curves, table12_benchmarks, table16_net_breakdown,
+    table4_layout_45nm, table5_prior_work, table7_layout_7nm,
+};
+pub use sweeps::{
+    fig10_layer_usage, fig11_activity_sweep, fig4_clock_sweep, fig_s5_blockage,
+    summary_scorecard, table15_wlm_impact, table17_metal_stack, table8_pin_cap,
+    table9_resistivity,
+};

@@ -1,0 +1,724 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_cells::{CellFunction, CellLibrary};
+use m3d_extract::extract_net;
+use m3d_geom::Point;
+use m3d_netlist::{BenchScale, Benchmark, NetDriver, NetId, Netlist};
+use m3d_place::{Placement, Placer};
+use m3d_power::{analyze_power, PowerConfig, PowerReport};
+use m3d_route::{LayerUsage, RoutedDesign, Router};
+use m3d_sta::{
+    analyze, plan_load_sizing, plan_power_recovery, plan_timing_moves, NetModel, OptMove,
+    TimingConfig,
+};
+use m3d_synth::{synthesize, SynthConfig, WireLoadModel};
+use m3d_tech::{DesignStyle, MetalClass, MetalStack, NodeId, StackKind, TechNode, WireRc};
+
+/// Configuration of one full-flow run — every knob the paper sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Process node.
+    pub node_id: NodeId,
+    /// Benchmark size (paper-scale or reduced).
+    pub bench_scale: BenchScale,
+    /// Metal stack override (`None` = the style's default; `TmiPlusM`
+    /// reproduces Table 17).
+    pub stack_kind: Option<StackKind>,
+    /// Clock period override, ps (`None` = the benchmark's Table 12
+    /// target; Fig. 4 sweeps this).
+    pub clock_ps: Option<f64>,
+    /// Placement utilization override.
+    pub utilization: Option<f64>,
+    /// Synthesize T-MI designs with their own (shorter) WLM. Setting this
+    /// to `false` reproduces the "-n" rows of Table 15.
+    pub tmi_wlm: bool,
+    /// Input pin-capacitance scale (Table 8: 0.8 / 0.6 / 0.4).
+    pub pin_cap_scale: f64,
+    /// Halve local+intermediate resistivity (Table 9 "-m").
+    pub lower_metal_rho: bool,
+    /// Flop-output switching activity (Fig. 11 sweeps 0.1-0.4).
+    pub alpha_ff: f64,
+    /// Allow MB1/MIV routing escapes (the supplement's S5 blockage study
+    /// turns these off).
+    pub mb1_routing: bool,
+    /// Post-route optimization pass budget.
+    pub opt_passes: usize,
+    /// Global-placement iterations.
+    pub place_iterations: usize,
+    /// Multiplier applied to all clock targets. `0.0` (the default) uses
+    /// a per-benchmark calibration: the toolkit's library and optimizer
+    /// differ from the paper's Nangate + Encounter setup, so each
+    /// benchmark's paper clock is rescaled to the tightest period the 2D
+    /// flow still closes — reproducing the paper's iso-performance
+    /// *pressure*. Every relative (2D vs T-MI) result is measured at the
+    /// same period. Documented in DESIGN.md/EXPERIMENTS.md.
+    pub clock_scale: f64,
+}
+
+impl FlowConfig {
+    /// Paper-default configuration for a node.
+    pub fn new(node_id: NodeId) -> Self {
+        FlowConfig {
+            node_id,
+            bench_scale: BenchScale::Paper,
+            stack_kind: None,
+            clock_ps: None,
+            utilization: None,
+            tmi_wlm: true,
+            pin_cap_scale: 1.0,
+            lower_metal_rho: false,
+            alpha_ff: 0.1,
+            mb1_routing: true,
+            opt_passes: 4,
+            place_iterations: 120,
+            clock_scale: 0.0,
+        }
+    }
+
+    /// Sets the benchmark scale.
+    pub fn scale(mut self, scale: BenchScale) -> Self {
+        self.bench_scale = scale;
+        // Reduced designs settle with fewer placement iterations.
+        if scale == BenchScale::Small {
+            self.place_iterations = 40;
+        }
+        self
+    }
+
+    /// Overrides the target clock period, ps.
+    pub fn clock(mut self, ps: f64) -> Self {
+        self.clock_ps = Some(ps);
+        self
+    }
+
+    /// Builds the technology node with this config's overrides applied.
+    pub fn tech_node(&self) -> TechNode {
+        let node = TechNode::for_id(self.node_id);
+        if self.lower_metal_rho {
+            node.with_rho_scaled(&[MetalClass::Local, MetalClass::Intermediate], 0.5)
+        } else {
+            node
+        }
+    }
+}
+
+/// The sign-off summary of one flow run — one row of the paper's
+/// Tables 13/14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowResult {
+    /// Benchmark name.
+    pub bench: Benchmark,
+    /// 2D or T-MI.
+    pub style: DesignStyle,
+    /// Node.
+    pub node_id: NodeId,
+    /// Clock period the run closed against, ps.
+    pub clock_ps: f64,
+    /// Core footprint, µm².
+    pub footprint_um2: f64,
+    /// Core width × height, µm.
+    pub core_um: (f64, f64),
+    /// Final cell count (including inserted repeaters).
+    pub cell_count: usize,
+    /// Repeater/buffer count (paper "#buffers").
+    pub buffer_count: usize,
+    /// Final placement utilization.
+    pub utilization: f64,
+    /// Total routed wirelength, µm.
+    pub wirelength_um: f64,
+    /// Worst negative slack at sign-off, ps (>= 0 means timing met).
+    pub wns_ps: f64,
+    /// Worst hold slack at sign-off, ps.
+    pub hold_wns_ps: f64,
+    /// Power breakdown.
+    pub power: PowerReport,
+    /// Per-class metal usage.
+    pub layer_usage: LayerUsage,
+    /// The WLM curve used at synthesis (Fig. 6 data).
+    pub wlm_curve: Vec<f64>,
+}
+
+impl FlowResult {
+    /// Total power, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.power.total_mw()
+    }
+
+    /// Wirelength in metres (the paper's Table 5 unit).
+    pub fn wirelength_m(&self) -> f64 {
+        self.wirelength_um * 1e-6
+    }
+
+    /// Longest path delay, ns.
+    pub fn longest_path_ns(&self) -> f64 {
+        (self.clock_ps - self.wns_ps) * 1e-3
+    }
+}
+
+/// The full design-and-analysis pipeline for one benchmark at one
+/// (node, style) point: library preparation, WLM-guided synthesis,
+/// placement, pre-route optimization, routing, post-route optimization,
+/// power recovery, and sign-off timing/power (paper Fig. 1).
+#[derive(Debug)]
+pub struct Flow {
+    bench: Benchmark,
+    style: DesignStyle,
+    config: FlowConfig,
+}
+
+impl Flow {
+    /// Creates a flow for a benchmark and style.
+    pub fn new(bench: Benchmark, style: DesignStyle, config: FlowConfig) -> Self {
+        Flow {
+            bench,
+            style,
+            config,
+        }
+    }
+
+    /// Runs the pipeline end to end.
+    pub fn run(&self) -> FlowResult {
+        let cfg = &self.config;
+        let node = cfg.tech_node();
+        let stack_kind = cfg.stack_kind.unwrap_or(self.style.default_stack());
+        let stack = MetalStack::new(&node, stack_kind);
+        let mut lib = CellLibrary::build(&node, self.style);
+        if cfg.pin_cap_scale != 1.0 {
+            lib = lib.with_pin_cap_scaled(cfg.pin_cap_scale);
+        }
+        let scale = if cfg.clock_scale > 0.0 {
+            cfg.clock_scale
+        } else {
+            default_clock_scale_at(self.bench, cfg.node_id)
+        };
+        let clock_ps = cfg
+            .clock_ps
+            .unwrap_or_else(|| self.bench.target_clock_ps(cfg.node_id))
+            * scale;
+        let utilization = cfg
+            .utilization
+            .unwrap_or_else(|| self.bench.target_utilization());
+
+        // --- Synthesis with a measured wire-load model. ---
+        let raw = self.bench.generate(&lib, cfg.bench_scale);
+        let wlm = if cfg.tmi_wlm || self.style == DesignStyle::TwoD {
+            let prelim = Placer::new(&lib)
+                .utilization(utilization)
+                .iterations(16)
+                .place(&raw);
+            WireLoadModel::from_placement(&raw, &prelim)
+        } else {
+            // Table 15 "-n": synthesize the T-MI design against the WLM
+            // measured on the *2D* implementation.
+            let lib2d = CellLibrary::build(&node, DesignStyle::TwoD);
+            let raw2d = self.bench.generate(&lib2d, cfg.bench_scale);
+            let prelim = Placer::new(&lib2d)
+                .utilization(utilization)
+                .iterations(16)
+                .place(&raw2d);
+            WireLoadModel::from_placement(&raw2d, &prelim)
+        };
+        let mut netlist = synthesize(raw, &lib, &wlm, &SynthConfig::new(clock_ps));
+
+        let timing = TimingConfig::new(clock_ps);
+        // Per-stage delay target for load-based sizing: a share of the
+        // clock budget divided by the design's logic depth.
+        let tau_ps = {
+            let (levels, _) = m3d_netlist::levelize(&netlist, &lib)
+                .expect("combinational cycle in design");
+            let depth = levels.iter().copied().max().unwrap_or(1) as f64 + 3.0;
+            (0.55 * clock_ps / depth).clamp(20.0, 200.0)
+        };
+        let router = if cfg.mb1_routing {
+            Router::new(&node, &stack)
+        } else {
+            Router::new(&node, &stack).without_mb1()
+        };
+
+        // --- Physical implementation, run as up to two floorplan rounds:
+        // the first round sizes the design; if optimization and power
+        // recovery moved the cell area materially, a second round rebuilds
+        // the core at the target utilization for the *final* netlist (the
+        // footprint the paper reports is that final core) and re-closes
+        // timing on it. ---
+        let mut placement;
+        #[allow(unused_assignments)] // re-routed at sign-off
+        let mut routed;
+        #[allow(unused_assignments)] // re-extracted at sign-off
+        let mut models;
+        let mut round = 0;
+        let mut round1_best: Option<(Netlist, Placement, f64)> = None;
+        loop {
+            placement = Placer::new(&lib)
+                .utilization(utilization)
+                .iterations(cfg.place_iterations)
+                .place(&netlist);
+
+            // Load-based sizing, gated on need: map drivers to their
+            // placed loads only while the design misses its clock
+            // (iterated because sizing moves the loads).
+            for _ in 0..3 {
+                let est = estimate_models(&netlist, &placement, &node, &stack);
+                let report = analyze(&netlist, &lib, &est, &timing);
+                if report.met() {
+                    break;
+                }
+                let moves = plan_load_sizing(&netlist, &lib, &est, tau_ps);
+                if moves.is_empty() {
+                    break;
+                }
+                apply_moves(&mut netlist, &mut placement, &lib, &moves);
+            }
+
+            // Pre-route optimization on placement-based estimates.
+            // Passes are accept/reject: a pass that does not improve WNS
+            // is rolled back and the loop stops.
+            let mut last_wns = f64::NEG_INFINITY;
+            for pass in 0..cfg.opt_passes {
+                let est = estimate_models(&netlist, &placement, &node, &stack);
+                let report = analyze(&netlist, &lib, &est, &timing);
+                if report.met() {
+                    break;
+                }
+                if pass > 0 && report.wns <= last_wns {
+                    break;
+                }
+                last_wns = report.wns;
+                let limit = 3000.max(netlist.net_count() / 4);
+                let moves = plan_timing_moves(&netlist, &lib, &est, &report, limit);
+                if moves.is_empty() {
+                    break;
+                }
+                let saved = (netlist.clone(), placement.clone());
+                apply_moves(&mut netlist, &mut placement, &lib, &moves);
+                let est2 = estimate_models(&netlist, &placement, &node, &stack);
+                let report2 = analyze(&netlist, &lib, &est2, &timing);
+                if report2.wns < report.wns {
+                    netlist = saved.0;
+                    placement = saved.1;
+                    break;
+                }
+            }
+
+            // Routing, with one load-sizing round against extracted loads.
+            routed = router.route(&netlist, &placement, &lib);
+            models = extraction_models(&netlist, &routed, &node);
+            for _ in 0..2 {
+                let report = analyze(&netlist, &lib, &models, &timing);
+                if report.met() {
+                    break;
+                }
+                let moves = plan_load_sizing(&netlist, &lib, &models, tau_ps);
+                if moves.is_empty() {
+                    break;
+                }
+                apply_moves(&mut netlist, &mut placement, &lib, &moves);
+            }
+            routed = router.route(&netlist, &placement, &lib);
+            models = extraction_models(&netlist, &routed, &node);
+
+            // Post-route optimization (accept/reject passes).
+            for _ in 0..cfg.opt_passes {
+                let report = analyze(&netlist, &lib, &models, &timing);
+                if report.met() {
+                    break;
+                }
+                let limit = 2000.max(netlist.net_count() / 4);
+                let moves = plan_timing_moves(&netlist, &lib, &models, &report, limit);
+                if moves.is_empty() {
+                    break;
+                }
+                let saved = (netlist.clone(), placement.clone());
+                apply_moves(&mut netlist, &mut placement, &lib, &moves);
+                let new_routed = router.route(&netlist, &placement, &lib);
+                let new_models = extraction_models(&netlist, &new_routed, &node);
+                let report2 = analyze(&netlist, &lib, &new_models, &timing);
+                if report2.wns < report.wns {
+                    netlist = saved.0;
+                    placement = saved.1;
+                    break;
+                }
+                models = new_models;
+                drop(new_routed); // sign-off re-routes the final netlist
+            }
+
+            // Iso-performance power recovery: repeatedly downsize cells
+            // with slack until nothing more fits ("with a better timing,
+            // cells are downsized", Section 4.1), verified per round.
+            let recovery_batch = 500.max(netlist.instance_count() / 6);
+            for _ in 0..20 {
+                let report = analyze(&netlist, &lib, &models, &timing);
+                if !report.met() {
+                    break;
+                }
+                let margin = 0.02 * clock_ps;
+                let moves =
+                    plan_power_recovery(&netlist, &lib, &report, margin, recovery_batch);
+                if moves.is_empty() {
+                    break;
+                }
+                let saved = netlist.clone();
+                apply_moves(&mut netlist, &mut placement, &lib, &moves);
+                let check = analyze(&netlist, &lib, &models, &timing);
+                if !check.met() {
+                    netlist = saved;
+                    break;
+                }
+            }
+
+            // Second round only when the area drifted from the core basis.
+            round += 1;
+            let wns_now = analyze(&netlist, &lib, &models, &timing).wns;
+            if round >= 2 {
+                // Keep whichever round closed better (round 2 can fail on
+                // stubborn designs; fall back to the round-1 result).
+                if let Some((n1, p1, w1)) = round1_best.take() {
+                    if wns_now < w1.min(0.0) {
+                        // Sign-off below re-routes and re-extracts.
+                        netlist = n1;
+                        placement = p1;
+                    }
+                }
+                break;
+            }
+            let area_now: f64 = netlist.total_cell_area(&lib);
+            let basis = area_now / placement.footprint_um2();
+            if (basis / utilization - 1.0).abs() <= 0.10 {
+                break;
+            }
+            round1_best = Some((netlist.clone(), placement.clone(), wns_now));
+        }
+
+        // --- Sign-off. ---
+        routed = router.route(&netlist, &placement, &lib);
+        models = extraction_models(&netlist, &routed, &node);
+        let report = analyze(&netlist, &lib, &models, &timing);
+        let power = analyze_power(
+            &netlist,
+            &lib,
+            &models,
+            &PowerConfig::new(clock_ps).with_alpha_ff(cfg.alpha_ff),
+        );
+        let stats = netlist.stats(&lib);
+        FlowResult {
+            bench: self.bench,
+            style: self.style,
+            node_id: cfg.node_id,
+            clock_ps,
+            hold_wns_ps: report.hold_wns,
+            footprint_um2: placement.footprint_um2(),
+            core_um: (
+                placement.core.width() as f64 * 1e-3,
+                placement.core.height() as f64 * 1e-3,
+            ),
+            cell_count: stats.cell_count,
+            buffer_count: stats.buffer_count,
+            utilization: placement.utilization,
+            wirelength_um: routed.total_wirelength_um(),
+            wns_ps: report.wns,
+            power,
+            layer_usage: LayerUsage::of(&routed),
+            wlm_curve: wlm.curve().to_vec(),
+        }
+    }
+}
+
+/// The tightest-closing clock calibration per benchmark and node (see
+/// [`FlowConfig::clock_scale`]). The 7 nm paper targets assume the full
+/// ITRS device speed-up under a commercial optimizer; this toolkit's
+/// optimizer needs more headroom there, so the 7 nm factors are larger.
+pub fn default_clock_scale_at(bench: Benchmark, node: NodeId) -> f64 {
+    let k45 = match bench {
+        Benchmark::Fpu => 2.5,
+        Benchmark::Aes => 4.0,
+        Benchmark::Ldpc => 2.0,
+        Benchmark::Des => 2.5,
+        Benchmark::M256 => 4.5,
+    };
+    match node {
+        NodeId::N45 => k45,
+        NodeId::N7 => k45 * 2.0,
+    }
+}
+
+/// The 45 nm calibration (kept for compatibility; see
+/// [`default_clock_scale_at`]).
+pub fn default_clock_scale(bench: Benchmark) -> f64 {
+    default_clock_scale_at(bench, NodeId::N45)
+}
+
+/// Placement-based net models: HPWL with a routing detour, unit RC from
+/// the metal class a net of that length rides.
+pub fn estimate_models(
+    netlist: &Netlist,
+    placement: &Placement,
+    node: &TechNode,
+    stack: &MetalStack,
+) -> Vec<NetModel> {
+    let s = node.dimension_scale();
+    let thresholds = (30.0 * s, 140.0 * s);
+    let rc_of = |class: MetalClass| {
+        let layer = stack
+            .layers_of(class)
+            .next()
+            .expect("class in stack");
+        WireRc::for_layer(node, layer)
+    };
+    let rcs = [
+        rc_of(MetalClass::Local),
+        rc_of(MetalClass::Intermediate),
+        rc_of(MetalClass::Global),
+    ];
+    netlist
+        .net_ids()
+        .map(|id| {
+            let len = placement.net_hpwl_um(netlist, id) * 1.1;
+            let rc = if len <= thresholds.0 {
+                rcs[0]
+            } else if len <= thresholds.1 {
+                rcs[1]
+            } else {
+                rcs[2]
+            };
+            NetModel {
+                c_wire: rc.capacitance(len),
+                r_wire: rc.resistance(len),
+            }
+        })
+        .collect()
+}
+
+/// Sign-off net models from routed-segment extraction.
+pub fn extraction_models(
+    netlist: &Netlist,
+    routed: &RoutedDesign,
+    node: &TechNode,
+) -> Vec<NetModel> {
+    netlist
+        .net_ids()
+        .map(|id| {
+            let rn = routed.net(id);
+            let p = extract_net(node, &routed.stack, &rn.segments, rn.via_count);
+            // extract_net sums all segments in series (trunk model); a
+            // multi-sink net branches, so the driver-to-worst-sink
+            // resistance is closer to total / sqrt(fanout).
+            let sinks = netlist.net(id).sinks.len().max(1) as f64;
+            NetModel {
+                c_wire: p.c_wire,
+                r_wire: p.r_wire / sinks.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Applies planned moves, keeping placement positions in sync (repeaters
+/// land along the driver-to-sinks span).
+pub(crate) fn apply_moves(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &CellLibrary,
+    moves: &[OptMove],
+) {
+    let buf = lib.smallest(CellFunction::Buf);
+    for &m in moves {
+        match m {
+            OptMove::Upsize(inst) => {
+                if let Some((bigger, _)) = lib.upsize(netlist.inst(inst).cell) {
+                    netlist.resize(inst, bigger, lib);
+                }
+            }
+            OptMove::Downsize(inst) => {
+                if let Some((smaller, _)) = lib.downsize(netlist.inst(inst).cell) {
+                    netlist.resize(inst, smaller, lib);
+                }
+            }
+            OptMove::BufferNet { net, repeaters } => {
+                insert_repeater_chain(netlist, placement, lib, net, repeaters.min(3), buf);
+            }
+        }
+    }
+}
+
+fn insert_repeater_chain(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    lib: &CellLibrary,
+    net: NetId,
+    stages: u32,
+    buf: m3d_cells::CellId,
+) {
+    if stages == 0 {
+        return;
+    }
+    let driver_pos = match netlist.net(net).driver {
+        NetDriver::Cell { inst, .. } => placement.pos(inst),
+        NetDriver::Port(p) => placement
+            .port_positions
+            .get(p as usize)
+            .copied()
+            .unwrap_or(Point::ORIGIN),
+        NetDriver::None => return,
+    };
+    // High-fanout nets get a geometric split: one repeater per populated
+    // quadrant around the sink centroid, each placed at its group's
+    // centroid. Iterated over optimization passes this grows a balanced
+    // fanout tree instead of a serial chain.
+    {
+        let sinks = &netlist.net(net).sinks;
+        if sinks.len() >= 8 {
+            let centroid = {
+                let (mut sx, mut sy) = (0i64, 0i64);
+                for s in sinks {
+                    let p = placement.pos(s.inst);
+                    sx += p.x;
+                    sy += p.y;
+                }
+                Point::new(sx / sinks.len() as i64, sy / sinks.len() as i64)
+            };
+            let mut quadrants: [Vec<usize>; 4] = Default::default();
+            let mut quad_sum: [(i64, i64); 4] = [(0, 0); 4];
+            for (i, s) in sinks.iter().enumerate() {
+                let p = placement.pos(s.inst);
+                let q = (usize::from(p.x >= centroid.x)) | (usize::from(p.y >= centroid.y) << 1);
+                quadrants[q].push(i);
+                quad_sum[q].0 += p.x;
+                quad_sum[q].1 += p.y;
+            }
+            // Insert from the highest sink index down so the stored sink
+            // indices stay valid across insertions.
+            let mut groups: Vec<(Vec<usize>, Point)> = quadrants
+                .into_iter()
+                .zip(quad_sum)
+                .filter(|(g, _)| !g.is_empty())
+                .map(|(g, (sx, sy))| {
+                    let n = g.len() as i64;
+                    (g, Point::new(sx / n, sy / n))
+                })
+                .collect();
+            if groups.len() >= 2 {
+                // Only meaningful when the net actually splits.
+                groups.sort_by_key(|(g, _)| std::cmp::Reverse(g.iter().copied().max()));
+                // Removing sinks from the net changes later indices; take
+                // groups against a stable snapshot by processing the net
+                // once per group with recomputed indices.
+                for (_, gpos) in &groups {
+                    // Recompute current sink indices belonging to this
+                    // quadrant (those nearest gpos).
+                    let cur = &netlist.net(net).sinks;
+                    if cur.len() < 2 {
+                        break;
+                    }
+                    let mut take: Vec<usize> = cur
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| {
+                            let p = placement.pos(s.inst);
+                            let q_x = p.x >= centroid.x;
+                            let q_y = p.y >= centroid.y;
+                            q_x == (gpos.x >= centroid.x) && q_y == (gpos.y >= centroid.y)
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    if take.is_empty() || take.len() == cur.len() {
+                        continue;
+                    }
+                    take.sort_unstable();
+                    let (_, _new_net) = netlist.insert_repeater(net, &take, buf, lib);
+                    placement.push_pos(*gpos);
+                }
+                return;
+            }
+        }
+    }
+    // Split off the farther half of the sinks (at least one).
+    let sinks = &netlist.net(net).sinks;
+    if sinks.is_empty() {
+        return;
+    }
+    let mut by_dist: Vec<(usize, i64)> = sinks
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, driver_pos.manhattan(placement.pos(s.inst))))
+        .collect();
+    by_dist.sort_by_key(|&(_, d)| d);
+    let keep = if by_dist.len() == 1 { 0 } else { by_dist.len() / 2 };
+    let far: Vec<usize> = by_dist[keep..].iter().map(|&(i, _)| i).collect();
+    if far.is_empty() {
+        return;
+    }
+    // Centroid of the far group.
+    let far_centroid = {
+        let (mut sx, mut sy) = (0i64, 0i64);
+        for &(i, _) in &by_dist[keep..] {
+            let p = placement.pos(sinks[i].inst);
+            sx += p.x;
+            sy += p.y;
+        }
+        let n = (by_dist.len() - keep) as i64;
+        Point::new(sx / n, sy / n)
+    };
+    // Chain of `stages` repeaters evenly spaced driver -> centroid.
+    let mut current = net;
+    let mut moved = far;
+    for k in 0..stages {
+        let (_inst, new_net) = netlist.insert_repeater(current, &moved, buf, lib);
+        let t = (k as f64 + 1.0) / (stages as f64 + 1.0);
+        let pos = Point::new(
+            driver_pos.x + ((far_centroid.x - driver_pos.x) as f64 * t) as i64,
+            driver_pos.y + ((far_centroid.y - driver_pos.y) as f64 * t) as i64,
+        );
+        placement.push_pos(pos);
+        current = new_net;
+        // Subsequent stages drive the whole moved group.
+        moved = (0..netlist.net(current).sinks.len()).collect();
+        if netlist.net(current).sinks.len() < 2 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FlowConfig {
+        FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+    }
+
+    #[test]
+    fn flow_runs_and_closes_timing_on_small_aes() {
+        let r = Flow::new(Benchmark::Aes, DesignStyle::TwoD, small_cfg()).run();
+        assert!(r.footprint_um2 > 0.0);
+        assert!(r.wirelength_um > 0.0);
+        assert!(r.total_power_mw() > 0.0);
+        assert!(r.wns_ps > -0.05 * r.clock_ps, "timing badly violated: {} ps", r.wns_ps);
+        assert!(r.cell_count > 100);
+    }
+
+    #[test]
+    fn tmi_flow_shrinks_footprint_and_wirelength() {
+        let two_d = Flow::new(Benchmark::Aes, DesignStyle::TwoD, small_cfg()).run();
+        let tmi = Flow::new(Benchmark::Aes, DesignStyle::Tmi, small_cfg()).run();
+        let fp = tmi.footprint_um2 / two_d.footprint_um2;
+        assert!(fp < 0.75, "footprint ratio {fp}");
+        let wl = tmi.wirelength_um / two_d.wirelength_um;
+        assert!(wl < 0.95, "wirelength ratio {wl}");
+    }
+
+    #[test]
+    fn faster_clock_costs_power() {
+        let base = small_cfg();
+        let slow = Flow::new(Benchmark::Aes, DesignStyle::TwoD, base.clone().clock(2000.0)).run();
+        let fast = Flow::new(Benchmark::Aes, DesignStyle::TwoD, base.clock(900.0)).run();
+        assert!(fast.total_power_mw() > slow.total_power_mw());
+    }
+
+    #[test]
+    fn pin_cap_scale_reduces_pin_power() {
+        let mut cfg = small_cfg();
+        cfg.pin_cap_scale = 0.5;
+        let scaled = Flow::new(Benchmark::Des, DesignStyle::TwoD, cfg).run();
+        let base = Flow::new(Benchmark::Des, DesignStyle::TwoD, small_cfg()).run();
+        assert!(scaled.power.pin_mw < base.power.pin_mw);
+    }
+}

@@ -1,0 +1,53 @@
+//! `monolith3d` — an open reproduction of the DAC'13 study *"Power
+//! Benefit Study for Ultra-High Density Transistor-Level Monolithic 3D
+//! ICs"* (Lee, Limbrick, Lim).
+//!
+//! Transistor-level monolithic 3D integration (**T-MI**) folds every
+//! standard cell: PMOS devices go to the bottom tier, NMOS devices stay
+//! on top, and nano-scale monolithic inter-tier vias (MIVs) stitch the
+//! halves. Cell height drops 40 %, die footprint 40-44 %, wirelength
+//! 20-34 %, and — the paper's headline — *total power drops up to 32 %
+//! at iso-performance*, with the benefit depending strongly on circuit
+//! wiring character and target clock.
+//!
+//! This crate is the study itself, built on the toolkit's substrates:
+//!
+//! | stage (paper Fig. 1) | crate |
+//! |---|---|
+//! | T-MI cell design + characterization | `m3d-cells`, `m3d-spice`, `m3d-extract` |
+//! | metal stack + interconnect RC | `m3d-tech` |
+//! | wire load models + synthesis | `m3d-synth` |
+//! | placement | `m3d-place` |
+//! | routing | `m3d-route` |
+//! | timing/power sign-off | `m3d-sta`, `m3d-power` |
+//!
+//! [`Flow`] runs the whole pipeline for one (benchmark, node, style)
+//! point; [`Comparison`] runs the iso-performance 2D-vs-T-MI pair and
+//! reports the percentage deltas of the paper's Tables 4/7/13/14;
+//! [`experiments`] regenerates every table and figure.
+//!
+//! # Example: a small iso-performance comparison
+//!
+//! ```no_run
+//! use m3d_netlist::{BenchScale, Benchmark};
+//! use m3d_tech::NodeId;
+//! use monolith3d::{Comparison, FlowConfig};
+//!
+//! let cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
+//! let cmp = Comparison::run(Benchmark::Aes, &cfg);
+//! println!(
+//!     "footprint {:+.1}%  wirelength {:+.1}%  power {:+.1}%",
+//!     cmp.footprint_pct(),
+//!     cmp.wirelength_pct(),
+//!     cmp.total_power_pct()
+//! );
+//! ```
+
+mod compare;
+pub mod gmi;
+pub mod experiments;
+mod flow;
+
+pub use compare::Comparison;
+pub use flow::{estimate_models, extraction_models};
+pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};

@@ -1,0 +1,274 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use m3d_geom::{LayerShape, ShapeSet};
+use m3d_tech::{CellLayer, TechNode, Tier};
+
+/// How the extractor models the doped top-tier silicon of a T-MI cell
+/// (paper Section 3.2).
+///
+/// Calibre XRC can model only one diffusion layer, so the paper brackets
+/// reality between two extremes; we reproduce both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopSiliconModel {
+    /// Top-tier silicon treated as dielectric: electric field penetrates,
+    /// so bottom-tier and top-tier conductors couple fully.
+    /// *Over*-estimates coupling ("3D" column of Table 1).
+    Dielectric,
+    /// Top-tier silicon treated as a grounded conductor: it shields the
+    /// tiers from each other; bottom-tier conductors see only a cap to
+    /// ground. *Under*-estimates coupling ("3D-c" column of Table 1).
+    Conductor,
+}
+
+/// Result of cell-internal extraction: per-electrical-node lumped R and C
+/// plus the explicit inter-node coupling caps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellExtraction {
+    /// Lumped series resistance per electrical node, kΩ.
+    pub node_r: BTreeMap<u32, f64>,
+    /// Total capacitance per node (ground + its share of couplings), fF.
+    pub node_c: BTreeMap<u32, f64>,
+    /// Inter-node coupling capacitances `(node_a, node_b, fF)`.
+    pub couplings: Vec<(u32, u32, f64)>,
+}
+
+impl CellExtraction {
+    /// Total cell-internal resistance, kΩ — the figure the paper's Table 1
+    /// reports per cell.
+    pub fn total_r(&self) -> f64 {
+        self.node_r.values().sum()
+    }
+
+    /// Total cell-internal capacitance, fF (coupling caps counted once per
+    /// terminal, i.e. twice overall, matching a sum over net totals).
+    pub fn total_c(&self) -> f64 {
+        self.node_c.values().sum()
+    }
+
+    /// Resistance of one node, kΩ (0 when the node has no resistive shapes).
+    pub fn r_of(&self, node: u32) -> f64 {
+        self.node_r.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// Capacitance of one node, fF.
+    pub fn c_of(&self, node: u32) -> f64 {
+        self.node_c.get(&node).copied().unwrap_or(0.0)
+    }
+}
+
+/// Vertical coupling coefficient between a bottom-tier and a top-tier
+/// conductor separated by the inter-tier ILD, fF/µm² of overlap.
+fn inter_tier_c_area(node: &TechNode) -> f64 {
+    // Parallel plate: k * eps0 / d. eps0 = 8.854e-3 fF/µm.
+    let d_um = node.ild_thickness as f64 * 1e-3;
+    node.ild_k * 8.854e-3 / d_um
+}
+
+/// Extracts the cell-internal parasitic RC of a transistor-level layout.
+///
+/// The model, documented per component:
+///
+/// * **Resistance**: every planar shape contributes
+///   `sheet_r * (length / width) / 2` to its node (the half factor is the
+///   usual lumped approximation of a distributed line feeding side taps);
+///   every cut shape (contact, via, MIV) contributes its per-cut
+///   resistance. Cuts of the same node on the same layer that touch are
+///   merged as parallel (contact arrays).
+/// * **Ground capacitance**: planar shapes contribute
+///   `c_area * area + c_fringe * perimeter`.
+/// * **Inter-tier coupling** (T-MI only): overlapping bottom-tier /
+///   top-tier conductor pairs couple through the inter-tier ILD with a
+///   parallel-plate cap. Under [`TopSiliconModel::Dielectric`] the cap
+///   connects the two nodes (counted in both nodes' totals); under
+///   [`TopSiliconModel::Conductor`] the grounded silicon screens it and
+///   each bottom shape instead gets a single cap to ground.
+///
+/// `shapes` whose node is [`LayerShape::FLOATING`] (wells, implants) are
+/// ignored.
+pub fn extract_cell(
+    node: &TechNode,
+    shapes: &ShapeSet,
+    model: TopSiliconModel,
+) -> CellExtraction {
+    let mut ext = CellExtraction::default();
+
+    let mut planar: Vec<&LayerShape> = Vec::new();
+    for s in shapes {
+        if s.node == LayerShape::FLOATING {
+            continue;
+        }
+        let Some(layer) = CellLayer::from_index(s.layer) else {
+            continue;
+        };
+        let props = layer.props(node);
+        let r_entry = ext.node_r.entry(s.node).or_insert(0.0);
+        let c_entry = ext.node_c.entry(s.node).or_insert(0.0);
+        if props.is_cut {
+            *r_entry += props.cut_r;
+        } else {
+            let w_um = (s.rect.width().min(s.rect.height()) as f64 * 1e-3).max(1e-4);
+            let l_um = s.rect.width().max(s.rect.height()) as f64 * 1e-3;
+            *r_entry += props.sheet_r * (l_um / w_um) * 0.5;
+            let area_um2 = s.rect.area() as f64 * 1e-6;
+            let perim_um = 2.0 * (s.rect.width() + s.rect.height()) as f64 * 1e-3;
+            *c_entry += props.c_area * area_um2 + props.c_fringe * perim_um;
+            planar.push(s);
+        }
+    }
+
+    // Inter-tier vertical coupling for folded cells.
+    let c_vert = inter_tier_c_area(node);
+    let tier_of = |s: &LayerShape| {
+        CellLayer::from_index(s.layer).map(|l| l.props(node).tier)
+    };
+    let mut bottom_grounded: BTreeMap<u32, f64> = BTreeMap::new();
+    if model == TopSiliconModel::Conductor {
+        for a in &planar {
+            if tier_of(a) == Some(Tier::Bottom) {
+                *bottom_grounded.entry(a.node).or_insert(0.0) +=
+                    c_vert * a.rect.area() as f64 * 1e-6;
+            }
+        }
+    }
+    for (i, a) in planar.iter().enumerate() {
+        if tier_of(a) != Some(Tier::Bottom) {
+            continue;
+        }
+        if model == TopSiliconModel::Conductor {
+            break;
+        }
+        for b in planar.iter().skip(i + 1) {
+            if tier_of(b) != Some(Tier::Top) {
+                continue;
+            }
+            // Fringing fields spread laterally about one ILD thickness, so
+            // shapes that nearly overlap still couple: intersect the rects
+            // inflated by the ILD thickness and derate the extra ring.
+            let d = node.ild_thickness;
+            let Some(ov) = a.rect.inflate(d).intersection(&b.rect.inflate(d)) else {
+                continue;
+            };
+            let direct = a
+                .rect
+                .intersection(&b.rect)
+                .map(|r| r.area() as f64 * 1e-6)
+                .unwrap_or(0.0);
+            let ring = (ov.area() as f64 * 1e-6 - direct).max(0.0);
+            let area_um2 = direct + 0.05 * ring;
+            if area_um2 <= 0.0 {
+                continue;
+            }
+            let c = c_vert * area_um2;
+            match model {
+                TopSiliconModel::Dielectric => {
+                    if a.node != b.node {
+                        *ext.node_c.entry(a.node).or_insert(0.0) += c;
+                        *ext.node_c.entry(b.node).or_insert(0.0) += c;
+                        ext.couplings.push((a.node.min(b.node), a.node.max(b.node), c));
+                    }
+                }
+                TopSiliconModel::Conductor => {
+                    // Handled below: the grounded plane couples each bottom
+                    // shape over its full area, independent of top shapes.
+                }
+            }
+        }
+    }
+    for (n, c) in bottom_grounded {
+        *ext.node_c.entry(n).or_insert(0.0) += c;
+    }
+    ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_geom::{Point, Rect};
+
+    fn wire(layer: CellLayer, node: u32, x: i64, y: i64, w: i64, h: i64) -> LayerShape {
+        LayerShape::new(layer.index(), Rect::from_size(Point::new(x, y), w, h), node)
+    }
+
+    #[test]
+    fn single_wire_r_and_c() {
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        // 1 um long, 70 nm wide M1 wire on node 1.
+        s.push(wire(CellLayer::Metal1, 1, 0, 0, 1000, 70));
+        let e = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        let props = CellLayer::Metal1.props(&tech);
+        let expect_r = props.sheet_r * (1.0 / 0.07) * 0.5;
+        assert!((e.r_of(1) - expect_r).abs() < 1e-9);
+        let expect_c = props.c_area * 0.07 + props.c_fringe * 2.14;
+        assert!((e.c_of(1) - expect_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cuts_add_contact_resistance() {
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        s.push(wire(CellLayer::Contact, 2, 0, 0, 70, 70));
+        s.push(wire(CellLayer::Miv, 2, 0, 200, 70, 70));
+        let e = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        assert!((e.r_of(2) - (tech.contact_resistance + tech.miv.resistance)).abs() < 1e-12);
+        assert_eq!(e.c_of(2), 0.0);
+    }
+
+    #[test]
+    fn floating_shapes_are_ignored() {
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        s.push(LayerShape::floating(
+            CellLayer::Metal1.index(),
+            Rect::from_size(Point::ORIGIN, 500, 500),
+        ));
+        let e = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        assert!(e.node_c.is_empty() && e.node_r.is_empty());
+    }
+
+    #[test]
+    fn dielectric_model_couples_tiers_conductor_screens() {
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        // MB1 on node 1 below M1 on node 2, 0.5 x 0.1 um overlap.
+        s.push(wire(CellLayer::MetalB1, 1, 0, 0, 500, 100));
+        s.push(wire(CellLayer::Metal1, 2, 0, 0, 500, 100));
+        let die = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        let con = extract_cell(&tech, &s, TopSiliconModel::Conductor);
+        // Dielectric: coupling counted on both nodes -> higher total.
+        assert!(die.total_c() > con.total_c());
+        assert_eq!(die.couplings.len(), 1);
+        assert!(con.couplings.is_empty());
+        // The coupling is at least the direct parallel-plate value over
+        // the 0.05 um^2 overlap, plus a bounded fringing ring.
+        let c_vert = tech.ild_k * 8.854e-3 / (tech.ild_thickness as f64 * 1e-3);
+        let plate = c_vert * 0.05;
+        assert!(die.couplings[0].2 >= plate);
+        assert!(die.couplings[0].2 <= plate * 1.5, "ring too large");
+    }
+
+    #[test]
+    fn same_node_overlap_does_not_self_couple() {
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        s.push(wire(CellLayer::MetalB1, 1, 0, 0, 500, 100));
+        s.push(wire(CellLayer::Metal1, 1, 0, 0, 500, 100));
+        let die = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        assert!(die.couplings.is_empty());
+    }
+
+    #[test]
+    fn two_d_cell_is_model_insensitive() {
+        // A 2D cell has no bottom-tier shapes: both silicon models agree.
+        let tech = TechNode::n45();
+        let mut s = ShapeSet::new();
+        s.push(wire(CellLayer::Metal1, 1, 0, 0, 800, 70));
+        s.push(wire(CellLayer::Poly, 2, 100, 0, 50, 1200));
+        s.push(wire(CellLayer::Contact, 1, 0, 0, 70, 70));
+        let die = extract_cell(&tech, &s, TopSiliconModel::Dielectric);
+        let con = extract_cell(&tech, &s, TopSiliconModel::Conductor);
+        assert_eq!(die, con);
+    }
+}

@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_tech::{MetalClass, MetalStack, TechNode, WireRc};
+
+/// Lumped parasitics of one routed net.
+///
+/// The per-class length breakdown feeds the layer-usage reports (paper
+/// Fig. 10) and the MB1-usage statistics of Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetParasitics {
+    /// Total wire capacitance, fF.
+    pub c_wire: f64,
+    /// Total wire resistance driver-to-sink along the main trunk, kΩ.
+    pub r_wire: f64,
+    /// Wire length per metal class `[M1, local, intermediate, global]`, µm.
+    pub class_len_um: [f64; 4],
+    /// Number of via cuts on the net.
+    pub via_count: u32,
+}
+
+impl NetParasitics {
+    /// Total routed length, µm.
+    pub fn length_um(&self) -> f64 {
+        self.class_len_um.iter().sum()
+    }
+
+    /// Elmore delay contribution of the wire alone driving `c_load` fF:
+    /// `R_wire * (C_wire/2 + C_load)`, ps.
+    pub fn elmore_into(&self, c_load: f64) -> f64 {
+        self.r_wire * (0.5 * self.c_wire + c_load)
+    }
+
+    /// Accumulates another segment bundle (used when a net is routed in
+    /// several passes).
+    pub fn merge(&mut self, other: &NetParasitics) {
+        self.c_wire += other.c_wire;
+        self.r_wire += other.r_wire;
+        for (a, b) in self.class_len_um.iter_mut().zip(other.class_len_um) {
+            *a += b;
+        }
+        self.via_count += other.via_count;
+    }
+}
+
+fn class_slot(class: MetalClass) -> usize {
+    match class {
+        MetalClass::M1 => 0,
+        MetalClass::Local => 1,
+        MetalClass::Intermediate => 2,
+        MetalClass::Global => 3,
+    }
+}
+
+/// Extracts lumped RC for a net routed as `segments` — `(stack layer index,
+/// length in µm)` pairs — with `via_count` inter-layer cuts.
+///
+/// Resistance sums all segments in series (the trunk-path approximation:
+/// multi-fanout nets are mostly trunk + short stubs on the routing grid);
+/// capacitance sums all segments. Via resistance uses the node's per-cut
+/// value.
+///
+/// # Panics
+///
+/// Panics if a segment references a layer index outside the stack.
+pub fn extract_net(
+    node: &TechNode,
+    stack: &MetalStack,
+    segments: &[(u16, f64)],
+    via_count: u32,
+) -> NetParasitics {
+    let mut p = NetParasitics {
+        via_count,
+        r_wire: node.via_resistance * via_count as f64,
+        ..Default::default()
+    };
+    for &(layer_idx, len_um) in segments {
+        let layer = &stack.layers()[layer_idx as usize];
+        let rc = WireRc::for_layer(node, layer);
+        p.c_wire += rc.capacitance(len_um);
+        p.r_wire += rc.resistance(len_um);
+        p.class_len_um[class_slot(layer.class)] += len_um;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_tech::StackKind;
+
+    fn ctx() -> (TechNode, MetalStack) {
+        let node = TechNode::n45();
+        let stack = MetalStack::new(&node, StackKind::Tmi);
+        (node, stack)
+    }
+
+    #[test]
+    fn empty_net_has_only_via_resistance() {
+        let (node, stack) = ctx();
+        let p = extract_net(&node, &stack, &[], 3);
+        assert_eq!(p.c_wire, 0.0);
+        assert!((p.r_wire - 3.0 * node.via_resistance).abs() < 1e-12);
+        assert_eq!(p.length_um(), 0.0);
+    }
+
+    #[test]
+    fn capacitance_scales_linearly_with_length() {
+        let (node, stack) = ctx();
+        let m2 = stack.by_name("M2").expect("M2").index;
+        let p1 = extract_net(&node, &stack, &[(m2, 10.0)], 0);
+        let p2 = extract_net(&node, &stack, &[(m2, 20.0)], 0);
+        assert!((p2.c_wire / p1.c_wire - 2.0).abs() < 1e-9);
+        assert!((p2.r_wire / p1.r_wire - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_breakdown_matches_segments() {
+        let (node, stack) = ctx();
+        let mb1 = stack.by_name("MB1").expect("MB1").index;
+        let m4 = stack.by_name("M4").expect("M4").index;
+        let m8 = stack.by_name("M8").expect("M8").index;
+        let m10 = stack.by_name("M10").expect("M10").index;
+        let p = extract_net(&node, &stack, &[(mb1, 1.0), (m4, 5.0), (m8, 7.0), (m10, 40.0)], 6);
+        assert_eq!(p.class_len_um, [1.0, 5.0, 7.0, 40.0]);
+        assert_eq!(p.length_um(), 53.0);
+    }
+
+    #[test]
+    fn global_wire_has_lower_r_than_local() {
+        let (node, stack) = ctx();
+        let m2 = stack.by_name("M2").expect("M2").index;
+        let m10 = stack.by_name("M10").expect("M10").index;
+        let local = extract_net(&node, &stack, &[(m2, 100.0)], 0);
+        let global = extract_net(&node, &stack, &[(m10, 100.0)], 0);
+        assert!(global.r_wire < local.r_wire / 10.0);
+    }
+
+    #[test]
+    fn elmore_grows_with_load() {
+        let (node, stack) = ctx();
+        let m4 = stack.by_name("M4").expect("M4").index;
+        let p = extract_net(&node, &stack, &[(m4, 50.0)], 2);
+        assert!(p.elmore_into(5.0) > p.elmore_into(1.0));
+        assert!(p.elmore_into(0.0) > 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (node, stack) = ctx();
+        let m2 = stack.by_name("M2").expect("M2").index;
+        let mut a = extract_net(&node, &stack, &[(m2, 10.0)], 1);
+        let b = extract_net(&node, &stack, &[(m2, 5.0)], 2);
+        a.merge(&b);
+        assert_eq!(a.via_count, 3);
+        assert!((a.class_len_um[1] - 15.0).abs() < 1e-12);
+    }
+}

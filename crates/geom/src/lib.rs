@@ -1,0 +1,81 @@
+//! Fixed-point nanometre geometry for the `monolith3d` EDA toolkit.
+//!
+//! All layout geometry in the toolkit is expressed on an integer nanometre
+//! grid, mirroring the database units used by real layout databases (GDSII
+//! uses a 1 nm or finer grid). Integer coordinates make overlap and area
+//! arithmetic exact, which matters for the parasitic extractor built on top
+//! of this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_geom::{Point, Rect};
+//!
+//! let a = Rect::new(Point::new(0, 0), Point::new(100, 50));
+//! let b = Rect::new(Point::new(60, 10), Point::new(160, 80));
+//! let overlap = a.intersection(&b).expect("rectangles overlap");
+//! assert_eq!(overlap.width(), 40);
+//! assert_eq!(overlap.height(), 40);
+//! ```
+
+mod point;
+mod rect;
+mod shape;
+mod transform;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use shape::{LayerShape, ShapeSet};
+pub use transform::Orient;
+
+/// A length on the integer nanometre grid.
+pub type Nm = i64;
+
+/// Squared-nanometre area. `i128` so that chip-scale rectangles
+/// (hundreds of micrometres on a side) never overflow.
+pub type NmArea = i128;
+
+/// Converts a nanometre length to micrometres.
+///
+/// ```
+/// assert!((m3d_geom::nm_to_um(1400) - 1.4).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn nm_to_um(nm: Nm) -> f64 {
+    nm as f64 * 1e-3
+}
+
+/// Converts a micrometre length to the nearest nanometre grid point.
+///
+/// ```
+/// assert_eq!(m3d_geom::um_to_nm(0.84), 840);
+/// ```
+#[inline]
+pub fn um_to_nm(um: f64) -> Nm {
+    (um * 1e3).round() as Nm
+}
+
+/// Converts an exact nm^2 area to um^2.
+#[inline]
+pub fn area_to_um2(area: NmArea) -> f64 {
+    area as f64 * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        for nm in [0, 1, 70, 840, 1400, 457_830] {
+            assert_eq!(um_to_nm(nm_to_um(nm)), nm);
+        }
+    }
+
+    #[test]
+    fn area_conversion_matches_manual() {
+        // 1.4 um x 1.0 um cell = 1.4 um^2.
+        let area: NmArea = 1400 * 1000;
+        assert!((area_to_um2(area) - 1.4).abs() < 1e-12);
+    }
+}

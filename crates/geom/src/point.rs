@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use crate::Nm;
+
+/// A point on the integer nanometre grid.
+///
+/// ```
+/// use m3d_geom::Point;
+/// let p = Point::new(3, 4) + Point::new(1, -4);
+/// assert_eq!(p, Point::new(4, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in nanometres.
+    pub x: Nm,
+    /// Vertical coordinate in nanometres.
+    pub y: Nm,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` nanometres.
+    #[inline]
+    pub const fn new(x: Nm, y: Nm) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`, in nanometres.
+    ///
+    /// This is the natural wirelength metric on a rectilinear routing grid.
+    ///
+    /// ```
+    /// use m3d_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+    /// ```
+    #[inline]
+    pub fn manhattan(self, other: Point) -> Nm {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`, in (fractional) nanometres.
+    #[inline]
+    pub fn euclidean(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        dx.hypot(dy)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_vectors() {
+        let a = Point::new(10, -3);
+        let b = Point::new(-4, 8);
+        assert_eq!(a + b, Point::new(6, 5));
+        assert_eq!(a - b, Point::new(14, -11));
+        assert_eq!(-(a - b), b - a);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric_and_triangle() {
+        let a = Point::new(0, 0);
+        let b = Point::new(5, 9);
+        let c = Point::new(-3, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert!(a.manhattan(b) <= a.manhattan(c) + c.manhattan(b));
+    }
+
+    #[test]
+    fn euclidean_never_exceeds_manhattan() {
+        let a = Point::new(-7, 11);
+        let b = Point::new(13, -2);
+        assert!(a.euclidean(b) <= a.manhattan(b) as f64 + 1e-9);
+    }
+}

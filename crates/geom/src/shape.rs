@@ -1,0 +1,199 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Nm, NmArea, Rect};
+
+/// A rectangle tagged with the layer it is drawn on and, optionally, the
+/// electrical node it belongs to.
+///
+/// Layers are identified by an opaque `u16` index assigned by the technology
+/// (see `m3d-tech`); this crate stays technology-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Technology layer index.
+    pub layer: u16,
+    /// The drawn rectangle.
+    pub rect: Rect,
+    /// Electrical node id inside the owning cell (`u32::MAX` = floating).
+    pub node: u32,
+}
+
+impl LayerShape {
+    /// A shape not attached to any electrical node (e.g. well or implant).
+    pub const FLOATING: u32 = u32::MAX;
+
+    /// Creates a shape on `layer` connected to electrical `node`.
+    pub fn new(layer: u16, rect: Rect, node: u32) -> Self {
+        LayerShape { layer, rect, node }
+    }
+
+    /// Creates an electrically floating shape.
+    pub fn floating(layer: u16, rect: Rect) -> Self {
+        LayerShape {
+            layer,
+            rect,
+            node: Self::FLOATING,
+        }
+    }
+}
+
+/// An ordered collection of [`LayerShape`]s, the geometric body of a cell
+/// layout or a routed net.
+///
+/// ```
+/// use m3d_geom::{LayerShape, Point, Rect, ShapeSet};
+///
+/// let mut s = ShapeSet::new();
+/// s.push(LayerShape::new(0, Rect::from_size(Point::ORIGIN, 100, 70), 1));
+/// s.push(LayerShape::new(1, Rect::from_size(Point::new(30, 0), 70, 70), 1));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.area_on_layer(0), 7_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShapeSet {
+    shapes: Vec<LayerShape>,
+}
+
+impl ShapeSet {
+    /// Creates an empty shape set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a shape.
+    pub fn push(&mut self, shape: LayerShape) {
+        self.shapes.push(shape);
+    }
+
+    /// Number of shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// `true` when the set holds no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Iterates over the shapes in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, LayerShape> {
+        self.shapes.iter()
+    }
+
+    /// All shapes on the given layer.
+    pub fn on_layer(&self, layer: u16) -> impl Iterator<Item = &LayerShape> {
+        self.shapes.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// All shapes belonging to the given electrical node.
+    pub fn on_node(&self, node: u32) -> impl Iterator<Item = &LayerShape> {
+        self.shapes.iter().filter(move |s| s.node == node)
+    }
+
+    /// Total drawn area on a layer in nm² (overlaps double-counted; the
+    /// layouts built by `m3d-cells` keep same-layer shapes disjoint).
+    pub fn area_on_layer(&self, layer: u16) -> NmArea {
+        self.on_layer(layer).map(|s| s.rect.area()).sum()
+    }
+
+    /// The bounding box of the whole set, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut it = self.shapes.iter();
+        let first = it.next()?.rect;
+        Some(it.fold(first, |acc, s| acc.union(&s.rect)))
+    }
+
+    /// Total wire length on a layer: for each shape the longer side is taken
+    /// as the run length. This matches how routers measure per-layer metal
+    /// usage.
+    pub fn run_length_on_layer(&self, layer: u16) -> Nm {
+        self.on_layer(layer)
+            .map(|s| s.rect.width().max(s.rect.height()))
+            .sum()
+    }
+}
+
+impl FromIterator<LayerShape> for ShapeSet {
+    fn from_iter<I: IntoIterator<Item = LayerShape>>(iter: I) -> Self {
+        ShapeSet {
+            shapes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<LayerShape> for ShapeSet {
+    fn extend<I: IntoIterator<Item = LayerShape>>(&mut self, iter: I) {
+        self.shapes.extend(iter);
+    }
+}
+
+impl IntoIterator for ShapeSet {
+    type Item = LayerShape;
+    type IntoIter = std::vec::IntoIter<LayerShape>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.shapes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ShapeSet {
+    type Item = &'a LayerShape;
+    type IntoIter = std::slice::Iter<'a, LayerShape>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.shapes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn sample() -> ShapeSet {
+        let mut s = ShapeSet::new();
+        s.push(LayerShape::new(0, Rect::from_size(Point::new(0, 0), 10, 10), 1));
+        s.push(LayerShape::new(0, Rect::from_size(Point::new(20, 0), 5, 10), 2));
+        s.push(LayerShape::new(3, Rect::from_size(Point::new(0, 20), 100, 4), 1));
+        s
+    }
+
+    #[test]
+    fn per_layer_queries() {
+        let s = sample();
+        assert_eq!(s.on_layer(0).count(), 2);
+        assert_eq!(s.area_on_layer(0), 150);
+        assert_eq!(s.area_on_layer(3), 400);
+        assert_eq!(s.area_on_layer(7), 0);
+    }
+
+    #[test]
+    fn per_node_queries() {
+        let s = sample();
+        assert_eq!(s.on_node(1).count(), 2);
+        assert_eq!(s.on_node(2).count(), 1);
+    }
+
+    #[test]
+    fn bounding_box_spans_all() {
+        let s = sample();
+        let bb = s.bounding_box().expect("non-empty");
+        assert_eq!(bb.lo(), Point::new(0, 0));
+        assert_eq!(bb.hi(), Point::new(100, 24));
+        assert!(ShapeSet::new().bounding_box().is_none());
+    }
+
+    #[test]
+    fn run_length_uses_longer_side() {
+        let s = sample();
+        // Layer 3 shape is a 100x4 wire: run length 100.
+        assert_eq!(s.run_length_on_layer(3), 100);
+        // Layer 0 shapes are 10x10 and 5x10: longer sides 10 + 10.
+        assert_eq!(s.run_length_on_layer(0), 20);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: Vec<LayerShape> = sample().into_iter().collect();
+        let mut s: ShapeSet = v.iter().copied().collect();
+        s.extend(v);
+        assert_eq!(s.len(), 6);
+    }
+}

@@ -1,0 +1,70 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Rect};
+
+/// Placement orientation of a cell instance, following the DEF convention.
+///
+/// Standard-cell rows alternate between `N` and `FS` so that neighbouring
+/// rows can share power rails; the placer in `m3d-place` assigns these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Orient {
+    /// North: no transformation.
+    #[default]
+    N,
+    /// Flipped south: mirrored about the x-axis.
+    FS,
+    /// South: rotated 180 degrees.
+    S,
+    /// Flipped north: mirrored about the y-axis.
+    FN,
+}
+
+impl Orient {
+    /// Applies the orientation to a point inside a cell of size `w` x `h`,
+    /// keeping the result within the cell's positive quadrant.
+    ///
+    /// ```
+    /// use m3d_geom::{Orient, Point};
+    /// // A pin at (10, 20) in a 100x70 cell, flipped south:
+    /// assert_eq!(Orient::FS.apply(Point::new(10, 20), 100, 70), Point::new(10, 50));
+    /// ```
+    pub fn apply(self, p: Point, w: i64, h: i64) -> Point {
+        match self {
+            Orient::N => p,
+            Orient::FS => Point::new(p.x, h - p.y),
+            Orient::S => Point::new(w - p.x, h - p.y),
+            Orient::FN => Point::new(w - p.x, p.y),
+        }
+    }
+
+    /// Applies the orientation to a rectangle inside a cell of size `w` x `h`.
+    pub fn apply_rect(self, r: Rect, w: i64, h: i64) -> Rect {
+        Rect::new(self.apply(r.lo(), w, h), self.apply(r.hi(), w, h))
+    }
+
+    /// The inverse orientation (all four are self-inverse).
+    pub fn inverse(self) -> Orient {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientations_are_involutions() {
+        let p = Point::new(13, 29);
+        for o in [Orient::N, Orient::FS, Orient::S, Orient::FN] {
+            assert_eq!(o.apply(o.apply(p, 100, 70), 100, 70), p, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn rect_transform_preserves_area() {
+        let r = Rect::new(Point::new(5, 10), Point::new(30, 40));
+        for o in [Orient::N, Orient::FS, Orient::S, Orient::FN] {
+            assert_eq!(o.apply_rect(r, 100, 70).area(), r.area(), "{o:?}");
+        }
+    }
+}

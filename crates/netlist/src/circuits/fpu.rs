@@ -1,0 +1,106 @@
+//! Double-precision floating-point unit datapath: a fused add/multiply
+//! slice with the classic FPU blocks — operand registers, a 53×53
+//! Wallace-tree mantissa multiplier, alignment and normalization barrel
+//! shifters, a 64-bit Kogge-Stone significand adder, leading-zero count,
+//! exponent arithmetic, and rounding.
+
+use m3d_cells::{CellFunction, CellLibrary};
+
+use crate::{NetId, Netlist, NetlistBuilder};
+
+use super::{barrel_shifter, multiplier, BenchScale};
+
+/// Leading-zero counter tree: produces log2(w) count bits.
+fn lzc(b: &mut NetlistBuilder<'_>, bits: &[NetId]) -> Vec<NetId> {
+    // Hierarchical valid/count: at each pairing level, one count bit.
+    let mut valid: Vec<NetId> = bits.to_vec();
+    let mut count_bits = Vec::new();
+    while valid.len() > 1 {
+        let mut next_valid = Vec::with_capacity(valid.len() / 2);
+        let mut sel_bits = Vec::with_capacity(valid.len() / 2);
+        for pair in valid.chunks(2) {
+            if pair.len() == 2 {
+                next_valid.push(b.gate(CellFunction::Or2, &[pair[0], pair[1]]));
+                sel_bits.push(b.gate(CellFunction::Inv, &[pair[0]]));
+            } else {
+                next_valid.push(pair[0]);
+            }
+        }
+        count_bits.push(b.reduce(CellFunction::And2, &sel_bits));
+        valid = next_valid;
+    }
+    count_bits
+}
+
+/// Generates the FPU benchmark.
+pub fn generate(lib: &CellLibrary, scale: BenchScale) -> Netlist {
+    let (mant, width) = match scale {
+        BenchScale::Paper => (53usize, 64usize),
+        BenchScale::Small => (12, 16),
+    };
+    let mut b = NetlistBuilder::new(lib, "FPU");
+    // Operand registers.
+    let a_in = b.inputs(width);
+    let c_in = b.inputs(width);
+    let a = b.dff_bus(&a_in);
+    let c = b.dff_bus(&c_in);
+    let exp_bits = width - mant;
+
+    // Mantissa multiplier (pipeline stage 1).
+    let prod = multiplier(&mut b, &a[..mant], &c[..mant]);
+    let prod = b.dff_bus(&prod);
+
+    // Exponent adder + alignment amount.
+    let exp_sum = b.prefix_adder(&a[mant..], &c[mant..]);
+    let shift_amount: Vec<NetId> = exp_sum.iter().take(exp_bits.min(6)).copied().collect();
+
+    // Alignment shifter on the addend.
+    let aligned = barrel_shifter(&mut b, &c[..width.min(prod.len())], &shift_amount);
+
+    // Significand add (pipeline stage 2).
+    let top = &prod[prod.len() - width.min(prod.len())..];
+    let aligned = b.dff_bus(&aligned);
+    let sum = b.prefix_adder(top, &aligned);
+    let sum = b.dff_bus(&sum);
+
+    // Normalization: LZC then left shift.
+    let count = lzc(&mut b, &sum);
+    let shift2: Vec<NetId> = count.iter().take(6).copied().collect();
+    let normalized = barrel_shifter(&mut b, &sum, &shift2);
+
+    // Rounding: increment decision + log-depth prefix incrementer
+    // (carry_i = rnd AND all lower bits set; a ripple would be a 64-deep
+    // chain, which no synthesized FPU would tolerate).
+    let guard = normalized[0];
+    let round_bit = normalized[1];
+    let sticky = b.reduce(CellFunction::Or2, &normalized[..4.min(normalized.len())]);
+    let rnd = b.gate(CellFunction::And2, &[guard, round_bit]);
+    let rnd = b.gate(CellFunction::Or2, &[rnd, sticky]);
+    let w = normalized.len();
+    // Kogge-Stone prefix AND.
+    let mut p: Vec<NetId> = normalized.clone();
+    let mut dist = 1;
+    while dist < w {
+        let mut p2 = p.clone();
+        for i in dist..w {
+            p2[i] = b.gate(CellFunction::And2, &[p[i], p[i - dist]]);
+        }
+        p = p2;
+        dist *= 2;
+    }
+    let mut rounded = Vec::with_capacity(w);
+    rounded.push(b.gate(CellFunction::Xor2, &[normalized[0], rnd]));
+    for i in 1..w {
+        let carry = b.gate(CellFunction::And2, &[rnd, p[i - 1]]);
+        rounded.push(b.gate(CellFunction::Xor2, &[normalized[i], carry]));
+    }
+
+    // Exponent adjust and result registers.
+    let exp_adj = b.prefix_adder(&exp_sum, &count[..exp_bits.min(count.len())].to_vec().iter().copied().chain(std::iter::repeat(exp_sum[0]).take(exp_bits.saturating_sub(count.len()))).collect::<Vec<_>>());
+    let result_q = b.dff_bus(&rounded);
+    let exp_q = b.dff_bus(&exp_adj);
+    for &o in result_q.iter().chain(&exp_q) {
+        b.output(o);
+    }
+    b.finish()
+}

@@ -1,0 +1,103 @@
+//! IEEE 802.3an (2048,1723) LDPC min-sum decoder.
+//!
+//! 2048 variable-node units and 384 check-node units joined by a 6-regular
+//! / 32-regular pseudo-random bipartite graph (12,288 edges). The graph
+//! has *no spatial locality*: whatever the placer does, most edges span
+//! the die. This is the mechanism behind the paper's LDPC observations —
+//! the largest wirelength, the lowest routable utilization (33 %), nearly
+//! half the cells' power in the wires, and the largest T-MI power benefit
+//! (32.1 % at 45 nm).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use m3d_cells::{CellFunction, CellLibrary};
+
+use crate::{NetId, Netlist, NetlistBuilder};
+
+use super::BenchScale;
+
+/// Builds the regular bipartite edge list: every variable node has degree
+/// `var_deg`, every check node degree `vars * var_deg / checks`.
+fn edges(vars: usize, checks: usize, var_deg: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut check_vars: Vec<Vec<usize>> = vec![Vec::new(); checks];
+    for _layer in 0..var_deg {
+        let mut perm: Vec<usize> = (0..vars).collect();
+        perm.shuffle(&mut rng);
+        for (i, v) in perm.into_iter().enumerate() {
+            check_vars[i % checks].push(v);
+        }
+    }
+    check_vars
+}
+
+/// Variable-node unit: combines the channel bit with its check messages
+/// (XOR/majority network) and registers sign and state.
+fn vnu(b: &mut NetlistBuilder<'_>, channel: NetId, msgs: &[NetId]) -> NetId {
+    let parity = b.xor_tree(msgs);
+    let combined = b.gate(CellFunction::Xor2, &[channel, parity]);
+    // Majority-ish magnitude update using an adder cell.
+    let maj = b.gate_outputs(
+        CellFunction::FullAdder,
+        &[channel, parity, msgs[0]],
+    );
+    let state = b.dff(maj[1]);
+    let sel = b.gate(CellFunction::Mux2, &[combined, maj[0], state]);
+    b.dff(sel)
+}
+
+/// Check-node unit: parity over its variable messages plus a compare
+/// (min-approximation) tree, registered.
+fn cnu(b: &mut NetlistBuilder<'_>, msgs: &[NetId]) -> NetId {
+    let parity = b.xor_tree(msgs);
+    // Min-magnitude approximation over a sampled subset (bit-serial
+    // magnitude datapath).
+    let sample = &msgs[..msgs.len().min(8)];
+    let all_ones = b.reduce(CellFunction::And2, sample);
+    let any_one = b.reduce(CellFunction::Or2, sample);
+    let strong = b.gate(CellFunction::Xor2, &[all_ones, any_one]);
+    let msg = b.gate(CellFunction::Mux2, &[parity, strong, all_ones]);
+    b.dff(msg)
+}
+
+/// Generates the LDPC benchmark.
+pub fn generate(lib: &CellLibrary, scale: BenchScale) -> Netlist {
+    let (vars, checks, var_deg) = match scale {
+        BenchScale::Paper => (2048, 384, 6),
+        BenchScale::Small => (128, 24, 6),
+    };
+    let mut b = NetlistBuilder::new(lib, "LDPC");
+    let channel: Vec<NetId> = b.inputs(vars);
+    // First half-iteration: variable estimates start as registered channel
+    // bits.
+    let var_est: Vec<NetId> = channel.iter().map(|&c| b.dff(c)).collect();
+
+    let graph = edges(vars, checks, var_deg, 0x31A5u64);
+    // Check nodes consume their variables' estimates.
+    let mut check_out = Vec::with_capacity(checks);
+    for cv in &graph {
+        let msgs: Vec<NetId> = cv.iter().map(|&v| var_est[v]).collect();
+        check_out.push(cnu(&mut b, &msgs));
+    }
+    // Variables consume their checks' outputs.
+    let mut var_to_checks: Vec<Vec<usize>> = vec![Vec::new(); vars];
+    for (c, cv) in graph.iter().enumerate() {
+        for &v in cv {
+            var_to_checks[v].push(c);
+        }
+    }
+    let mut decisions = Vec::with_capacity(vars);
+    for v in 0..vars {
+        let msgs: Vec<NetId> = var_to_checks[v].iter().map(|&c| check_out[c]).collect();
+        decisions.push(vnu(&mut b, channel[v], &msgs));
+    }
+    // Outputs: fold the decisions into a syndrome-width bus so the pad
+    // count stays reasonable.
+    for chunk in decisions.chunks(16) {
+        let o = b.xor_tree(chunk);
+        b.output(o);
+    }
+    b.finish()
+}

@@ -1,0 +1,30 @@
+//! M256: a 256-bit partial-sum-add integer multiplier — 65,536 AND
+//! partial products reduced by carry-save adder (Wallace) stages into a
+//! final prefix-adder carry-propagate add, with registered operands and
+//! product. The largest benchmark (paper: ~200k cells), with regular
+//! neighbour-dominated wiring.
+
+use m3d_cells::CellLibrary;
+
+use crate::{Netlist, NetlistBuilder};
+
+use super::{multiplier, BenchScale};
+
+/// Generates the M256 benchmark.
+pub fn generate(lib: &CellLibrary, scale: BenchScale) -> Netlist {
+    let width = match scale {
+        BenchScale::Paper => 256usize,
+        BenchScale::Small => 16,
+    };
+    let mut b = NetlistBuilder::new(lib, "M256");
+    let a_in = b.inputs(width);
+    let x_in = b.inputs(width);
+    let a = b.dff_bus(&a_in);
+    let x = b.dff_bus(&x_in);
+    let product = multiplier(&mut b, &a, &x);
+    let q = b.dff_bus(&product);
+    for &o in &q {
+        b.output(o);
+    }
+    b.finish()
+}

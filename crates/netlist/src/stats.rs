@@ -1,0 +1,81 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_cells::CellLibrary;
+
+use crate::Netlist;
+
+/// Summary statistics of a netlist — the columns of the paper's Table 12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Number of cell instances.
+    pub cell_count: usize,
+    /// Total standard-cell area, µm².
+    pub cell_area_um2: f64,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Mean fanout over driven nets (sinks per net).
+    pub average_fanout: f64,
+    /// Flip-flop count.
+    pub flop_count: usize,
+    /// Repeater count (paper "#buffers").
+    pub buffer_count: usize,
+}
+
+impl Netlist {
+    /// Computes summary statistics against `lib`.
+    pub fn stats(&self, lib: &CellLibrary) -> NetlistStats {
+        let mut fanout_sum = 0usize;
+        let mut driven = 0usize;
+        for id in self.net_ids() {
+            let net = self.net(id);
+            if Some(id) == self.clock {
+                continue; // the clock's huge fanout would skew the average
+            }
+            if !net.sinks.is_empty() {
+                fanout_sum += net.sinks.len() + usize::from(net.is_output);
+                driven += 1;
+            }
+        }
+        let flop_count = self
+            .inst_ids()
+            .filter(|&i| lib.cell(self.inst(i).cell).function.is_sequential())
+            .count();
+        NetlistStats {
+            cell_count: self.instance_count(),
+            cell_area_um2: self.total_cell_area(lib),
+            net_count: self.net_count(),
+            average_fanout: if driven > 0 {
+                fanout_sum as f64 / driven as f64
+            } else {
+                0.0
+            },
+            flop_count,
+            buffer_count: self.repeater_count(lib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+    use m3d_cells::{CellFunction, CellLibrary};
+    use m3d_tech::{DesignStyle, TechNode};
+
+    #[test]
+    fn stats_count_the_obvious() {
+        let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        let y = b.input();
+        let a = b.gate(CellFunction::Nand2, &[x, y]);
+        let q = b.dff(a);
+        b.output(q);
+        let n = b.finish();
+        let s = n.stats(&lib);
+        assert_eq!(s.cell_count, 2);
+        assert_eq!(s.flop_count, 1);
+        assert_eq!(s.buffer_count, 0);
+        assert!(s.cell_area_um2 > 0.0);
+        assert!(s.average_fanout >= 1.0);
+    }
+}

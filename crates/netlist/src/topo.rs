@@ -1,0 +1,153 @@
+use m3d_cells::CellLibrary;
+
+use crate::{InstId, NetDriver, Netlist};
+
+/// Levelizes the combinational portion of a netlist: returns per-instance
+/// logic levels (distance from primary inputs / flop outputs) plus a
+/// topological order of instance ids.
+///
+/// Flip-flops sit at level 0 (their Q is a timing start point); their D
+/// input terminates paths. Combinational loops would never levelize, so
+/// they are reported as an error.
+///
+/// # Errors
+///
+/// Returns the ids of instances stuck in a combinational cycle.
+pub fn levelize(netlist: &Netlist, lib: &CellLibrary) -> Result<(Vec<u32>, Vec<InstId>), Vec<InstId>> {
+    let n = netlist.instance_count();
+    let mut level = vec![0u32; n];
+    let mut pending = vec![0u32; n]; // unresolved combinational fanins
+    let mut order: Vec<InstId> = Vec::with_capacity(n);
+    let mut ready: Vec<InstId> = Vec::new();
+
+    // Sequential cells are timing start points: they carry no
+    // combinational dependencies, but they MUST precede their fanout in
+    // the returned order (their Q arrival seeds the paths). Queue them
+    // first and only then the dependency-free combinational cells, and
+    // pop from the front so that seeding order is preserved.
+    for id in netlist.inst_ids() {
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        if cell.function.is_sequential() {
+            ready.push(id);
+            continue;
+        }
+        let mut deps = 0;
+        for p in 0..cell.input_count() {
+            let net = netlist.net(inst.pins[p]);
+            if let NetDriver::Cell { inst: d, .. } = net.driver {
+                let dcell = lib.cell(netlist.inst(d).cell);
+                if !dcell.function.is_sequential() {
+                    deps += 1;
+                }
+            }
+        }
+        pending[id.0 as usize] = deps;
+        if deps == 0 {
+            ready.push(id);
+        }
+    }
+    // Stable FIFO processing: flops (queued first) come out first.
+    let mut head = 0usize;
+    while head < ready.len() {
+        let id = ready[head];
+        head += 1;
+        {
+        order.push(id);
+        let inst = netlist.inst(id);
+        let cell = lib.cell(inst.cell);
+        // A flop's Q is a timing start point: it raises its fanout's level
+        // but was never counted as a combinational dependency.
+        let i_am_seq = cell.function.is_sequential();
+        let my_level = level[id.0 as usize];
+        let n_in = cell.input_count();
+        for &net_id in &inst.pins[n_in..] {
+            for sink in &netlist.net(net_id).sinks {
+                let scell = lib.cell(netlist.inst(sink.inst).cell);
+                if scell.function.is_sequential() {
+                    continue;
+                }
+                let s = sink.inst.0 as usize;
+                level[s] = level[s].max(my_level + 1);
+                if i_am_seq {
+                    continue;
+                }
+                pending[s] -= 1;
+                if pending[s] == 0 {
+                    ready.push(sink.inst);
+                }
+            }
+        }
+        }
+    }
+
+    if order.len() < n {
+        let stuck: Vec<InstId> = netlist
+            .inst_ids()
+            .filter(|id| {
+                pending[id.0 as usize] > 0
+            })
+            .collect();
+        return Err(stuck);
+    }
+    Ok((level, order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use m3d_cells::CellFunction;
+    use m3d_tech::{DesignStyle, TechNode};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD)
+    }
+
+    #[test]
+    fn chain_levels_increase() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let mut x = b.input();
+        for _ in 0..5 {
+            x = b.gate(CellFunction::Inv, &[x]);
+        }
+        let n = b.finish();
+        let (levels, order) = levelize(&n, &lib).expect("acyclic");
+        assert_eq!(order.len(), 5);
+        let mut sorted = levels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn flops_break_cycles() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        // q feeds back through an inverter into its own D: fine, the DFF
+        // breaks the loop.
+        let d_placeholder = b.gate(CellFunction::Inv, &[x]);
+        let q = b.dff(d_placeholder);
+        let _nq = b.gate(CellFunction::Inv, &[q]);
+        let n = b.finish();
+        assert!(levelize(&n, &lib).is_ok());
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let i0 = b.input();
+        let i1 = b.input();
+        let a = b.gate(CellFunction::Nand2, &[i0, i1]);
+        let c = b.gate(CellFunction::Inv, &[a]);
+        let _d = b.gate(CellFunction::Nand2, &[a, c]);
+        let n = b.finish();
+        let (_, order) = levelize(&n, &lib).expect("acyclic");
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        assert!(pos[&InstId(0)] < pos[&InstId(1)]);
+        assert!(pos[&InstId(1)] < pos[&InstId(2)]);
+    }
+}

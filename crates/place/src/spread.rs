@@ -1,0 +1,163 @@
+//! Density spreading: 1-D cumulative redistribution over a bin grid,
+//! applied in x (per bin row) and then in y (per bin column).
+//!
+//! Each scan computes the cell-area demand per bin and remaps cell
+//! coordinates through the monotone map `F_capacity^-1 (F_demand(x))`,
+//! which equalizes density while preserving relative order — the same
+//! idea as the look-ahead legalization in modern analytical placers, in
+//! its simplest 1-D form.
+
+use m3d_cells::CellLibrary;
+use m3d_geom::Rect;
+use m3d_netlist::Netlist;
+
+/// Number of bins per axis for `n` cells.
+fn grid_for(n: usize) -> usize {
+    ((n as f64).sqrt() as usize / 2).clamp(4, 96)
+}
+
+/// Spreads `(xs, ys)` in place.
+pub(crate) fn spread(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    xs: &mut [f64],
+    ys: &mut [f64],
+    core: Rect,
+    utilization: f64,
+) {
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    let g = grid_for(n);
+    let w = core.width() as f64;
+    let h = core.height() as f64;
+    let areas: Vec<f64> = netlist
+        .inst_ids()
+        .map(|i| {
+            let c = lib.cell(netlist.inst(i).cell);
+            c.width_nm as f64 * c.height_nm as f64
+        })
+        .collect();
+    // Allow a little headroom over the target utilization so the map
+    // doesn't fight the wirelength forces too hard.
+    let cap_per_bin_x = (w / g as f64) * h / g as f64 * (utilization * 1.15).min(1.0);
+
+    // X pass: per bin-row.
+    axis_pass(xs, ys, &areas, g, w, h, cap_per_bin_x);
+    // Y pass: per bin-column (swap roles).
+    axis_pass(ys, xs, &areas, g, h, w, cap_per_bin_x);
+}
+
+/// Redistributes `primary` coordinates within each band of `secondary`.
+fn axis_pass(
+    primary: &mut [f64],
+    secondary: &[f64],
+    areas: &[f64],
+    g: usize,
+    primary_extent: f64,
+    secondary_extent: f64,
+    bin_capacity: f64,
+) {
+    let band_h = secondary_extent / g as f64;
+    let bin_w = primary_extent / g as f64;
+    // Group cells by band.
+    let mut bands: Vec<Vec<u32>> = vec![Vec::new(); g];
+    for i in 0..primary.len() {
+        let b = ((secondary[i] / band_h) as usize).min(g - 1);
+        bands[b].push(i as u32);
+    }
+    for band in bands {
+        if band.is_empty() {
+            continue;
+        }
+        // Demand per bin along the primary axis.
+        let mut demand = vec![0.0f64; g];
+        for &i in &band {
+            let b = ((primary[i as usize] / bin_w) as usize).min(g - 1);
+            demand[b] += areas[i as usize];
+        }
+        if demand.iter().all(|&d| d <= bin_capacity) {
+            continue;
+        }
+        // Remap through the cumulative demand/capacity profile. Cells are
+        // ordered by coordinate (ties broken by index so coincident cells
+        // fan out) and each takes its own slice of cumulative area.
+        let mut ordered = band.clone();
+        ordered.sort_by(|&a, &b| {
+            primary[a as usize]
+                .partial_cmp(&primary[b as usize])
+                .expect("finite coordinates")
+                .then(a.cmp(&b))
+        });
+        let total: f64 = ordered.iter().map(|&i| areas[i as usize]).sum();
+        let cap_total = bin_capacity * g as f64;
+        let scale = if total > cap_total {
+            cap_total / total
+        } else {
+            1.0
+        };
+        let mut cum = 0.0f64;
+        for &i in &ordered {
+            let a = areas[i as usize];
+            let d_here = (cum + 0.5 * a) * scale;
+            let new_x = d_here / bin_capacity * bin_w;
+            // Blend toward the density-balanced position: full strength
+            // only when the cell's own bin is overfull.
+            let b = ((primary[i as usize] / bin_w) as usize).min(g - 1);
+            let strength = (demand[b] / bin_capacity - 1.0).clamp(0.0, 1.0);
+            let x0 = primary[i as usize];
+            primary[i as usize] =
+                (x0 + strength * (new_x - x0)).clamp(0.0, primary_extent - 1.0);
+            cum += a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_cells::{CellFunction, CellLibrary};
+    use m3d_geom::Point;
+    use m3d_netlist::NetlistBuilder;
+    use m3d_tech::{DesignStyle, TechNode};
+
+    #[test]
+    fn spreading_reduces_peak_density() {
+        let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        for _ in 0..400 {
+            b.gate(CellFunction::Inv, &[x]);
+        }
+        let n = b.finish();
+        let core = Rect::from_size(Point::ORIGIN, 40_000, 40_000);
+        // Everything piled into one corner.
+        let mut xs = vec![100.0; 400];
+        let mut ys = vec![100.0; 400];
+        spread(&n, &lib, &mut xs, &mut ys, core, 0.8);
+        let spread_x = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread_x > 5_000.0, "x spread only {spread_x} nm");
+        for &v in &xs {
+            assert!((0.0..40_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn already_uniform_layout_is_untouched() {
+        let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        for _ in 0..16 {
+            b.gate(CellFunction::Inv, &[x]);
+        }
+        let n = b.finish();
+        let core = Rect::from_size(Point::ORIGIN, 100_000, 100_000);
+        let mut xs: Vec<f64> = (0..16).map(|i| 3_000.0 + i as f64 * 6_000.0).collect();
+        let mut ys: Vec<f64> = (0..16).map(|i| 3_000.0 + i as f64 * 6_000.0).collect();
+        let before = xs.clone();
+        spread(&n, &lib, &mut xs, &mut ys, core, 0.8);
+        assert_eq!(xs, before, "uniform density should be a fixed point");
+    }
+}

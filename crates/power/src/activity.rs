@@ -1,0 +1,234 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_cells::CellLibrary;
+use m3d_netlist::{levelize, NetDriver, Netlist};
+
+/// Per-net signal statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Static probability of the signal being 1.
+    pub p_one: f64,
+    /// Expected transitions per clock cycle.
+    pub alpha: f64,
+}
+
+impl Default for Activity {
+    fn default() -> Self {
+        Activity {
+            p_one: 0.5,
+            alpha: 0.0,
+        }
+    }
+}
+
+/// Propagates static probabilities and transition densities from the
+/// primary inputs (`alpha_pi`) and flop outputs (`alpha_ff`) through the
+/// combinational network.
+///
+/// For each gate output the propagation uses the exact Boolean difference
+/// under an input-independence assumption:
+/// `alpha_out = sum_i alpha_i * P(f flips when input i flips)`, evaluated
+/// by enumerating the (<= 2^4) input combinations of the library
+/// functions. The clock net carries `alpha = 2` (both edges every cycle).
+pub fn propagate_activity(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    alpha_pi: f64,
+    alpha_ff: f64,
+) -> Vec<Activity> {
+    let mut act = vec![Activity::default(); netlist.net_count()];
+    for &pi in &netlist.primary_inputs {
+        act[pi.0 as usize] = Activity {
+            p_one: 0.5,
+            alpha: alpha_pi,
+        };
+    }
+    if let Some(clk) = netlist.clock {
+        act[clk.0 as usize] = Activity {
+            p_one: 0.5,
+            alpha: 2.0,
+        };
+    }
+
+    let (_, order) = levelize(netlist, lib).expect("combinational cycle in design");
+    for inst_id in order {
+        let inst = netlist.inst(inst_id);
+        let cell = lib.cell(inst.cell);
+        let function = cell.function;
+        let n_in = cell.input_count();
+        if function.is_sequential() {
+            let q = inst.pins[n_in];
+            act[q.0 as usize] = Activity {
+                p_one: 0.5,
+                alpha: alpha_ff,
+            };
+            continue;
+        }
+        // Gather input stats (an undriven input keeps the default 0.5/0).
+        let inputs: Vec<Activity> = (0..n_in)
+            .map(|p| act[inst.pins[p].0 as usize])
+            .collect();
+        let combos = 1usize << n_in;
+        let n_out = function.output_count();
+        let mut p_one = vec![0.0f64; n_out];
+        let mut alpha = vec![0.0f64; n_out];
+        // P(out = 1).
+        for mask in 0..combos {
+            let bits: Vec<bool> = (0..n_in).map(|i| mask & (1 << i) != 0).collect();
+            let prob: f64 = bits
+                .iter()
+                .zip(&inputs)
+                .map(|(&b, a)| if b { a.p_one } else { 1.0 - a.p_one })
+                .product();
+            if prob == 0.0 {
+                continue;
+            }
+            let out = function.eval(&bits);
+            for (o, &v) in out.iter().enumerate() {
+                if v {
+                    p_one[o] += prob;
+                }
+            }
+        }
+        // Boolean difference per input.
+        for (i, input_stat) in inputs.iter().enumerate() {
+            if input_stat.alpha == 0.0 {
+                continue;
+            }
+            // P(f(x_i=0) != f(x_i=1)) over the other inputs.
+            let mut diff = vec![0.0f64; n_out];
+            for mask in 0..combos {
+                if mask & (1 << i) != 0 {
+                    continue; // enumerate with x_i = 0; flip below
+                }
+                let bits0: Vec<bool> = (0..n_in).map(|k| mask & (1 << k) != 0).collect();
+                let mut bits1 = bits0.clone();
+                bits1[i] = true;
+                let prob: f64 = bits0
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != i)
+                    .map(|(k, &b)| {
+                        if b {
+                            inputs[k].p_one
+                        } else {
+                            1.0 - inputs[k].p_one
+                        }
+                    })
+                    .product();
+                if prob == 0.0 {
+                    continue;
+                }
+                let f0 = function.eval(&bits0);
+                let f1 = function.eval(&bits1);
+                for o in 0..n_out {
+                    if f0[o] != f1[o] {
+                        diff[o] += prob;
+                    }
+                }
+            }
+            for o in 0..n_out {
+                alpha[o] += input_stat.alpha * diff[o];
+            }
+        }
+        for (o, &out_net) in inst.pins[n_in..].iter().enumerate() {
+            let idx = out_net.0 as usize;
+            // A net driven by this output (keep the larger alpha if the
+            // net somehow already carries one -- cannot happen for
+            // well-formed netlists).
+            act[idx] = Activity {
+                p_one: p_one[o],
+                // Cap: a signal cannot flip more often than its inputs
+                // combined; in practice glitching is filtered by inertial
+                // delays, cap at 2 transitions per cycle.
+                alpha: alpha[o].min(2.0),
+            };
+        }
+    }
+    // Undriven nets keep defaults.
+    for id in netlist.net_ids() {
+        if matches!(netlist.net(id).driver, NetDriver::None) {
+            act[id.0 as usize].alpha = 0.0;
+        }
+    }
+    act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_cells::CellFunction;
+    use m3d_netlist::NetlistBuilder;
+    use m3d_tech::{DesignStyle, TechNode};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD)
+    }
+
+    #[test]
+    fn inverter_preserves_activity() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        let y = b.gate(CellFunction::Inv, &[x]);
+        let n = b.finish();
+        let act = propagate_activity(&n, &lib, 0.2, 0.1);
+        assert!((act[y.0 as usize].alpha - 0.2).abs() < 1e-12);
+        assert!((act[y.0 as usize].p_one - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_gate_attenuates_activity() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        let y = b.input();
+        let z = b.gate(CellFunction::And2, &[x, y]);
+        let n = b.finish();
+        let act = propagate_activity(&n, &lib, 0.2, 0.1);
+        let a = act[z.0 as usize];
+        // P(1) = 0.25; alpha = 0.2*0.5 + 0.2*0.5 = 0.2... per Boolean
+        // difference: flipping x matters only when y=1 (p=0.5).
+        assert!((a.p_one - 0.25).abs() < 1e-12);
+        assert!((a.alpha - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_propagates_fully() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        let y = b.input();
+        let z = b.gate(CellFunction::Xor2, &[x, y]);
+        let n = b.finish();
+        let act = propagate_activity(&n, &lib, 0.2, 0.1);
+        // XOR flips whenever any input flips: alpha = 0.4.
+        assert!((act[z.0 as usize].alpha - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_outputs_get_ff_alpha_and_clock_gets_two() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input();
+        let q = b.dff(x);
+        let n = b.finish();
+        let act = propagate_activity(&n, &lib, 0.2, 0.1);
+        assert!((act[q.0 as usize].alpha - 0.1).abs() < 1e-12);
+        let clk = n.clock.expect("clock");
+        assert!((act[clk.0 as usize].alpha - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_logic_activity_stays_bounded() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let ins = b.inputs(16);
+        let out = b.xor_tree(&ins);
+        let n = b.finish();
+        let act = propagate_activity(&n, &lib, 0.3, 0.1);
+        let a = act[out.0 as usize].alpha;
+        assert!(a <= 2.0 + 1e-12, "alpha {a} exceeds cap");
+        assert!(a > 0.3, "xor tree should amplify activity");
+    }
+}

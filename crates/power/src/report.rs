@@ -1,0 +1,51 @@
+use serde::{Deserialize, Serialize};
+
+/// Power analysis result, mW, in the decomposition the paper's tables
+/// report: `total = cell + net + leakage`, with `net = wire + pin`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Cell-internal dynamic power (switching inside cell boundaries,
+    /// including flop clocking energy), mW.
+    pub cell_mw: f64,
+    /// Wire component of net switching power, mW.
+    pub wire_mw: f64,
+    /// Pin (cell input capacitance) component of net switching power, mW.
+    pub pin_mw: f64,
+    /// Leakage, mW.
+    pub leakage_mw: f64,
+    /// Total wire capacitance, pF (Table 16 reports this too).
+    pub wire_cap_pf: f64,
+    /// Total pin capacitance, pF.
+    pub pin_cap_pf: f64,
+}
+
+impl PowerReport {
+    /// Net switching power (wire + pin), mW.
+    pub fn net_mw(&self) -> f64 {
+        self.wire_mw + self.pin_mw
+    }
+
+    /// Total power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.cell_mw + self.net_mw() + self.leakage_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = PowerReport {
+            cell_mw: 3.0,
+            wire_mw: 2.0,
+            pin_mw: 1.0,
+            leakage_mw: 0.5,
+            wire_cap_pf: 10.0,
+            pin_cap_pf: 5.0,
+        };
+        assert_eq!(r.net_mw(), 3.0);
+        assert_eq!(r.total_mw(), 6.5);
+    }
+}

@@ -1,0 +1,473 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_cells::CellLibrary;
+use m3d_geom::{nm_to_um, Point};
+use m3d_netlist::{NetId, Netlist};
+use m3d_place::Placement;
+use m3d_tech::{MetalClass, MetalStack, TechNode};
+
+use crate::grid::{slot_class, CongestionGrid};
+
+/// One routed net: per-layer segment lengths plus via count, the input to
+/// `m3d_extract::extract_net`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutedNet {
+    /// `(stack layer index, length µm)` segments.
+    pub segments: Vec<(u16, f64)>,
+    /// Via cuts.
+    pub via_count: u32,
+    /// Total routed length, µm.
+    pub wirelength_um: f64,
+    /// The metal class carrying the trunk.
+    pub trunk_class: MetalClass,
+}
+
+/// The routing result for a whole design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutedDesign {
+    /// Per-net routes, indexed by [`NetId`].
+    pub nets: Vec<RoutedNet>,
+    /// Final congestion state.
+    pub grid: CongestionGrid,
+    /// The stack kind that was routed against.
+    pub stack: MetalStack,
+}
+
+impl RoutedDesign {
+    /// Route of one net.
+    pub fn net(&self, id: NetId) -> &RoutedNet {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Total wirelength, µm.
+    pub fn total_wirelength_um(&self) -> f64 {
+        self.nets.iter().map(|n| n.wirelength_um).sum()
+    }
+
+    /// Total wirelength on one metal class, µm.
+    pub fn class_wirelength_um(&self, class: MetalClass) -> f64 {
+        self.nets
+            .iter()
+            .flat_map(|n| &n.segments)
+            .filter(|(layer, _)| self.stack.layers()[*layer as usize].class == class)
+            .map(|(_, len)| len)
+            .sum()
+    }
+}
+
+/// The global router. See the crate docs for the algorithm.
+#[derive(Debug, Clone)]
+pub struct Router<'a> {
+    node: &'a TechNode,
+    stack: &'a MetalStack,
+    /// Length thresholds (µm) separating local / intermediate / global
+    /// trunks, scaled with the node dimension.
+    thresholds: (f64, f64),
+    /// Base routing detour over the MST length.
+    detour: f64,
+    /// Allow routing escapes on MB1 / through cell-embedded MIVs. The
+    /// paper's S5 study disables these to measure whether the in-cell
+    /// MIV/MB1 blockages degrade design quality (they do not).
+    mb1_escape: bool,
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router for a node and stack.
+    pub fn new(node: &'a TechNode, stack: &'a MetalStack) -> Self {
+        let s = node.dimension_scale();
+        Router {
+            node,
+            stack,
+            thresholds: (30.0 * s, 140.0 * s),
+            detour: 1.06,
+            mb1_escape: true,
+        }
+    }
+
+    /// Disables MB1/MIV routing escapes (paper S5 ablation).
+    pub fn without_mb1(mut self) -> Self {
+        self.mb1_escape = false;
+        self
+    }
+
+    /// Routes every net of the placed design.
+    pub fn route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &CellLibrary,
+    ) -> RoutedDesign {
+        let mut grid = CongestionGrid::new(placement.core, self.stack);
+        let mut nets: Vec<RoutedNet> = vec![RoutedNet::default(); netlist.net_count()];
+
+        // Deterministic order: longest nets first so they grab the upper
+        // layers before the grid saturates (routers route critical/global
+        // first).
+        let mut order: Vec<(NetId, f64)> = netlist
+            .net_ids()
+            .map(|id| (id, placement.net_hpwl_um(netlist, id)))
+            .collect();
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lengths"));
+
+        for (id, hpwl) in order {
+            if Some(id) == netlist.clock {
+                nets[id.0 as usize] = self.route_clock(netlist, placement, id);
+                continue;
+            }
+            let pts = placement.net_points(netlist, id);
+            if pts.len() < 2 || hpwl == 0.0 {
+                // Single-pin or zero-length: pin escape only.
+                nets[id.0 as usize] = self.pin_escape_only(pts.len());
+                continue;
+            }
+            nets[id.0 as usize] = self.route_net(&pts, &mut grid, lib, netlist, id);
+        }
+        RoutedDesign {
+            nets,
+            grid,
+            stack: self.stack.clone(),
+        }
+    }
+
+    /// Picks a concrete layer pair (H, V) within a class, spreading usage
+    /// round-robin by a hash of the net id.
+    fn layers_in(&self, class: MetalClass, salt: usize) -> (u16, u16) {
+        let layers: Vec<u16> = self
+            .stack
+            .layers_of(class)
+            .map(|l| l.index)
+            .collect();
+        debug_assert!(!layers.is_empty());
+        if layers.len() == 1 {
+            return (layers[0], layers[0]);
+        }
+        let h = layers[salt % layers.len()];
+        let v = layers[(salt + 1) % layers.len()];
+        (h, v)
+    }
+
+    fn m1_index(&self) -> u16 {
+        self.stack
+            .by_name("M1")
+            .expect("every stack has M1")
+            .index
+    }
+
+    fn pin_escape_only(&self, pins: usize) -> RoutedNet {
+        let m1 = self.m1_index();
+        let escape = 0.5 * self.node.dimension_scale();
+        let len = escape * pins as f64;
+        RoutedNet {
+            segments: if pins > 0 { vec![(m1, len)] } else { vec![] },
+            via_count: pins as u32,
+            wirelength_um: len,
+            trunk_class: MetalClass::M1,
+        }
+    }
+
+    fn route_net(
+        &self,
+        pts: &[Point],
+        grid: &mut CongestionGrid,
+        _lib: &CellLibrary,
+        netlist: &Netlist,
+        id: NetId,
+    ) -> RoutedNet {
+        // MST decomposition (star fallback for very high fanout).
+        let edges = mst_edges(pts);
+        let mut total_len = 0.0;
+        let mut segs_h = 0.0;
+        let mut segs_v = 0.0;
+        let mut worst_congestion: f64 = 0.0;
+        let mut chosen_slot_hist = [0usize; 3];
+
+        for &(a, b) in &edges {
+            let pa = pts[a];
+            let pb = pts[b];
+            let len = nm_to_um(pa.manhattan(pb));
+            if len == 0.0 {
+                continue;
+            }
+            // Preferred class by length.
+            let preferred = if len <= self.thresholds.0 {
+                0
+            } else if len <= self.thresholds.1 {
+                1
+            } else {
+                2
+            };
+            // Candidate (slot, l-shape) choices: preferred first. Long
+            // nets may spill one class down under congestion (the paper's
+            // 7 nm LDPC mechanism) but a global-length net never lands on
+            // the local layers -- at 7 nm that would be electrically
+            // unusable (638 Ohm/um), and no router would do it.
+            let spill: [usize; 3] = match preferred {
+                0 => [0, 1, 2],
+                1 => [1, 2, 0],
+                _ => [2, 1, 1],
+            };
+            let bins_h = grid.l_path_bins(pa, pb, true);
+            let bins_v = grid.l_path_bins(pa, pb, false);
+            let mut best = (preferred, &bins_h, f64::INFINITY);
+            'search: for &slot in &spill {
+                for bins in [&bins_h, &bins_v] {
+                    let c = grid.path_congestion(bins, slot);
+                    if c < best.2 {
+                        best = (slot, bins, c);
+                    }
+                    if slot == preferred && c < 0.7 {
+                        // Preferred class has room: stop looking.
+                        break 'search;
+                    }
+                }
+            }
+            let (slot, bins, congestion) = best;
+            // Both L-shapes saturated in every class: fall back to a
+            // congestion-aware maze route in the preferred class. The
+            // detour costs wirelength but relieves the hot bins.
+            let bins_owned;
+            let (bins, len) = if congestion > 1.0 {
+                bins_owned = grid.maze_path(pa, pb, preferred);
+                let direct = bins_h.len().max(1) as f64;
+                let detoured = len * (bins_owned.len() as f64 / direct).max(1.0);
+                (&bins_owned, detoured)
+            } else {
+                (bins, len)
+            };
+            let slot = if congestion > 1.0 { preferred } else { slot };
+            let track_um = len / bins.len().max(1) as f64;
+            grid.commit(bins, slot, track_um);
+            worst_congestion = worst_congestion.max(congestion);
+            chosen_slot_hist[slot] += 1;
+            // Split the length between the H and V legs.
+            let dx = nm_to_um((pa.x - pb.x).abs());
+            let dy = nm_to_um((pa.y - pb.y).abs());
+            segs_h += dx * self.slot_share(slot, 0);
+            segs_v += dy * self.slot_share(slot, 0);
+            total_len += len;
+            // Record per-slot lengths via the histogram below.
+            let _ = (segs_h, segs_v);
+        }
+        let _ = (segs_h, segs_v);
+
+        // Dominant slot carries the trunk; build segments per slot from
+        // the histogram-weighted split of the detoured length.
+        let detour = self.detour + 0.25 * worst_congestion.max(1.0).ln().max(0.0);
+        let routed_len = total_len * detour;
+        let total_edges: usize = chosen_slot_hist.iter().sum();
+        let mut segments: Vec<(u16, f64)> = Vec::new();
+        let salt = id.0 as usize;
+        let mut trunk_class = MetalClass::Local;
+        let mut best_edges = 0;
+        for slot in 0..3 {
+            if chosen_slot_hist[slot] == 0 {
+                continue;
+            }
+            let share = chosen_slot_hist[slot] as f64 / total_edges.max(1) as f64;
+            let (h, v) = self.layers_in(slot_class(slot), salt);
+            let len = routed_len * share;
+            segments.push((h, len * 0.5));
+            if v != h {
+                segments.push((v, len * 0.5));
+            } else {
+                // Single layer in class: merge.
+                let last = segments.len() - 1;
+                segments[last].1 += len * 0.5;
+            }
+            if chosen_slot_hist[slot] > best_edges {
+                best_edges = chosen_slot_hist[slot];
+                trunk_class = slot_class(slot);
+            }
+        }
+        // Pin escapes on M1 (plus MB1 for folded cells: the paper measures
+        // ~0.3 % of wirelength on MB1, Section 3.3).
+        let pins = pts.len();
+        let m1 = self.m1_index();
+        let escape = 0.4 * self.node.dimension_scale();
+        segments.push((m1, escape * pins as f64));
+        if self.mb1_escape {
+            if let Some(mb1) = self.stack.by_name("MB1") {
+                segments.push((mb1.index, 0.03 * escape * pins as f64));
+            }
+        }
+        let wirelength_um = segments.iter().map(|(_, l)| l).sum();
+
+        let sinks = netlist.net(id).sinks.len() as u32;
+        RoutedNet {
+            segments,
+            via_count: 2 * edges.len() as u32 + 2 * sinks,
+            wirelength_um,
+            trunk_class,
+        }
+    }
+
+    fn slot_share(&self, _slot: usize, _leg: usize) -> f64 {
+        1.0
+    }
+
+    /// Clock distribution: an H-tree estimate (total length ~
+    /// 1.5·sqrt(A·N)) on the intermediate layers plus per-sink stubs. The
+    /// real flow would run CTS; the estimate preserves the clock's power
+    /// contribution without a full tree synthesis.
+    fn route_clock(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        id: NetId,
+    ) -> RoutedNet {
+        let sinks = netlist.net(id).sinks.len();
+        if sinks == 0 {
+            return RoutedNet::default();
+        }
+        let area_um2 = placement.footprint_um2();
+        let tree_len = 1.5 * (area_um2 * sinks as f64).sqrt();
+        let stub = 1.0 * self.node.dimension_scale();
+        let (h, v) = self.layers_in(MetalClass::Intermediate, 7);
+        let m1 = self.m1_index();
+        let segments = vec![
+            (h, tree_len * 0.5),
+            (v, tree_len * 0.5),
+            (m1, stub * sinks as f64),
+        ];
+        RoutedNet {
+            wirelength_um: segments.iter().map(|(_, l)| l).sum(),
+            segments,
+            via_count: 2 * sinks as u32,
+            trunk_class: MetalClass::Intermediate,
+        }
+    }
+}
+
+/// Prim MST over the points (O(p²), capped by a star topology for very
+/// high fanout).
+fn mst_edges(pts: &[Point]) -> Vec<(usize, usize)> {
+    let n = pts.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    if n > 96 {
+        return (1..n).map(|i| (0, i)).collect();
+    }
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut parent = vec![0usize; n];
+    in_tree[0] = true;
+    for i in 1..n {
+        dist[i] = pts[0].manhattan(pts[i]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let (next, _) = dist
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !in_tree[*i])
+            .min_by_key(|(_, &d)| d)
+            .expect("vertices remain");
+        in_tree[next] = true;
+        edges.push((parent[next], next));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = pts[next].manhattan(pts[i]);
+                if d < dist[i] {
+                    dist[i] = d;
+                    parent[i] = next;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{BenchScale, Benchmark};
+    use m3d_place::Placer;
+    use m3d_tech::DesignStyle;
+
+    fn routed(style: DesignStyle) -> (TechNode, CellLibrary, Netlist, RoutedDesign) {
+        let node = TechNode::n45();
+        let lib = CellLibrary::build(&node, style);
+        let n = Benchmark::Aes.generate(&lib, BenchScale::Small);
+        let p = Placer::new(&lib).place(&n);
+        let stack = MetalStack::new(&node, style.default_stack());
+        let r = Router::new(&node, &stack).route(&n, &p, &lib);
+        (node, lib, n, r)
+    }
+
+    #[test]
+    fn mst_spans_all_points() {
+        let pts = vec![
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(0, 100),
+            Point::new(300, 300),
+        ];
+        let edges = mst_edges(&pts);
+        assert_eq!(edges.len(), 3);
+        let total: i64 = edges
+            .iter()
+            .map(|&(a, b)| pts[a].manhattan(pts[b]))
+            .sum();
+        // MST here: 100 + 100 + 500.
+        assert_eq!(total, 700);
+    }
+
+    #[test]
+    fn routed_wirelength_exceeds_hpwl_slightly() {
+        let (_, _, n, r) = routed(DesignStyle::TwoD);
+        let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);
+        let p = Placer::new(&lib).place(&n);
+        let hpwl = p.total_hpwl_um(&n);
+        let wl = r.total_wirelength_um();
+        assert!(wl > hpwl, "routed {wl} vs hpwl {hpwl}");
+        assert!(wl < 2.5 * hpwl, "routed {wl} vs hpwl {hpwl}");
+    }
+
+    #[test]
+    fn short_nets_stay_local_long_nets_go_up() {
+        let (_, _, n, r) = routed(DesignStyle::TwoD);
+        let mut local_len = 0.0;
+        let mut seen_global = false;
+        for id in n.net_ids() {
+            let rn = r.net(id);
+            match rn.trunk_class {
+                MetalClass::Local => local_len += rn.wirelength_um,
+                MetalClass::Global => seen_global = true,
+                _ => {}
+            }
+        }
+        assert!(local_len > 0.0);
+        // The clock H-tree uses intermediate layers at minimum.
+        assert!(
+            seen_global || r.class_wirelength_um(MetalClass::Intermediate) > 0.0,
+            "no upper-layer usage at all"
+        );
+    }
+
+    #[test]
+    fn mb1_carries_a_tiny_share_in_tmi() {
+        let (_, _, _, r) = routed(DesignStyle::Tmi);
+        let mb1 = &r.stack.by_name("MB1").expect("MB1 exists");
+        let mb1_len: f64 = r
+            .nets
+            .iter()
+            .flat_map(|n| &n.segments)
+            .filter(|(l, _)| *l == mb1.index)
+            .map(|(_, len)| len)
+            .sum();
+        let total = r.total_wirelength_um();
+        let share = mb1_len / total;
+        // Paper Section 3.3: ~0.3 % of total wirelength on MB1.
+        assert!(share > 0.0 && share < 0.01, "MB1 share {share}");
+    }
+
+    #[test]
+    fn clock_route_scales_with_sink_count() {
+        let (_, _, n, r) = routed(DesignStyle::TwoD);
+        let clock = n.clock.expect("sequential design");
+        let sinks = n.net(clock).sinks.len();
+        assert!(sinks > 10);
+        assert!(r.net(clock).wirelength_um > 0.0);
+    }
+}

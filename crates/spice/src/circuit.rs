@@ -1,0 +1,199 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{MosParams, Waveform};
+
+/// A circuit node handle. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// Index of the node in the MNA system (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Resistor {
+    pub a: Node,
+    pub b: Node,
+    /// kΩ.
+    pub r: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Capacitor {
+    pub a: Node,
+    pub b: Node,
+    /// fF.
+    pub c: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct VSource {
+    pub pos: Node,
+    pub waveform: Waveform,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Mosfet {
+    pub d: Node,
+    pub g: Node,
+    pub s: Node,
+    pub params: MosParams,
+}
+
+/// A flat transistor-level circuit: the netlist the characterizer builds
+/// from a cell's extracted layout.
+///
+/// Nodes are created with [`Circuit::node`]; ground is pre-defined as
+/// [`Circuit::GND`]. Voltage sources are always referenced to ground
+/// (sufficient for characterization decks).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    names: Vec<String>,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) capacitors: Vec<Capacitor>,
+    pub(crate) vsources: Vec<VSource>,
+    pub(crate) mosfets: Vec<Mosfet>,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GND: Node = Node(0);
+
+    /// Creates an empty circuit containing only ground.
+    pub fn new() -> Self {
+        Circuit {
+            names: vec!["0".to_string()],
+            ..Default::default()
+        }
+    }
+
+    /// Creates a named node and returns its handle.
+    pub fn node(&mut self, name: &str) -> Node {
+        self.names.push(name.to_string());
+        Node(self.names.len() - 1)
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, n: Node) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds a resistor of `r` kΩ between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive and finite.
+    pub fn resistor(&mut self, a: Node, b: Node, r: f64) {
+        assert!(r.is_finite() && r > 0.0, "resistance must be positive, got {r}");
+        self.resistors.push(Resistor { a, b, r });
+    }
+
+    /// Adds a capacitor of `c` fF between `a` and `b`. Zero-value
+    /// capacitors are accepted and ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or non-finite.
+    pub fn capacitor(&mut self, a: Node, b: Node, c: f64) {
+        assert!(c.is_finite() && c >= 0.0, "capacitance must be >= 0, got {c}");
+        if c > 0.0 {
+            self.capacitors.push(Capacitor { a, b, c });
+        }
+    }
+
+    /// Adds an ideal voltage source driving `pos` (referenced to ground).
+    pub fn vsource(&mut self, pos: Node, waveform: Waveform) {
+        self.vsources.push(VSource { pos, waveform });
+    }
+
+    /// Adds a MOSFET. Device gate/junction capacitances from `params` are
+    /// stamped automatically as linear capacitors to ground and between
+    /// gate and channel terminals.
+    pub fn mosfet(&mut self, d: Node, g: Node, s: Node, params: MosParams) {
+        let cg = params.c_gate();
+        let cj = params.c_junction();
+        // Split gate cap between G-S and G-D (Meyer-style, bias-independent).
+        self.capacitor(g, s, cg * 0.5);
+        self.capacitor(g, d, cg * 0.5);
+        self.capacitor(d, Circuit::GND, cj);
+        self.capacitor(s, Circuit::GND, cj);
+        self.mosfets.push(Mosfet { d, g, s, params });
+    }
+
+    /// Number of MOSFET devices.
+    pub fn mosfet_count(&self) -> usize {
+        self.mosfets.len()
+    }
+
+    /// Total capacitance attached to a node, fF (useful sanity metric).
+    pub fn node_capacitance(&self, n: Node) -> f64 {
+        self.capacitors
+            .iter()
+            .filter(|c| c.a == n || c.b == n)
+            .map(|c| c.c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        let c = Circuit::new();
+        assert_eq!(Circuit::GND.index(), 0);
+        assert_eq!(c.node_name(Circuit::GND), "0");
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn nodes_are_sequential_and_named() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(c.node_name(b), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 0.0);
+    }
+
+    #[test]
+    fn mosfet_stamps_device_caps() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        let s = c.node("s");
+        let p = MosParams::nmos45(1.0);
+        c.mosfet(d, g, s, p);
+        assert_eq!(c.mosfet_count(), 1);
+        // Gate sees cg/2 to source and cg/2 to drain.
+        assert!((c.node_capacitance(g) - p.c_gate()).abs() < 1e-12);
+        // Drain sees cg/2 + cj.
+        assert!((c.node_capacitance(d) - (p.c_gate() * 0.5 + p.c_junction())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cap_is_dropped() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 0.0);
+        assert_eq!(c.node_capacitance(a), 0.0);
+        assert!(c.capacitors.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+use serde::{Deserialize, Serialize};
+
+/// A time-dependent source voltage, V as a function of ps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant voltage.
+    Dc(f64),
+    /// Piecewise-linear waveform: `(time_ps, volts)` points sorted by time.
+    /// Before the first point the first voltage holds; after the last point
+    /// the last voltage holds.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A single linear ramp from 0 V to `v1` starting at `delay` ps and
+    /// taking `slew` ps (a rising step; use [`Waveform::fall`] for the
+    /// mirror image).
+    ///
+    /// The `slew` here is the full 0-100 % transition time. Library slew
+    /// conventions (30/70 measurement extrapolated) are handled by the
+    /// characterizer, not the source.
+    pub fn step(v1: f64, delay: f64, slew: f64) -> Self {
+        Waveform::Pwl(vec![(delay, 0.0), (delay + slew.max(1e-3), v1)])
+    }
+
+    /// A falling ramp from `v0` to 0 V starting at `delay` ps over `slew` ps.
+    pub fn fall(v0: f64, delay: f64, slew: f64) -> Self {
+        Waveform::Pwl(vec![(delay, v0), (delay + slew.max(1e-3), 0.0)])
+    }
+
+    /// The source voltage at time `t` ps.
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        let f = (t - t0) / (t1 - t0);
+                        return v0 + f * (v1 - v0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// The value the waveform settles at (last PWL point / DC value).
+    pub fn final_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pwl(points) => points.last().map(|&(_, v)| v).unwrap_or(0.0),
+        }
+    }
+
+    /// The value at t = 0.
+    pub fn initial_value(&self) -> f64 {
+        self.at(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(1.1);
+        assert_eq!(w.at(0.0), 1.1);
+        assert_eq!(w.at(1e9), 1.1);
+        assert_eq!(w.final_value(), 1.1);
+    }
+
+    #[test]
+    fn step_interpolates_linearly() {
+        let w = Waveform::step(1.0, 10.0, 4.0);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(10.0), 0.0);
+        assert!((w.at(12.0) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(14.0), 1.0);
+        assert_eq!(w.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn fall_mirrors_step() {
+        let w = Waveform::fall(1.0, 10.0, 4.0);
+        assert_eq!(w.at(9.0), 1.0);
+        assert!((w.at(12.0) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(14.5), 0.0);
+        assert_eq!(w.initial_value(), 1.0);
+        assert_eq!(w.final_value(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_pwl_is_safe() {
+        assert_eq!(Waveform::Pwl(vec![]).at(5.0), 0.0);
+        let w = Waveform::Pwl(vec![(1.0, 2.0)]);
+        assert_eq!(w.at(0.0), 2.0);
+        assert_eq!(w.at(9.0), 2.0);
+    }
+}

@@ -1,0 +1,139 @@
+use serde::{Deserialize, Serialize};
+
+use m3d_cells::CellLibrary;
+use m3d_netlist::{NetDriver, NetId, Netlist};
+
+/// One hop of a reported timing path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathHop {
+    /// Net at this point of the path.
+    pub net: NetId,
+    /// Library cell name of the driver (`"<port>"` at primary inputs).
+    pub driver: String,
+    /// Arrival time at the net, ps.
+    pub arrival_ps: f64,
+    /// Slew at the net, ps.
+    pub slew_ps: f64,
+}
+
+/// The result of one STA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Worst arrival time per net, ps.
+    pub arrival: Vec<f64>,
+    /// Worst slew per net, ps.
+    pub slew: Vec<f64>,
+    /// Worst downstream endpoint slack per net, ps.
+    pub slack: Vec<f64>,
+    /// Worst negative slack over all endpoints, ps (positive = met).
+    pub wns: f64,
+    /// Worst hold slack over all flop endpoints, ps (positive = met;
+    /// same-edge check against the cells' hold times).
+    pub hold_wns: f64,
+    /// Total negative slack, ps.
+    pub tns: f64,
+    /// The analyzed clock period, ps.
+    pub clock_period_ps: f64,
+    /// The endpoint net with the worst slack.
+    pub worst_endpoint: Option<NetId>,
+}
+
+impl TimingReport {
+    /// `true` when every endpoint meets the clock.
+    pub fn met(&self) -> bool {
+        self.wns >= 0.0
+    }
+
+    /// Longest path delay (clock period minus WNS), ps.
+    pub fn longest_path_ps(&self) -> f64 {
+        self.clock_period_ps - self.wns
+    }
+
+    /// Slack of a net, ps.
+    pub fn net_slack(&self, net: NetId) -> f64 {
+        self.slack[net.0 as usize]
+    }
+
+    /// Walks the worst path backwards from the worst endpoint: at each
+    /// hop, follow the driver's latest-arriving input. Returns the hops
+    /// endpoint-first. Empty when the design has no endpoints.
+    pub fn worst_path(&self, netlist: &Netlist, lib: &CellLibrary) -> Vec<PathHop> {
+        let mut hops = Vec::new();
+        let Some(mut net) = self.worst_endpoint else {
+            return hops;
+        };
+        for _ in 0..netlist.instance_count() + 1 {
+            let n = netlist.net(net);
+            let driver = match n.driver {
+                NetDriver::Cell { inst, .. } => {
+                    lib.cell(netlist.inst(inst).cell).name.clone()
+                }
+                NetDriver::Port(_) => "<port>".to_string(),
+                NetDriver::None => "<undriven>".to_string(),
+            };
+            hops.push(PathHop {
+                net,
+                driver,
+                arrival_ps: self.arrival[net.0 as usize],
+                slew_ps: self.slew[net.0 as usize],
+            });
+            let NetDriver::Cell { inst, .. } = n.driver else {
+                break;
+            };
+            let cell = lib.cell(netlist.inst(inst).cell);
+            if cell.function.is_sequential() {
+                break; // reached the launching flop
+            }
+            // Latest input wins.
+            let mut best: Option<(NetId, f64)> = None;
+            for p in 0..cell.input_count() {
+                let in_net = netlist.input_net(inst, p as u8);
+                let a = self.arrival[in_net.0 as usize];
+                if best.map(|(_, b)| a > b).unwrap_or(true) {
+                    best = Some((in_net, a));
+                }
+            }
+            match best {
+                Some((n2, _)) => net = n2,
+                None => break,
+            }
+        }
+        hops
+    }
+
+    /// Nets sorted by ascending slack (most critical first), restricted to
+    /// negative-slack nets.
+    pub fn critical_nets(&self) -> Vec<NetId> {
+        let mut v: Vec<(NetId, f64)> = self
+            .slack
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s < 0.0)
+            .map(|(i, &s)| (NetId(i as u32), s))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slack"));
+        v.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_nets_sorted_most_negative_first() {
+        let r = TimingReport {
+            arrival: vec![0.0; 4],
+            slew: vec![0.0; 4],
+            slack: vec![5.0, -20.0, -3.0, 0.0],
+            wns: -20.0,
+            hold_wns: 3.0,
+            tns: -23.0,
+            clock_period_ps: 100.0,
+            worst_endpoint: Some(NetId(1)),
+        };
+        assert!(!r.met());
+        assert_eq!(r.critical_nets(), vec![NetId(1), NetId(2)]);
+        assert_eq!(r.longest_path_ps(), 120.0);
+    }
+}

@@ -1,0 +1,214 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{MetalClass, TechNode, Tier, WireRc};
+
+/// Mask layers used *inside* standard cells, as opposed to the routing
+/// metal stack ([`crate::MetalStack`]).
+///
+/// Layer indices for geometry ([`m3d_geom::LayerShape::layer`]) are offset
+/// by [`CellLayer::INDEX_BASE`] so they never collide with routing-stack
+/// indices.
+///
+/// The bottom-tier variants (`PolyBottom`, `ContactBottom`, `DiffP`,
+/// `MetalB1`, `Miv`) exist only in folded T-MI cells, where the PMOS
+/// devices and their local interconnect move to the bottom tier
+/// (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellLayer {
+    /// N-type diffusion (NMOS source/drain). Top tier.
+    DiffN,
+    /// P-type diffusion (PMOS source/drain). Bottom tier in T-MI.
+    DiffP,
+    /// Top-tier polysilicon gate.
+    Poly,
+    /// Bottom-tier polysilicon gate (T-MI only; "PB" in the paper).
+    PolyBottom,
+    /// Top-tier contact (diffusion/poly to M1; "CT").
+    Contact,
+    /// Bottom-tier contact ("CTB").
+    ContactBottom,
+    /// Top-tier metal 1.
+    Metal1,
+    /// Bottom-tier metal 1 ("MB1", T-MI only).
+    MetalB1,
+    /// Monolithic inter-tier via connecting MB1 to M1.
+    Miv,
+}
+
+/// Electrical properties of a cell layer under a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellLayerProps {
+    /// Sheet resistance, kΩ per square (0 for via-like layers, which use
+    /// per-cut resistance instead).
+    pub sheet_r: f64,
+    /// Per-cut resistance for via-like layers, kΩ (0 for planar layers).
+    pub cut_r: f64,
+    /// Area capacitance to the underlying substrate/ground plane, fF/µm².
+    pub c_area: f64,
+    /// Perimeter fringe capacitance, fF/µm.
+    pub c_fringe: f64,
+    /// Which tier the layer sits on.
+    pub tier: Tier,
+    /// `true` when the layer is a cut (contact/via/MIV) rather than a
+    /// planar conductor.
+    pub is_cut: bool,
+}
+
+impl CellLayer {
+    /// First geometry index used by cell layers.
+    pub const INDEX_BASE: u16 = 100;
+
+    /// All cell layers.
+    pub const ALL: [CellLayer; 9] = [
+        CellLayer::DiffN,
+        CellLayer::DiffP,
+        CellLayer::Poly,
+        CellLayer::PolyBottom,
+        CellLayer::Contact,
+        CellLayer::ContactBottom,
+        CellLayer::Metal1,
+        CellLayer::MetalB1,
+        CellLayer::Miv,
+    ];
+
+    /// The geometry layer index.
+    pub fn index(self) -> u16 {
+        Self::INDEX_BASE
+            + match self {
+                CellLayer::DiffN => 0,
+                CellLayer::DiffP => 1,
+                CellLayer::Poly => 2,
+                CellLayer::PolyBottom => 3,
+                CellLayer::Contact => 4,
+                CellLayer::ContactBottom => 5,
+                CellLayer::Metal1 => 6,
+                CellLayer::MetalB1 => 7,
+                CellLayer::Miv => 8,
+            }
+    }
+
+    /// Reverse lookup from a geometry layer index.
+    pub fn from_index(index: u16) -> Option<CellLayer> {
+        Self::ALL.into_iter().find(|l| l.index() == index)
+    }
+
+    /// Electrical properties under `node`.
+    pub fn props(self, node: &TechNode) -> CellLayerProps {
+        // M1-class cross-section for sheet-R derivation (width cancels in
+        // sheet resistance: rho / t).
+        let m1_t = (130.0 * node.dimension_scale()).max(1.0);
+        let m1_sheet = WireRc::for_cross_section(node, MetalClass::M1, 1.0, m1_t).r_per_um * 1e-3;
+        // Unit caps shrink only mildly with the node; fringe-dominated.
+        let cs = if node.dimension_scale() < 1.0 { 1.4 } else { 1.0 };
+        match self {
+            CellLayer::DiffN | CellLayer::DiffP => CellLayerProps {
+                sheet_r: 0.010, // silicided diffusion, ~10 Ohm/sq
+                cut_r: 0.0,
+                c_area: 0.0, // junction caps are part of the device model
+                c_fringe: 0.0,
+                tier: if self == CellLayer::DiffP {
+                    Tier::Bottom
+                } else {
+                    Tier::Top
+                },
+                is_cut: false,
+            },
+            CellLayer::Poly | CellLayer::PolyBottom => CellLayerProps {
+                sheet_r: 0.010, // silicided poly
+                cut_r: 0.0,
+                c_area: 0.09 * cs,
+                c_fringe: 0.060 * cs,
+                tier: if self == CellLayer::PolyBottom {
+                    Tier::Bottom
+                } else {
+                    Tier::Top
+                },
+                is_cut: false,
+            },
+            CellLayer::Metal1 | CellLayer::MetalB1 => CellLayerProps {
+                sheet_r: m1_sheet,
+                cut_r: 0.0,
+                c_area: 0.055 * cs,
+                c_fringe: 0.026 * cs,
+                tier: if self == CellLayer::MetalB1 {
+                    Tier::Bottom
+                } else {
+                    Tier::Top
+                },
+                is_cut: false,
+            },
+            CellLayer::Contact | CellLayer::ContactBottom => CellLayerProps {
+                sheet_r: 0.0,
+                cut_r: node.contact_resistance,
+                c_area: 0.0,
+                c_fringe: 0.0,
+                tier: if self == CellLayer::ContactBottom {
+                    Tier::Bottom
+                } else {
+                    Tier::Top
+                },
+                is_cut: true,
+            },
+            CellLayer::Miv => CellLayerProps {
+                sheet_r: 0.0,
+                cut_r: node.miv.resistance,
+                c_area: 0.0,
+                c_fringe: 0.0,
+                tier: Tier::Top,
+                is_cut: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    #[test]
+    fn indices_are_unique_and_reversible() {
+        for l in CellLayer::ALL {
+            assert_eq!(CellLayer::from_index(l.index()), Some(l));
+            assert!(l.index() >= CellLayer::INDEX_BASE);
+        }
+        assert_eq!(CellLayer::from_index(0), None);
+    }
+
+    #[test]
+    fn bottom_tier_layers_are_tagged() {
+        let node = TechNode::n45();
+        for l in [
+            CellLayer::DiffP,
+            CellLayer::PolyBottom,
+            CellLayer::ContactBottom,
+            CellLayer::MetalB1,
+        ] {
+            assert_eq!(l.props(&node).tier, Tier::Bottom, "{l:?}");
+        }
+        assert_eq!(CellLayer::Poly.props(&node).tier, Tier::Top);
+    }
+
+    #[test]
+    fn cuts_have_cut_resistance_only() {
+        let node = TechNode::n45();
+        for l in [CellLayer::Contact, CellLayer::ContactBottom, CellLayer::Miv] {
+            let p = l.props(&node);
+            assert!(p.is_cut);
+            assert!(p.cut_r > 0.0);
+            assert_eq!(p.sheet_r, 0.0);
+        }
+    }
+
+    #[test]
+    fn m1_sheet_resistance_is_physical() {
+        // rho_eff 3.5 uOhm.cm / 130 nm thickness ~ 0.27 Ohm/sq.
+        let node = TechNode::n45();
+        let p = CellLayer::Metal1.props(&node);
+        assert!(
+            (p.sheet_r * 1e3 - 0.27).abs() < 0.05,
+            "sheet {} Ohm/sq",
+            p.sheet_r * 1e3
+        );
+    }
+}

@@ -1,0 +1,126 @@
+use m3d_geom::Nm;
+use serde::{Deserialize, Serialize};
+
+/// Which tier of a monolithic 3D stack a layer lives on.
+///
+/// Conventional 2D designs use only [`Tier::Top`] (there is a single tier;
+/// we call it "top" so that 2D and the T-MI top tier share code paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Bottom tier: PMOS devices and the MB1 metal layer in T-MI designs.
+    Bottom,
+    /// Top tier: NMOS devices (T-MI) or the only tier (2D), plus all
+    /// conventional metal layers.
+    Top,
+}
+
+/// Functional class of a routing layer, following the paper's Table 3.
+///
+/// The class determines the wire cross-section (width/spacing/thickness)
+/// and therefore the unit-length RC; see [`crate::WireRc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum MetalClass {
+    /// M1 (and MB1 in T-MI): cell-level pin access metal.
+    #[default]
+    M1,
+    /// Thin local routing layers.
+    Local,
+    /// Mid-thickness intermediate layers.
+    Intermediate,
+    /// Thick, wide global layers.
+    Global,
+}
+
+impl MetalClass {
+    /// All classes from bottom of the stack to the top.
+    pub const ALL: [MetalClass; 4] = [
+        MetalClass::M1,
+        MetalClass::Local,
+        MetalClass::Intermediate,
+        MetalClass::Global,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetalClass::M1 => "M1",
+            MetalClass::Local => "local",
+            MetalClass::Intermediate => "intermediate",
+            MetalClass::Global => "global",
+        }
+    }
+}
+
+impl std::fmt::Display for MetalClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One routing layer of a metal stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetalLayer {
+    /// Name, e.g. `"MB1"`, `"M1"`, `"M7"`.
+    pub name: String,
+    /// Index into the owning [`crate::MetalStack`]; also the layer id used
+    /// by geometry ([`m3d_geom::LayerShape::layer`]) for routed wires.
+    pub index: u16,
+    /// Functional class.
+    pub class: MetalClass,
+    /// Tier the layer is fabricated on.
+    pub tier: Tier,
+    /// Minimum (and drawn) wire width in nm.
+    pub width: Nm,
+    /// Minimum spacing in nm.
+    pub spacing: Nm,
+    /// Metal thickness in nm.
+    pub thickness: Nm,
+    /// Preferred routing direction: `true` = horizontal.
+    pub horizontal: bool,
+}
+
+impl MetalLayer {
+    /// Routing pitch (width + spacing) in nm.
+    pub fn pitch(&self) -> Nm {
+        self.width + self.spacing
+    }
+
+    /// Number of routing tracks that fit in a window of `span` nm
+    /// perpendicular to the preferred direction.
+    pub fn tracks_in(&self, span: Nm) -> u32 {
+        (span / self.pitch()).max(0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2() -> MetalLayer {
+        MetalLayer {
+            name: "M2".into(),
+            index: 1,
+            class: MetalClass::Local,
+            tier: Tier::Top,
+            width: 70,
+            spacing: 70,
+            thickness: 140,
+            horizontal: true,
+        }
+    }
+
+    #[test]
+    fn pitch_and_tracks() {
+        let l = m2();
+        assert_eq!(l.pitch(), 140);
+        assert_eq!(l.tracks_in(1400), 10);
+        assert_eq!(l.tracks_in(139), 0);
+    }
+
+    #[test]
+    fn class_ordering_bottom_to_top() {
+        assert!(MetalClass::M1 < MetalClass::Local);
+        assert!(MetalClass::Local < MetalClass::Intermediate);
+        assert!(MetalClass::Intermediate < MetalClass::Global);
+    }
+}

@@ -1,0 +1,107 @@
+//! Technology modelling for the `monolith3d` EDA toolkit.
+//!
+//! This crate captures everything the DAC'13 T-MI power-benefit study calls
+//! "library preparation": the process node parameters (45 nm planar bulk and
+//! the ITRS-projected 7 nm multi-gate node), the 2D and monolithic-3D metal
+//! layer stacks of the paper's Table 3 / Fig. 9, per-layer interconnect unit
+//! RC (the `capTable` analogue of Section 3.3/5), the monolithic inter-tier
+//! via (MIV) model, and the 45 nm → 7 nm scaling engine of Table 6 /
+//! Section S3.
+//!
+//! # Unit system
+//!
+//! All electrical quantities in the toolkit use one coherent unit system:
+//!
+//! | quantity | unit | note |
+//! |---|---|---|
+//! | time | ps | |
+//! | capacitance | fF | |
+//! | resistance | kΩ | kΩ × fF = ps, so RC products are delays directly |
+//! | voltage | V | |
+//! | current | mA | V / kΩ |
+//! | energy | fJ | fF × V² |
+//! | power | mW | fJ / ps |
+//! | length | nm (integer) or µm (f64) | geometry is integer nm |
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_tech::{TechNode, MetalStack, StackKind};
+//!
+//! let node = TechNode::n45();
+//! let stack = MetalStack::new(&node, StackKind::Tmi);
+//! // The T-MI stack of the paper: MB1, M1-M6 local, M7-M9 intermediate,
+//! // M10-M11 global -> 12 routing layers.
+//! assert_eq!(stack.layers().len(), 12);
+//! ```
+
+mod cell_layers;
+mod layers;
+mod miv;
+mod node;
+mod scaling;
+mod stack;
+mod wire;
+
+pub use cell_layers::{CellLayer, CellLayerProps};
+pub use layers::{MetalClass, MetalLayer, Tier};
+pub use miv::MivModel;
+pub use node::{NodeId, TechNode};
+pub use scaling::{ScaleFactors, ITRS_7NM_SCALING};
+pub use stack::{MetalStack, StackKind};
+pub use wire::WireRc;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a design is implemented as a conventional planar 2D IC or as a
+/// transistor-level monolithic 3D (T-MI) IC with PMOS on the bottom tier
+/// and NMOS on the top tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignStyle {
+    /// Conventional planar design.
+    TwoD,
+    /// Transistor-level monolithic 3D integration (folded cells + MIVs).
+    Tmi,
+}
+
+impl DesignStyle {
+    /// Short label used in reports ("2D" / "3D"), matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignStyle::TwoD => "2D",
+            DesignStyle::Tmi => "3D",
+        }
+    }
+
+    /// The metal stack kind normally paired with this style.
+    pub fn default_stack(self) -> StackKind {
+        match self {
+            DesignStyle::TwoD => StackKind::TwoD,
+            DesignStyle::Tmi => StackKind::Tmi,
+        }
+    }
+}
+
+impl std::fmt::Display for DesignStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_labels_match_paper_tables() {
+        assert_eq!(DesignStyle::TwoD.label(), "2D");
+        assert_eq!(DesignStyle::Tmi.label(), "3D");
+        assert_eq!(DesignStyle::Tmi.to_string(), "3D");
+    }
+
+    #[test]
+    fn default_stacks_pair_up() {
+        assert_eq!(DesignStyle::TwoD.default_stack(), StackKind::TwoD);
+        assert_eq!(DesignStyle::Tmi.default_stack(), StackKind::Tmi);
+    }
+}

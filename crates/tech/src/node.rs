@@ -1,0 +1,285 @@
+use m3d_geom::Nm;
+use serde::{Deserialize, Serialize};
+
+use crate::{MetalClass, MivModel};
+
+/// Identifier of a supported process node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// 45 nm planar bulk CMOS (Nangate-45-class, the paper's Section 3).
+    N45,
+    /// ITRS-2011-projected 7 nm multi-gate node (the paper's Section 5).
+    N7,
+}
+
+impl NodeId {
+    /// Human-readable node name.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeId::N45 => "45nm",
+            NodeId::N7 => "7nm",
+        }
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-[`MetalClass`] scalar table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerClass<T> {
+    /// Value for [`MetalClass::M1`] (and MB1).
+    pub m1: T,
+    /// Value for [`MetalClass::Local`].
+    pub local: T,
+    /// Value for [`MetalClass::Intermediate`].
+    pub intermediate: T,
+    /// Value for [`MetalClass::Global`].
+    pub global: T,
+}
+
+impl<T: Copy> PerClass<T> {
+    /// Looks up the value for `class`.
+    pub fn get(&self, class: MetalClass) -> T {
+        match class {
+            MetalClass::M1 => self.m1,
+            MetalClass::Local => self.local,
+            MetalClass::Intermediate => self.intermediate,
+            MetalClass::Global => self.global,
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, class: MetalClass) -> &mut T {
+        match class {
+            MetalClass::M1 => &mut self.m1,
+            MetalClass::Local => &mut self.local,
+            MetalClass::Intermediate => &mut self.intermediate,
+            MetalClass::Global => &mut self.global,
+        }
+    }
+}
+
+/// A process technology node: device parameters, physical cell dimensions,
+/// dielectric data and the calibrated interconnect material properties.
+///
+/// Wire unit RC is *derived* from these parameters by [`crate::WireRc`];
+/// the effective resistivities are calibrated so the derived values match
+/// the paper's published capTable anchors (Section 5: M2 and M8 unit R/C at
+/// both nodes).
+///
+/// # Example
+///
+/// ```
+/// use m3d_tech::TechNode;
+/// let n45 = TechNode::n45();
+/// assert_eq!(n45.vdd, 1.1);
+/// let n7 = TechNode::n7();
+/// assert!(n7.cell_height_2d < n45.cell_height_2d);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Supply voltage in volts (Table 6: 1.1 V @45, 0.7 V @7).
+    pub vdd: f64,
+    /// Drawn transistor gate length in nm (50 @45, 11 @7).
+    pub gate_length: Nm,
+    /// Standard-cell height of the planar 2D library, nm (1400 @45, 218 @7).
+    pub cell_height_2d: Nm,
+    /// Standard-cell height of the folded T-MI library, nm. The fold gives
+    /// a 40 % reduction (840 @45), limited by P/NMOS size mismatch and the
+    /// silicon area MIVs need on the top tier (Section 3.2).
+    pub cell_height_tmi: Nm,
+    /// Back-end-of-line inter-layer dielectric constant (2.5 @45, 2.2 @7).
+    pub ild_k: f64,
+    /// Inter-tier ILD thickness between the T-MI tiers, nm (110 @45, 50 @7).
+    pub ild_thickness: Nm,
+    /// Top-tier silicon thickness for T-MI, nm (30 in [Batude 2009]).
+    pub top_silicon_thickness: Nm,
+    /// Monolithic inter-tier via model.
+    pub miv: MivModel,
+    /// Calibrated effective Cu resistivity per metal class, in µΩ·cm.
+    /// Captures size effects (edge scattering, barrier); the 7 nm local
+    /// value of 15.02 µΩ·cm is the ITRS 2011 projection quoted in Table 10.
+    pub rho_eff: PerClass<f64>,
+    /// Calibrated unit-length wire capacitance per metal class, fF/µm
+    /// (capTable anchor values; see Section 5 of the paper).
+    pub c_unit: PerClass<f64>,
+    /// Resistance of a single inter-layer via cut, kΩ.
+    pub via_resistance: f64,
+    /// Resistance of a cell-level contact (CT/CTB), kΩ.
+    pub contact_resistance: f64,
+}
+
+impl TechNode {
+    /// The 45 nm planar bulk node of the paper's Sections 3-4.
+    pub fn n45() -> Self {
+        TechNode {
+            id: NodeId::N45,
+            vdd: 1.1,
+            gate_length: 50,
+            cell_height_2d: 1400,
+            cell_height_tmi: 840,
+            ild_k: 2.5,
+            ild_thickness: 110,
+            top_silicon_thickness: 30,
+            miv: MivModel::n45(),
+            // Calibration: rho[µΩ·cm] = R[Ω/µm] * w[nm] * t[nm] / 1e4.
+            // Local anchor  3.57 Ω/µm @ 70x140 nm  -> 3.50
+            // Global anchor 0.188 Ω/µm @ 400x800 nm -> 6.02
+            rho_eff: PerClass {
+                m1: 3.50,
+                local: 3.50,
+                intermediate: 4.00,
+                global: 6.02,
+            },
+            // Paper anchors: M2 0.106 fF/µm, M8 0.100 fF/µm.
+            c_unit: PerClass {
+                m1: 0.106,
+                local: 0.106,
+                intermediate: 0.103,
+                global: 0.100,
+            },
+            via_resistance: 0.005,
+            contact_resistance: 0.010,
+        }
+    }
+
+    /// The ITRS-projected 7 nm multi-gate node of the paper's Sections 5-6.
+    pub fn n7() -> Self {
+        TechNode {
+            id: NodeId::N7,
+            vdd: 0.7,
+            gate_length: 11,
+            cell_height_2d: 218,
+            cell_height_tmi: 131,
+            ild_k: 2.2,
+            ild_thickness: 50,
+            top_silicon_thickness: 10,
+            miv: MivModel::n7(),
+            // Local anchor 638 Ω/µm @ 10.8x21.8 nm -> 15.02 µΩ·cm, the ITRS
+            // 2011 projection for local/intermediate Cu at 7 nm (Table 10).
+            rho_eff: PerClass {
+                m1: 15.02,
+                local: 15.02,
+                intermediate: 8.00,
+                global: 2.06,
+            },
+            // Paper anchors: M2 0.153 fF/µm, M8 0.095 fF/µm.
+            c_unit: PerClass {
+                m1: 0.153,
+                local: 0.153,
+                intermediate: 0.120,
+                global: 0.095,
+            },
+            via_resistance: 0.060,
+            contact_resistance: 0.120,
+        }
+    }
+
+    /// Constructs the node for an id.
+    pub fn for_id(id: NodeId) -> Self {
+        match id {
+            NodeId::N45 => Self::n45(),
+            NodeId::N7 => Self::n7(),
+        }
+    }
+
+    /// Geometric shrink from 45 nm for this node (1.0 @45, 7/45 @7).
+    pub fn dimension_scale(&self) -> f64 {
+        match self.id {
+            NodeId::N45 => 1.0,
+            NodeId::N7 => 7.0 / 45.0,
+        }
+    }
+
+    /// Cell height for a design style.
+    pub fn cell_height(&self, style: crate::DesignStyle) -> Nm {
+        match style {
+            crate::DesignStyle::TwoD => self.cell_height_2d,
+            crate::DesignStyle::Tmi => self.cell_height_tmi,
+        }
+    }
+
+    /// Scales the effective resistivity of the given metal classes by
+    /// `factor`, returning the modified node.
+    ///
+    /// This implements the paper's Table 9 study ("-m": local and
+    /// intermediate resistivity halved to model better future interconnect
+    /// materials).
+    ///
+    /// ```
+    /// use m3d_tech::{MetalClass, TechNode};
+    /// let n = TechNode::n7()
+    ///     .with_rho_scaled(&[MetalClass::Local, MetalClass::Intermediate], 0.5);
+    /// assert!((n.rho_eff.local - 7.51).abs() < 1e-9);
+    /// ```
+    pub fn with_rho_scaled(mut self, classes: &[MetalClass], factor: f64) -> Self {
+        for &c in classes {
+            *self.rho_eff.get_mut(c) *= factor;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n45_matches_table6() {
+        let n = TechNode::n45();
+        assert_eq!(n.vdd, 1.1);
+        assert_eq!(n.gate_length, 50);
+        assert_eq!(n.cell_height_2d, 1400);
+        assert_eq!(n.ild_thickness, 110);
+        assert_eq!(n.miv.diameter, 70);
+        assert_eq!(n.ild_k, 2.5);
+    }
+
+    #[test]
+    fn n7_matches_table6() {
+        let n = TechNode::n7();
+        assert_eq!(n.vdd, 0.7);
+        assert_eq!(n.gate_length, 11);
+        assert_eq!(n.cell_height_2d, 218);
+        assert_eq!(n.ild_thickness, 50);
+        assert_eq!(n.miv.diameter, 11);
+        assert_eq!(n.ild_k, 2.2);
+    }
+
+    #[test]
+    fn tmi_cell_height_is_40_percent_smaller() {
+        let n = TechNode::n45();
+        let ratio = n.cell_height_tmi as f64 / n.cell_height_2d as f64;
+        assert!((ratio - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rho_scaling_only_touches_selected_classes() {
+        let n = TechNode::n7().with_rho_scaled(&[MetalClass::Local], 0.5);
+        let base = TechNode::n7();
+        assert!((n.rho_eff.local - base.rho_eff.local * 0.5).abs() < 1e-12);
+        assert_eq!(n.rho_eff.global, base.rho_eff.global);
+        assert_eq!(n.rho_eff.intermediate, base.rho_eff.intermediate);
+    }
+
+    #[test]
+    fn per_class_get_mut_round_trips() {
+        let mut p = PerClass {
+            m1: 1.0,
+            local: 2.0,
+            intermediate: 3.0,
+            global: 4.0,
+        };
+        for c in MetalClass::ALL {
+            *p.get_mut(c) *= 10.0;
+        }
+        assert_eq!(p.get(MetalClass::Global), 40.0);
+        assert_eq!(p.get(MetalClass::M1), 10.0);
+    }
+}

@@ -1,0 +1,148 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{MetalClass, MetalLayer, TechNode};
+
+/// Unit-length electrical model of a wire on one metal layer.
+///
+/// This is the toolkit's analogue of the Cadence capTable the paper builds
+/// with EM simulations (Sections 3.3 and 5). Resistance is derived from the
+/// node's calibrated effective resistivity and the layer cross-section;
+/// capacitance uses the node's calibrated per-class anchor values.
+///
+/// # Example
+///
+/// ```
+/// use m3d_tech::{MetalStack, StackKind, TechNode, WireRc};
+///
+/// let node = TechNode::n45();
+/// let stack = MetalStack::new(&node, StackKind::TwoD);
+/// let m2 = stack.by_name("M2").expect("M2 exists");
+/// let rc = WireRc::for_layer(&node, m2);
+/// // Paper anchor: 3.57 Ohm/um and 0.106 fF/um for 45 nm M2.
+/// assert!((rc.r_per_um * 1000.0 - 3.57).abs() / 3.57 < 0.02);
+/// assert!((rc.c_per_um - 0.106).abs() / 0.106 < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireRc {
+    /// Resistance per µm of wire, kΩ/µm.
+    pub r_per_um: f64,
+    /// Capacitance per µm of wire, fF/µm.
+    pub c_per_um: f64,
+}
+
+impl WireRc {
+    /// Derives the unit RC of `layer` under `node`'s material parameters.
+    pub fn for_layer(node: &TechNode, layer: &MetalLayer) -> Self {
+        Self::for_cross_section(node, layer.class, layer.width as f64, layer.thickness as f64)
+    }
+
+    /// Derives the unit RC for an explicit cross-section (nm). Used by the
+    /// cell-internal extractor where wire widths differ from routing tracks.
+    pub fn for_cross_section(node: &TechNode, class: MetalClass, width_nm: f64, thickness_nm: f64) -> Self {
+        // R[Ω/µm] = rho[µΩ·cm] * 1e4 / (w[nm] * t[nm]); convert to kΩ/µm.
+        let rho = node.rho_eff.get(class);
+        let r_ohm_per_um = rho * 1.0e4 / (width_nm * thickness_nm);
+        WireRc {
+            r_per_um: r_ohm_per_um * 1.0e-3,
+            c_per_um: node.c_unit.get(class),
+        }
+    }
+
+    /// Total resistance of `len_um` µm of this wire, kΩ.
+    pub fn resistance(&self, len_um: f64) -> f64 {
+        self.r_per_um * len_um
+    }
+
+    /// Total capacitance of `len_um` µm of this wire, fF.
+    pub fn capacitance(&self, len_um: f64) -> f64 {
+        self.c_per_um * len_um
+    }
+
+    /// Distributed-RC Elmore delay of an unloaded `len_um` µm wire, ps
+    /// (0.5·R·C for a uniform line).
+    pub fn elmore_delay(&self, len_um: f64) -> f64 {
+        0.5 * self.resistance(len_um) * self.capacitance(len_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetalStack, StackKind};
+
+    fn rc(node: &TechNode, kind: StackKind, name: &str) -> WireRc {
+        let stack = MetalStack::new(node, kind);
+        let layer = stack.by_name(name).unwrap_or_else(|| panic!("{name} exists"));
+        WireRc::for_layer(node, layer)
+    }
+
+    #[test]
+    fn n45_anchors_match_paper() {
+        let node = TechNode::n45();
+        let m2 = rc(&node, StackKind::TwoD, "M2");
+        assert!(
+            (m2.r_per_um * 1e3 - 3.57).abs() / 3.57 < 0.02,
+            "M2 R = {} Ohm/um",
+            m2.r_per_um * 1e3
+        );
+        assert!((m2.c_per_um - 0.106).abs() < 1e-9);
+        let m8 = rc(&node, StackKind::TwoD, "M8");
+        assert!(
+            (m8.r_per_um * 1e3 - 0.188).abs() / 0.188 < 0.02,
+            "M8 R = {} Ohm/um",
+            m8.r_per_um * 1e3
+        );
+        assert!((m8.c_per_um - 0.100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n7_anchors_match_paper() {
+        let node = TechNode::n7();
+        let m2 = rc(&node, StackKind::TwoD, "M2");
+        // Paper: 638 Ohm/um for 7 nm M2 (local layers become very resistive).
+        assert!(
+            (m2.r_per_um * 1e3 - 638.0).abs() / 638.0 < 0.05,
+            "M2 R = {} Ohm/um",
+            m2.r_per_um * 1e3
+        );
+        assert!((m2.c_per_um - 0.153).abs() < 1e-9);
+        let m8 = rc(&node, StackKind::TwoD, "M8");
+        assert!(
+            (m8.r_per_um * 1e3 - 2.65).abs() / 2.65 < 0.05,
+            "M8 R = {} Ohm/um",
+            m8.r_per_um * 1e3
+        );
+    }
+
+    #[test]
+    fn local_layers_degrade_much_faster_than_global() {
+        // The key 7 nm observation of Section 5: local R blows up ~180x
+        // while global R grows only ~14x.
+        let n45 = TechNode::n45();
+        let n7 = TechNode::n7();
+        let local_growth = rc(&n7, StackKind::TwoD, "M2").r_per_um
+            / rc(&n45, StackKind::TwoD, "M2").r_per_um;
+        let global_growth = rc(&n7, StackKind::TwoD, "M8").r_per_um
+            / rc(&n45, StackKind::TwoD, "M8").r_per_um;
+        assert!(local_growth > 150.0, "local growth {local_growth}");
+        assert!(global_growth < 20.0, "global growth {global_growth}");
+    }
+
+    #[test]
+    fn elmore_delay_is_quadratic_in_length() {
+        let node = TechNode::n45();
+        let m2 = rc(&node, StackKind::TwoD, "M2");
+        let d1 = m2.elmore_delay(100.0);
+        let d2 = m2.elmore_delay(200.0);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistivity_override_halves_resistance() {
+        let node = TechNode::n7().with_rho_scaled(&[MetalClass::Local], 0.5);
+        let base = TechNode::n7();
+        let r_scaled = rc(&node, StackKind::TwoD, "M2").r_per_um;
+        let r_base = rc(&base, StackKind::TwoD, "M2").r_per_um;
+        assert!((r_scaled / r_base - 0.5).abs() < 1e-12);
+    }
+}

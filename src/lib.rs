@@ -1,0 +1,18 @@
+//! Umbrella crate: re-exports the whole `monolith3d` toolkit so the
+//! repository-level examples and integration tests have one import root.
+//!
+//! The substance lives in the `crates/` workspace members; see the README
+//! for the map.
+
+pub use m3d_cells as cells;
+pub use m3d_extract as extract;
+pub use m3d_geom as geom;
+pub use m3d_netlist as netlist;
+pub use m3d_place as place;
+pub use m3d_power as power;
+pub use m3d_route as route;
+pub use m3d_spice as spice;
+pub use m3d_sta as sta;
+pub use m3d_synth as synth;
+pub use m3d_tech as tech;
+pub use monolith3d as study;

@@ -1,0 +1,197 @@
+//! Property-based integration tests over randomly generated netlists:
+//! placement containment, activity bounds, edit consistency.
+
+use std::sync::OnceLock;
+
+use m3d_cells::{layout::generate_layout, CellFunction, CellLibrary, Topology};
+use m3d_extract::{extract_cell, TopSiliconModel};
+use m3d_geom::{LayerShape, Point, Rect};
+use m3d_tech::CellLayer;
+use m3d_netlist::{NetId, Netlist, NetlistBuilder};
+use m3d_place::Placer;
+use m3d_power::propagate_activity;
+use m3d_route::Router;
+use m3d_tech::{DesignStyle, MetalStack, StackKind, TechNode};
+use proptest::prelude::*;
+
+fn lib() -> &'static CellLibrary {
+    static LIB: OnceLock<CellLibrary> = OnceLock::new();
+    LIB.get_or_init(|| CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD))
+}
+
+/// Builds a random layered DAG netlist from a seed.
+fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    let lib = lib();
+    let mut b = NetlistBuilder::new(lib, "random");
+    let mut pool: Vec<NetId> = (0..8).map(|_| b.input()).collect();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let funcs = [
+        CellFunction::Inv,
+        CellFunction::Nand2,
+        CellFunction::Nor2,
+        CellFunction::Xor2,
+        CellFunction::And2,
+        CellFunction::Mux2,
+        CellFunction::FullAdder,
+    ];
+    for _ in 0..gates {
+        let f = funcs[(rnd() % funcs.len() as u64) as usize];
+        let inputs: Vec<NetId> = (0..f.input_count())
+            .map(|_| pool[(rnd() % pool.len() as u64) as usize])
+            .collect();
+        let outs = b.gate_outputs(f, &inputs);
+        pool.extend(outs);
+        // Occasionally register a signal.
+        if rnd() % 7 == 0 {
+            let d = pool[(rnd() % pool.len() as u64) as usize];
+            let q = b.dff(d);
+            pool.push(q);
+        }
+    }
+    let out = *pool.last().expect("non-empty");
+    b.output(out);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_netlists_are_consistent_and_acyclic(seed in 0u64..1000) {
+        let n = random_netlist(seed, 150);
+        n.check_consistency(lib());
+        m3d_netlist::levelize(&n, lib()).expect("builder DAGs are acyclic");
+    }
+
+    #[test]
+    fn placement_contains_every_cell(seed in 0u64..400) {
+        let n = random_netlist(seed, 120);
+        let p = Placer::new(lib()).iterations(12).place(&n);
+        for id in n.inst_ids() {
+            prop_assert!(p.core.contains(p.pos(id)), "cell escaped the core");
+        }
+        prop_assert!(p.total_hpwl_um(&n) >= 0.0);
+    }
+
+    #[test]
+    fn routing_covers_every_multi_pin_net(seed in 0u64..200) {
+        let node = TechNode::n45();
+        let stack = MetalStack::new(&node, StackKind::TwoD);
+        let n = random_netlist(seed, 100);
+        let p = Placer::new(lib()).iterations(12).place(&n);
+        let r = Router::new(&node, &stack).route(&n, &p, lib());
+        for id in n.net_ids() {
+            let net = n.net(id);
+            if !net.sinks.is_empty() {
+                prop_assert!(
+                    r.net(id).wirelength_um > 0.0,
+                    "driven net routed to nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activities_stay_in_bounds(seed in 0u64..400) {
+        let n = random_netlist(seed, 150);
+        let act = propagate_activity(&n, lib(), 0.3, 0.1);
+        for a in &act {
+            prop_assert!((0.0..=1.0).contains(&a.p_one), "probability {}", a.p_one);
+            prop_assert!((0.0..=2.0).contains(&a.alpha), "activity {}", a.alpha);
+        }
+    }
+
+    #[test]
+    fn adding_a_shape_never_decreases_extracted_capacitance(
+        x in 0i64..2000, y in 0i64..1400, w in 50i64..800, h in 50i64..200,
+    ) {
+        let node = TechNode::n45();
+        let topo = Topology::for_function(CellFunction::Nand2);
+        let base = generate_layout(&node, &topo, DesignStyle::Tmi, 1);
+        let c0 = extract_cell(&node, &base.shapes, TopSiliconModel::Dielectric).total_c();
+        let mut bigger = base.shapes.clone();
+        bigger.push(LayerShape::new(
+            CellLayer::Metal1.index(),
+            Rect::from_size(Point::new(x, y), w, h),
+            m3d_cells::Signal::Output(0).node_id(),
+        ));
+        let c1 = extract_cell(&node, &bigger, TopSiliconModel::Dielectric).total_c();
+        prop_assert!(c1 >= c0, "capacitance dropped: {c0} -> {c1}");
+    }
+
+    #[test]
+    fn fm_partition_is_always_balanced(seed in 0u64..60) {
+        let l = lib();
+        let n = random_netlist(seed, 160);
+        let p = monolith3d::gmi::fm_bipartition(&n, l, 2, 0.1);
+        prop_assert!((0.38..=0.62).contains(&p.balance), "balance {}", p.balance);
+        prop_assert_eq!(p.assignment.len(), n.instance_count());
+        // Cut count is consistent with the assignment.
+        let mut cut = 0usize;
+        for id in n.net_ids() {
+            if Some(id) == n.clock { continue; }
+            let net = n.net(id);
+            let mut tiers: Vec<u8> = net
+                .sinks
+                .iter()
+                .map(|s| p.assignment[s.inst.0 as usize])
+                .collect();
+            if let m3d_netlist::NetDriver::Cell { inst, .. } = net.driver {
+                tiers.push(p.assignment[inst.0 as usize]);
+            }
+            if tiers.windows(2).any(|w| w[0] != w[1]) {
+                cut += 1;
+            }
+        }
+        prop_assert_eq!(cut, p.cut_nets);
+    }
+
+    #[test]
+    fn clock_tree_covers_all_sinks_within_fanout(seed in 0u64..50, max_fanout in 4usize..32) {
+        let l = lib();
+        let n = random_netlist(seed, 160);
+        let p = Placer::new(l).iterations(8).place(&n);
+        let t = m3d_route::cts::build_clock_tree(
+            &n,
+            &p,
+            &m3d_route::cts::CtsConfig { max_fanout },
+        );
+        if let Some(clock) = n.clock {
+            prop_assert_eq!(t.sink_count, n.net(clock).sinks.len());
+            // Leaves never exceed the fanout bound.
+            for b in &t.buffers {
+                if b.sinks_below <= max_fanout {
+                    prop_assert!(b.sinks_below >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeater_insertion_preserves_consistency(seed in 0u64..200, moves in 1usize..6) {
+        let l = lib();
+        let mut n = random_netlist(seed, 120);
+        let buf = l.smallest(CellFunction::Buf);
+        for k in 0..moves {
+            // Pick some driven net with at least 2 sinks.
+            let candidate = n
+                .net_ids()
+                .filter(|&id| n.net(id).sinks.len() >= 2 && Some(id) != n.clock)
+                .nth(k);
+            if let Some(net) = candidate {
+                let take: Vec<usize> = (0..n.net(net).sinks.len() / 2).collect();
+                if !take.is_empty() {
+                    n.insert_repeater(net, &take, buf, l);
+                }
+            }
+        }
+        n.check_consistency(l);
+        m3d_netlist::levelize(&n, l).expect("repeaters keep the DAG acyclic");
+    }
+}
