@@ -360,7 +360,7 @@ pub fn characterize_spice(
         }
         // Input sources.
         let t0 = 4.0 * slew + 20.0;
-        for i in 0..n_in {
+        for (i, &held_high) in others.iter().enumerate() {
             let sig = Signal::Input(i as u8);
             let wave = if i == toggle_input {
                 if rising_in {
@@ -369,7 +369,7 @@ pub fn characterize_spice(
                     Waveform::fall(vdd, t0, slew)
                 }
             } else {
-                Waveform::Dc(if others[i] { vdd } else { 0.0 })
+                Waveform::Dc(if held_high { vdd } else { 0.0 })
             };
             c.vsource(nodes[&sig], wave);
         }

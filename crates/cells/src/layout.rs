@@ -299,7 +299,7 @@ pub fn generate_layout(
             // connectivity (DFF, MUX) overflow them and must jumper the
             // extra nets in resistive poly -- the reason the paper's DFF
             // internal RC comes out *worse* in 3D (Table 1 discussion).
-            if fold && tr >= tracks as usize + 1 {
+            if fold && tr > tracks as usize {
                 metal = if top {
                     CellLayer::Poly
                 } else {
@@ -316,9 +316,7 @@ pub fn generate_layout(
                 *sig,
             );
             // Vertical stubs from the diffusion band up to the strap.
-            let stub_y0 = if fold {
-                n_diff_y + diff_h / 2
-            } else if top {
+            let stub_y0 = if fold || top {
                 n_diff_y + diff_h / 2
             } else {
                 p_diff_y + diff_h / 2

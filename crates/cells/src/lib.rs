@@ -45,6 +45,6 @@ mod nldm;
 mod topology;
 
 pub use function::CellFunction;
-pub use library::{Cell, CellId, CellLibrary, Pin, PinDir, SeqSpec};
+pub use library::{Cell, CellId, CellLibrary, LibraryError, Pin, PinDir, SeqSpec};
 pub use nldm::Nldm;
 pub use topology::{DeviceSpec, Signal, Topology};

@@ -107,6 +107,66 @@ impl Cell {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId(pub u32);
 
+/// Library construction or validation failure.
+///
+/// Produced by [`CellLibrary::try_build`] and
+/// [`CellLibrary::try_with_pin_cap_scaled`]; a malformed library must
+/// surface here instead of poisoning synthesis and sign-off downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibraryError {
+    /// A characterized electrical table produced a non-finite or
+    /// out-of-range value.
+    BadCharacterization {
+        /// Offending cell name.
+        cell: String,
+        /// What was wrong (table and value).
+        detail: String,
+    },
+    /// A generated layout had a non-positive footprint.
+    DegenerateGeometry {
+        /// Offending cell name.
+        cell: String,
+        /// Generated width, nm.
+        width_nm: i64,
+        /// Generated height, nm.
+        height_nm: i64,
+    },
+    /// A pin-capacitance scale factor was non-positive or non-finite
+    /// (the paper's Table 8 study uses 0.8 / 0.6 / 0.4).
+    InvalidPinCapScale(f64),
+    /// A logic function ended up with no drive variants.
+    MissingVariants {
+        /// The function missing from the library.
+        function: String,
+    },
+}
+
+impl std::fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LibraryError::BadCharacterization { cell, detail } => {
+                write!(f, "cell {cell}: bad characterization: {detail}")
+            }
+            LibraryError::DegenerateGeometry {
+                cell,
+                width_nm,
+                height_nm,
+            } => write!(
+                f,
+                "cell {cell}: degenerate layout {width_nm} x {height_nm} nm"
+            ),
+            LibraryError::InvalidPinCapScale(s) => {
+                write!(f, "pin-cap scale must be finite and > 0, got {s}")
+            }
+            LibraryError::MissingVariants { function } => {
+                write!(f, "function {function} has no drive variants")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
 /// A complete characterized library for one (node, design-style) pair.
 ///
 /// # Example
@@ -146,11 +206,81 @@ impl CellLibrary {
     /// characterization through the ITRS scaling factors, exactly as the
     /// paper constructs its 7 nm Liberty library (Section 5 / S3); the
     /// physical dimensions come from the genuinely scaled 7 nm layouts.
+    /// # Panics
+    ///
+    /// Panics when the generated library fails validation — see
+    /// [`CellLibrary::try_build`] for the fallible form used by the
+    /// supervised flow.
     pub fn build(node: &TechNode, style: DesignStyle) -> Self {
-        match node.id {
+        match Self::try_build(node, style) {
+            Ok(lib) => lib,
+            Err(e) => panic!("library construction failed: {e}"),
+        }
+    }
+
+    /// Builds the library and validates every cell: finite, in-range
+    /// electrical tables, positive footprints, and a full drive ladder
+    /// per function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError`] naming the first offending cell.
+    pub fn try_build(node: &TechNode, style: DesignStyle) -> Result<Self, LibraryError> {
+        let lib = match node.id {
             NodeId::N45 => Self::build_45(node, style),
             NodeId::N7 => Self::build_45(&TechNode::n45(), style).into_7nm(node),
+        };
+        lib.validate()?;
+        Ok(lib)
+    }
+
+    /// Checks every cell for physical and electrical sanity.
+    fn validate(&self) -> Result<(), LibraryError> {
+        for cell in &self.cells {
+            if cell.width_nm <= 0 || cell.height_nm <= 0 {
+                return Err(LibraryError::DegenerateGeometry {
+                    cell: cell.name.clone(),
+                    width_nm: cell.width_nm,
+                    height_nm: cell.height_nm,
+                });
+            }
+            let bad = |table: &str, v: f64| LibraryError::BadCharacterization {
+                cell: cell.name.clone(),
+                detail: format!("{table} = {v}"),
+            };
+            // Probe each NLDM at a representative (slew, load) corner.
+            let delay = cell.delay.lookup(20.0, 1.0);
+            if !delay.is_finite() || delay <= 0.0 {
+                return Err(bad("delay(20ps, 1fF)", delay));
+            }
+            let slew = cell.out_slew.lookup(20.0, 1.0);
+            if !slew.is_finite() || slew <= 0.0 {
+                return Err(bad("out_slew(20ps, 1fF)", slew));
+            }
+            let energy = cell.energy.lookup(20.0, 1.0);
+            if !energy.is_finite() || energy < 0.0 {
+                return Err(bad("energy(20ps, 1fF)", energy));
+            }
+            if !cell.leakage_mw.is_finite() || cell.leakage_mw < 0.0 {
+                return Err(bad("leakage_mw", cell.leakage_mw));
+            }
+            if !cell.r_drive.is_finite() || cell.r_drive <= 0.0 {
+                return Err(bad("r_drive", cell.r_drive));
+            }
+            for pin in &cell.pins {
+                if !pin.cap_ff.is_finite() || pin.cap_ff < 0.0 {
+                    return Err(bad(&format!("pin {} cap_ff", pin.name), pin.cap_ff));
+                }
+            }
         }
+        for function in CellFunction::ALL {
+            if self.variants(function).is_empty() {
+                return Err(LibraryError::MissingVariants {
+                    function: format!("{function:?}"),
+                });
+            }
+        }
+        Ok(())
     }
 
     fn build_45(node: &TechNode, style: DesignStyle) -> Self {
@@ -228,6 +358,20 @@ impl CellLibrary {
             })
             .collect();
         Self::from_cells(node7.clone(), style, cells)
+    }
+
+    /// Fallible form of [`CellLibrary::with_pin_cap_scaled`], rejecting
+    /// non-finite and non-positive factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::InvalidPinCapScale`] when `factor` is not
+    /// a positive finite number.
+    pub fn try_with_pin_cap_scaled(&self, factor: f64) -> Result<Self, LibraryError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(LibraryError::InvalidPinCapScale(factor));
+        }
+        Ok(self.with_pin_cap_scaled(factor))
     }
 
     /// Returns a copy with every input pin capacitance scaled by `factor`

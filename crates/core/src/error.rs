@@ -1,0 +1,253 @@
+//! The workspace-wide error taxonomy for the sign-off flow.
+//!
+//! Every stage entry point ([`m3d_synth::try_synthesize`],
+//! [`m3d_place::Placer::try_place`], [`m3d_route::Router::try_route`],
+//! [`m3d_sta::try_analyze`], [`m3d_power::try_analyze_power`],
+//! [`m3d_extract::try_extract_net`], the SPICE transient and library
+//! construction) reports a typed, stage-specific error; [`FlowError`]
+//! unifies them so `Flow::try_run` and the supervisor can report *which*
+//! stage failed and *why* without a panic.
+
+use m3d_cells::LibraryError;
+use m3d_extract::ExtractError;
+use m3d_place::PlaceError;
+use m3d_power::PowerError;
+use m3d_route::RouteError;
+use m3d_spice::SpiceError;
+use m3d_sta::StaError;
+use m3d_synth::SynthError;
+
+/// The stages of the sign-off pipeline, in execution order (paper Fig. 1).
+///
+/// Used to attribute failures, to key fault injection, and to label the
+/// supervisor's checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowStage {
+    /// Library characterization and preparation.
+    Library,
+    /// WLM-guided synthesis (including the preliminary WLM placement).
+    Synthesis,
+    /// Global placement plus placed load-based sizing.
+    Placement,
+    /// Pre-route accept/reject optimization passes.
+    PreRouteOpt,
+    /// Global routing plus extracted load-based sizing.
+    Routing,
+    /// Post-route optimization and power recovery.
+    PostRouteOpt,
+    /// Final route, extraction, timing and power sign-off.
+    SignOff,
+}
+
+impl FlowStage {
+    /// All stages in pipeline order.
+    pub const ALL: [FlowStage; 7] = [
+        FlowStage::Library,
+        FlowStage::Synthesis,
+        FlowStage::Placement,
+        FlowStage::PreRouteOpt,
+        FlowStage::Routing,
+        FlowStage::PostRouteOpt,
+        FlowStage::SignOff,
+    ];
+
+    /// Dense index (fault-injection counters, checkpoint tables).
+    pub fn index(self) -> usize {
+        match self {
+            FlowStage::Library => 0,
+            FlowStage::Synthesis => 1,
+            FlowStage::Placement => 2,
+            FlowStage::PreRouteOpt => 3,
+            FlowStage::Routing => 4,
+            FlowStage::PostRouteOpt => 5,
+            FlowStage::SignOff => 6,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Library => "library",
+            FlowStage::Synthesis => "synthesis",
+            FlowStage::Placement => "placement",
+            FlowStage::PreRouteOpt => "pre-route optimization",
+            FlowStage::Routing => "routing",
+            FlowStage::PostRouteOpt => "post-route optimization",
+            FlowStage::SignOff => "sign-off",
+        }
+    }
+}
+
+impl std::fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A rejected [`crate::FlowConfig`] knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `clock_ps` override non-finite or non-positive.
+    BadClock(f64),
+    /// `utilization` override outside `(0, 1]`.
+    BadUtilization(f64),
+    /// `pin_cap_scale` non-finite or non-positive.
+    BadPinCapScale(f64),
+    /// `alpha_ff` outside `[0, 1]`.
+    BadAlphaFf(f64),
+    /// `place_iterations == 0` — the placer would emit garbage positions.
+    ZeroPlaceIterations,
+    /// `clock_scale` negative or non-finite (`0.0` selects the
+    /// per-benchmark calibration and is valid).
+    BadClockScale(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadClock(c) => {
+                write!(f, "clock_ps must be a positive finite period, got {c}")
+            }
+            ConfigError::BadUtilization(u) => {
+                write!(f, "utilization must be in (0, 1], got {u}")
+            }
+            ConfigError::BadPinCapScale(s) => {
+                write!(f, "pin_cap_scale must be positive, got {s}")
+            }
+            ConfigError::BadAlphaFf(a) => {
+                write!(f, "alpha_ff must be in [0, 1], got {a}")
+            }
+            ConfigError::ZeroPlaceIterations => {
+                write!(f, "place_iterations must be at least 1")
+            }
+            ConfigError::BadClockScale(s) => write!(
+                f,
+                "clock_scale must be 0 (auto-calibrate) or a positive factor, got {s}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Unified failure type for the full flow: which stage failed, and the
+/// stage's own typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Rejected configuration (pre-flight, before any stage runs).
+    Config(ConfigError),
+    /// Library characterization failure.
+    Library(LibraryError),
+    /// Synthesis failure.
+    Synth(SynthError),
+    /// Placement failure.
+    Place(PlaceError),
+    /// Routing failure.
+    Route(RouteError),
+    /// Timing-analysis failure.
+    Sta(StaError),
+    /// Power-analysis failure.
+    Power(PowerError),
+    /// Parasitic-extraction failure.
+    Extract(ExtractError),
+    /// SPICE characterization failure.
+    Spice(SpiceError),
+    /// A deterministic fault injected by the test harness.
+    Injected {
+        /// Stage the fault was planted in.
+        stage: FlowStage,
+        /// Human-readable fault description.
+        detail: String,
+    },
+    /// The flow completed but sign-off timing is not closed.
+    TimingNotClosed {
+        /// Worst negative slack at sign-off, ps.
+        wns_ps: f64,
+        /// Clock period the run targeted, ps.
+        clock_ps: f64,
+    },
+}
+
+impl FlowError {
+    /// The stage this error is attributed to, when unambiguous from the
+    /// error itself. `Config` pre-dates all stages and returns `None`.
+    pub fn stage(&self) -> Option<FlowStage> {
+        match self {
+            FlowError::Config(_) => None,
+            FlowError::Library(_) => Some(FlowStage::Library),
+            FlowError::Synth(_) => Some(FlowStage::Synthesis),
+            FlowError::Place(_) => Some(FlowStage::Placement),
+            FlowError::Route(_) => Some(FlowStage::Routing),
+            // STA/power/extraction/SPICE run inside several stages; the
+            // supervisor's attempt records carry the precise stage.
+            FlowError::Sta(_)
+            | FlowError::Power(_)
+            | FlowError::Extract(_)
+            | FlowError::Spice(_) => None,
+            FlowError::Injected { stage, .. } => Some(*stage),
+            FlowError::TimingNotClosed { .. } => Some(FlowStage::SignOff),
+        }
+    }
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Config(e) => write!(f, "invalid flow config: {e}"),
+            FlowError::Library(e) => write!(f, "library stage: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesis stage: {e}"),
+            FlowError::Place(e) => write!(f, "placement stage: {e}"),
+            FlowError::Route(e) => write!(f, "routing stage: {e}"),
+            FlowError::Sta(e) => write!(f, "timing analysis: {e}"),
+            FlowError::Power(e) => write!(f, "power analysis: {e}"),
+            FlowError::Extract(e) => write!(f, "parasitic extraction: {e}"),
+            FlowError::Spice(e) => write!(f, "spice characterization: {e}"),
+            FlowError::Injected { stage, detail } => {
+                write!(f, "injected fault in {stage}: {detail}")
+            }
+            FlowError::TimingNotClosed { wns_ps, clock_ps } => write!(
+                f,
+                "timing not closed at sign-off: WNS {wns_ps:.1} ps against a {clock_ps:.1} ps clock"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Config(e) => Some(e),
+            FlowError::Library(e) => Some(e),
+            FlowError::Synth(e) => Some(e),
+            FlowError::Place(e) => Some(e),
+            FlowError::Route(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            FlowError::Power(e) => Some(e),
+            FlowError::Extract(e) => Some(e),
+            FlowError::Spice(e) => Some(e),
+            FlowError::Injected { .. } | FlowError::TimingNotClosed { .. } => None,
+        }
+    }
+}
+
+macro_rules! from_stage_error {
+    ($($src:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$src> for FlowError {
+            fn from(e: $src) -> Self {
+                FlowError::$variant(e)
+            }
+        })*
+    };
+}
+
+from_stage_error!(
+    ConfigError => Config,
+    LibraryError => Library,
+    SynthError => Synth,
+    PlaceError => Place,
+    RouteError => Route,
+    StaError => Sta,
+    PowerError => Power,
+    ExtractError => Extract,
+    SpiceError => Spice,
+);

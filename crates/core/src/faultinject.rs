@@ -1,0 +1,124 @@
+//! Deterministic fault injection for the flow supervisor.
+//!
+//! A [`FaultPlan`] lists faults keyed by `(stage, invocation)`: the
+//! injector counts how many times each stage has been entered and fails
+//! the matching invocation with [`FlowError::Injected`]. Because the
+//! flow itself is deterministic, a plan makes an entire
+//! retry/degradation scenario reproducible — "placement fails once, then
+//! recovers" is `FaultPlan::new().fail_on(FlowStage::Placement, 1)`.
+
+use crate::error::{FlowError, FlowStage};
+
+/// One planned fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Stage to fail.
+    pub stage: FlowStage,
+    /// Which entry into the stage fails, 1-based. `None` fails every
+    /// entry (a persistent, unrecoverable fault).
+    pub on_invocation: Option<u32>,
+    /// Free-form description carried into the error.
+    pub detail: String,
+}
+
+/// A set of planned faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails `stage` on its `invocation`-th entry (1-based); other
+    /// entries run normally.
+    pub fn fail_on(mut self, stage: FlowStage, invocation: u32) -> Self {
+        self.faults.push(PlannedFault {
+            stage,
+            on_invocation: Some(invocation.max(1)),
+            detail: format!("planned fault on invocation {}", invocation.max(1)),
+        });
+        self
+    }
+
+    /// Fails `stage` on every entry — an unrecoverable fault.
+    pub fn always(mut self, stage: FlowStage) -> Self {
+        self.faults.push(PlannedFault {
+            stage,
+            on_invocation: None,
+            detail: "persistent planned fault".to_string(),
+        });
+        self
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Executes a [`FaultPlan`]: counts stage entries and reports the error
+/// to inject, if any.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counts: [u32; FlowStage::ALL.len()],
+}
+
+impl FaultInjector {
+    /// An injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            counts: [0; FlowStage::ALL.len()],
+        }
+    }
+
+    /// Records one entry into `stage` and returns the fault to inject
+    /// for this invocation, if the plan has one.
+    pub fn tick(&mut self, stage: FlowStage) -> Option<FlowError> {
+        self.counts[stage.index()] += 1;
+        let n = self.counts[stage.index()];
+        self.plan
+            .faults
+            .iter()
+            .find(|f| f.stage == stage && f.on_invocation.is_none_or(|at| at == n))
+            .map(|f| FlowError::Injected {
+                stage,
+                detail: f.detail.clone(),
+            })
+    }
+
+    /// How many times `stage` has been entered so far.
+    pub fn invocations(&self, stage: FlowStage) -> u32 {
+        self.counts[stage.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fails_exactly_the_planned_invocation() {
+        let mut inj = FaultInjector::new(FaultPlan::new().fail_on(FlowStage::Routing, 2));
+        assert!(inj.tick(FlowStage::Routing).is_none());
+        let e = inj.tick(FlowStage::Routing).expect("second entry fails");
+        assert_eq!(e.stage(), Some(FlowStage::Routing));
+        assert!(inj.tick(FlowStage::Routing).is_none());
+        // Other stages are unaffected.
+        assert!(inj.tick(FlowStage::Placement).is_none());
+    }
+
+    #[test]
+    fn persistent_fault_fails_every_entry() {
+        let mut inj = FaultInjector::new(FaultPlan::new().always(FlowStage::SignOff));
+        for _ in 0..4 {
+            assert!(inj.tick(FlowStage::SignOff).is_some());
+        }
+        assert_eq!(inj.invocations(FlowStage::SignOff), 4);
+    }
+}

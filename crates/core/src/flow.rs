@@ -1,18 +1,21 @@
 use serde::{Deserialize, Serialize};
 
 use m3d_cells::{CellFunction, CellLibrary};
-use m3d_extract::extract_net;
+use m3d_extract::{try_extract_net, ExtractError};
 use m3d_geom::Point;
 use m3d_netlist::{BenchScale, Benchmark, NetDriver, NetId, Netlist};
 use m3d_place::{Placement, Placer};
-use m3d_power::{analyze_power, PowerConfig, PowerReport};
+use m3d_power::{try_analyze_power, PowerConfig, PowerReport};
 use m3d_route::{LayerUsage, RoutedDesign, Router};
 use m3d_sta::{
-    analyze, plan_load_sizing, plan_power_recovery, plan_timing_moves, NetModel, OptMove,
-    TimingConfig,
+    plan_load_sizing, plan_power_recovery, plan_timing_moves, try_analyze, NetModel, OptMove,
+    StaError, TimingConfig,
 };
-use m3d_synth::{synthesize, SynthConfig, WireLoadModel};
+use m3d_synth::{try_synthesize, SynthConfig, WireLoadModel};
 use m3d_tech::{DesignStyle, MetalClass, MetalStack, NodeId, StackKind, TechNode, WireRc};
+
+use crate::error::{ConfigError, FlowError};
+use crate::supervisor::{FlowSupervisor, SupervisorPolicy};
 
 /// Configuration of one full-flow run — every knob the paper sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,6 +103,40 @@ impl FlowConfig {
             node
         }
     }
+
+    /// Rejects configurations no flow stage can run against. Called by
+    /// [`Flow::try_run`] before any stage starts, so degenerate knobs
+    /// surface as one typed error instead of NaN propagation or a panic
+    /// deep inside a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Config`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        if let Some(c) = self.clock_ps {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(ConfigError::BadClock(c).into());
+            }
+        }
+        if let Some(u) = self.utilization {
+            if !u.is_finite() || u <= 0.0 || u > 1.0 {
+                return Err(ConfigError::BadUtilization(u).into());
+            }
+        }
+        if !self.pin_cap_scale.is_finite() || self.pin_cap_scale <= 0.0 {
+            return Err(ConfigError::BadPinCapScale(self.pin_cap_scale).into());
+        }
+        if !self.alpha_ff.is_finite() || !(0.0..=1.0).contains(&self.alpha_ff) {
+            return Err(ConfigError::BadAlphaFf(self.alpha_ff).into());
+        }
+        if self.place_iterations == 0 {
+            return Err(ConfigError::ZeroPlaceIterations.into());
+        }
+        if !self.clock_scale.is_finite() || self.clock_scale < 0.0 {
+            return Err(ConfigError::BadClockScale(self.clock_scale).into());
+        }
+        Ok(())
+    }
 }
 
 /// The sign-off summary of one flow run — one row of the paper's
@@ -155,6 +192,58 @@ impl FlowResult {
     }
 }
 
+/// The resolved run environment: validated knobs, characterized library,
+/// metal stack. Built once by [`Flow::prepare`]; the supervisor mutates
+/// the effective `clock_ps` / `utilization` / `opt_passes` when walking
+/// its degradation ladder.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowEnv {
+    pub(crate) node: TechNode,
+    pub(crate) stack: MetalStack,
+    pub(crate) lib: CellLibrary,
+    /// Effective clock period, ps (override or calibrated target).
+    pub(crate) clock_ps: f64,
+    /// Effective placement utilization target.
+    pub(crate) utilization: f64,
+    /// Effective optimization pass budget.
+    pub(crate) opt_passes: usize,
+}
+
+impl FlowEnv {
+    /// Timing constraints at the effective clock.
+    pub(crate) fn timing(&self) -> TimingConfig {
+        TimingConfig::new(self.clock_ps)
+    }
+}
+
+/// Everything a stage produces that later stages consume — the unit the
+/// supervisor checkpoints. Cloning one is cheap relative to a stage, so
+/// a retry restores the last good state instead of restarting the flow.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowState {
+    pub(crate) netlist: Netlist,
+    pub(crate) wlm: WireLoadModel,
+    /// Per-stage delay target for load-based sizing, ps.
+    pub(crate) tau_ps: f64,
+    pub(crate) placement: Option<Placement>,
+    pub(crate) routed: Option<RoutedDesign>,
+    pub(crate) models: Vec<NetModel>,
+    /// WNS measured at the end of post-route optimization, ps — the
+    /// floorplan-round accept/revert signal.
+    pub(crate) wns_after_opt: f64,
+}
+
+impl FlowState {
+    /// Takes the placement produced by the placement stage. The stage
+    /// drivers (`try_run`, the supervisor) always run placement first, so
+    /// absence is a driver bug, not a data error.
+    fn take_placement(&mut self) -> Placement {
+        self.placement
+            .take()
+            .expect("stage driver invariant: placement stage runs first")
+    }
+}
+
 /// The full design-and-analysis pipeline for one benchmark at one
 /// (node, style) point: library preparation, WLM-guided synthesis,
 /// placement, pre-route optimization, routing, post-route optimization,
@@ -177,14 +266,48 @@ impl Flow {
     }
 
     /// Runs the pipeline end to end.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any stage fails; see [`Flow::try_run`] for the
+    /// fallible form.
     pub fn run(&self) -> FlowResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("flow failed: {e}"),
+        }
+    }
+
+    /// Runs the pipeline end to end, reporting the first stage failure
+    /// instead of panicking.
+    ///
+    /// Executes exactly the stage sequence [`Flow::run`] executes — one
+    /// attempt per stage, no recovery. Supervised retry, checkpointed
+    /// resume, and the degradation ladder live in
+    /// [`crate::FlowSupervisor`], which drives these same stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FlowError`] of the first failing stage.
+    pub fn try_run(&self) -> Result<FlowResult, FlowError> {
+        FlowSupervisor::new(self.bench, self.style, self.config.clone())
+            .policy(SupervisorPolicy::strict())
+            .run()
+            .into_result()
+    }
+
+    /// Resolves the run environment: validated config, characterized
+    /// library, metal stack, and the effective clock / utilization /
+    /// pass-budget targets.
+    pub(crate) fn prepare(&self) -> Result<FlowEnv, FlowError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let node = cfg.tech_node();
         let stack_kind = cfg.stack_kind.unwrap_or(self.style.default_stack());
         let stack = MetalStack::new(&node, stack_kind);
-        let mut lib = CellLibrary::build(&node, self.style);
+        let mut lib = CellLibrary::try_build(&node, self.style)?;
         if cfg.pin_cap_scale != 1.0 {
-            lib = lib.with_pin_cap_scaled(cfg.pin_cap_scale);
+            lib = lib.try_with_pin_cap_scaled(cfg.pin_cap_scale)?;
         }
         let scale = if cfg.clock_scale > 0.0 {
             cfg.clock_scale
@@ -198,213 +321,262 @@ impl Flow {
         let utilization = cfg
             .utilization
             .unwrap_or_else(|| self.bench.target_utilization());
+        Ok(FlowEnv {
+            node,
+            stack,
+            lib,
+            clock_ps,
+            utilization,
+            opt_passes: cfg.opt_passes,
+        })
+    }
 
-        // --- Synthesis with a measured wire-load model. ---
-        let raw = self.bench.generate(&lib, cfg.bench_scale);
+    /// The router configured for this flow, borrowing the environment.
+    fn router<'e>(&self, env: &'e FlowEnv) -> Router<'e> {
+        let r = Router::new(&env.node, &env.stack);
+        if self.config.mb1_routing {
+            r
+        } else {
+            r.without_mb1()
+        }
+    }
+
+    /// Synthesis stage: wire-load model measured on a preliminary
+    /// placement, WLM-guided synthesis, and the per-stage delay target
+    /// derived from the synthesized logic depth.
+    pub(crate) fn stage_synthesis(&self, env: &FlowEnv) -> Result<FlowState, FlowError> {
+        let cfg = &self.config;
+        let raw = self.bench.generate(&env.lib, cfg.bench_scale);
         let wlm = if cfg.tmi_wlm || self.style == DesignStyle::TwoD {
-            let prelim = Placer::new(&lib)
-                .utilization(utilization)
+            let prelim = Placer::new(&env.lib)
+                .utilization(env.utilization)
                 .iterations(16)
-                .place(&raw);
+                .try_place(&raw)?;
             WireLoadModel::from_placement(&raw, &prelim)
         } else {
             // Table 15 "-n": synthesize the T-MI design against the WLM
             // measured on the *2D* implementation.
-            let lib2d = CellLibrary::build(&node, DesignStyle::TwoD);
+            let lib2d = CellLibrary::try_build(&env.node, DesignStyle::TwoD)?;
             let raw2d = self.bench.generate(&lib2d, cfg.bench_scale);
             let prelim = Placer::new(&lib2d)
-                .utilization(utilization)
+                .utilization(env.utilization)
                 .iterations(16)
-                .place(&raw2d);
+                .try_place(&raw2d)?;
             WireLoadModel::from_placement(&raw2d, &prelim)
         };
-        let mut netlist = synthesize(raw, &lib, &wlm, &SynthConfig::new(clock_ps));
+        let netlist = try_synthesize(raw, &env.lib, &wlm, &SynthConfig::new(env.clock_ps))?;
 
-        let timing = TimingConfig::new(clock_ps);
         // Per-stage delay target for load-based sizing: a share of the
         // clock budget divided by the design's logic depth.
         let tau_ps = {
-            let (levels, _) = m3d_netlist::levelize(&netlist, &lib)
-                .expect("combinational cycle in design");
+            let (levels, _) = m3d_netlist::levelize(&netlist, &env.lib)
+                .map_err(|cycle| StaError::CombinationalCycle {
+                    involved: cycle.len(),
+                })?;
             let depth = levels.iter().copied().max().unwrap_or(1) as f64 + 3.0;
-            (0.55 * clock_ps / depth).clamp(20.0, 200.0)
+            (0.55 * env.clock_ps / depth).clamp(20.0, 200.0)
         };
-        let router = if cfg.mb1_routing {
-            Router::new(&node, &stack)
-        } else {
-            Router::new(&node, &stack).without_mb1()
-        };
+        Ok(FlowState {
+            netlist,
+            wlm,
+            tau_ps,
+            placement: None,
+            routed: None,
+            models: Vec::new(),
+            wns_after_opt: 0.0,
+        })
+    }
 
-        // --- Physical implementation, run as up to two floorplan rounds:
-        // the first round sizes the design; if optimization and power
-        // recovery moved the cell area materially, a second round rebuilds
-        // the core at the target utilization for the *final* netlist (the
-        // footprint the paper reports is that final core) and re-closes
-        // timing on it. ---
-        let mut placement;
-        #[allow(unused_assignments)] // re-routed at sign-off
-        let mut routed;
-        #[allow(unused_assignments)] // re-extracted at sign-off
-        let mut models;
-        let mut round = 0;
-        let mut round1_best: Option<(Netlist, Placement, f64)> = None;
-        loop {
-            placement = Placer::new(&lib)
-                .utilization(utilization)
-                .iterations(cfg.place_iterations)
-                .place(&netlist);
-
-            // Load-based sizing, gated on need: map drivers to their
-            // placed loads only while the design misses its clock
-            // (iterated because sizing moves the loads).
-            for _ in 0..3 {
-                let est = estimate_models(&netlist, &placement, &node, &stack);
-                let report = analyze(&netlist, &lib, &est, &timing);
-                if report.met() {
-                    break;
-                }
-                let moves = plan_load_sizing(&netlist, &lib, &est, tau_ps);
-                if moves.is_empty() {
-                    break;
-                }
-                apply_moves(&mut netlist, &mut placement, &lib, &moves);
-            }
-
-            // Pre-route optimization on placement-based estimates.
-            // Passes are accept/reject: a pass that does not improve WNS
-            // is rolled back and the loop stops.
-            let mut last_wns = f64::NEG_INFINITY;
-            for pass in 0..cfg.opt_passes {
-                let est = estimate_models(&netlist, &placement, &node, &stack);
-                let report = analyze(&netlist, &lib, &est, &timing);
-                if report.met() {
-                    break;
-                }
-                if pass > 0 && report.wns <= last_wns {
-                    break;
-                }
-                last_wns = report.wns;
-                let limit = 3000.max(netlist.net_count() / 4);
-                let moves = plan_timing_moves(&netlist, &lib, &est, &report, limit);
-                if moves.is_empty() {
-                    break;
-                }
-                let saved = (netlist.clone(), placement.clone());
-                apply_moves(&mut netlist, &mut placement, &lib, &moves);
-                let est2 = estimate_models(&netlist, &placement, &node, &stack);
-                let report2 = analyze(&netlist, &lib, &est2, &timing);
-                if report2.wns < report.wns {
-                    netlist = saved.0;
-                    placement = saved.1;
-                    break;
-                }
-            }
-
-            // Routing, with one load-sizing round against extracted loads.
-            routed = router.route(&netlist, &placement, &lib);
-            models = extraction_models(&netlist, &routed, &node);
-            for _ in 0..2 {
-                let report = analyze(&netlist, &lib, &models, &timing);
-                if report.met() {
-                    break;
-                }
-                let moves = plan_load_sizing(&netlist, &lib, &models, tau_ps);
-                if moves.is_empty() {
-                    break;
-                }
-                apply_moves(&mut netlist, &mut placement, &lib, &moves);
-            }
-            routed = router.route(&netlist, &placement, &lib);
-            models = extraction_models(&netlist, &routed, &node);
-
-            // Post-route optimization (accept/reject passes).
-            for _ in 0..cfg.opt_passes {
-                let report = analyze(&netlist, &lib, &models, &timing);
-                if report.met() {
-                    break;
-                }
-                let limit = 2000.max(netlist.net_count() / 4);
-                let moves = plan_timing_moves(&netlist, &lib, &models, &report, limit);
-                if moves.is_empty() {
-                    break;
-                }
-                let saved = (netlist.clone(), placement.clone());
-                apply_moves(&mut netlist, &mut placement, &lib, &moves);
-                let new_routed = router.route(&netlist, &placement, &lib);
-                let new_models = extraction_models(&netlist, &new_routed, &node);
-                let report2 = analyze(&netlist, &lib, &new_models, &timing);
-                if report2.wns < report.wns {
-                    netlist = saved.0;
-                    placement = saved.1;
-                    break;
-                }
-                models = new_models;
-                drop(new_routed); // sign-off re-routes the final netlist
-            }
-
-            // Iso-performance power recovery: repeatedly downsize cells
-            // with slack until nothing more fits ("with a better timing,
-            // cells are downsized", Section 4.1), verified per round.
-            let recovery_batch = 500.max(netlist.instance_count() / 6);
-            for _ in 0..20 {
-                let report = analyze(&netlist, &lib, &models, &timing);
-                if !report.met() {
-                    break;
-                }
-                let margin = 0.02 * clock_ps;
-                let moves =
-                    plan_power_recovery(&netlist, &lib, &report, margin, recovery_batch);
-                if moves.is_empty() {
-                    break;
-                }
-                let saved = netlist.clone();
-                apply_moves(&mut netlist, &mut placement, &lib, &moves);
-                let check = analyze(&netlist, &lib, &models, &timing);
-                if !check.met() {
-                    netlist = saved;
-                    break;
-                }
-            }
-
-            // Second round only when the area drifted from the core basis.
-            round += 1;
-            let wns_now = analyze(&netlist, &lib, &models, &timing).wns;
-            if round >= 2 {
-                // Keep whichever round closed better (round 2 can fail on
-                // stubborn designs; fall back to the round-1 result).
-                if let Some((n1, p1, w1)) = round1_best.take() {
-                    if wns_now < w1.min(0.0) {
-                        // Sign-off below re-routes and re-extracts.
-                        netlist = n1;
-                        placement = p1;
-                    }
-                }
+    /// Placement stage: global placement, then load-based sizing gated on
+    /// need — drivers are mapped to their placed loads only while the
+    /// design misses its clock (iterated because sizing moves the loads).
+    pub(crate) fn stage_placement(
+        &self,
+        env: &FlowEnv,
+        st: &mut FlowState,
+    ) -> Result<(), FlowError> {
+        let timing = env.timing();
+        let mut placement = Placer::new(&env.lib)
+            .utilization(env.utilization)
+            .iterations(self.config.place_iterations)
+            .try_place(&st.netlist)?;
+        for _ in 0..3 {
+            let est = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
+            let report = try_analyze(&st.netlist, &env.lib, &est, &timing)?;
+            if report.met() {
                 break;
             }
-            let area_now: f64 = netlist.total_cell_area(&lib);
-            let basis = area_now / placement.footprint_um2();
-            if (basis / utilization - 1.0).abs() <= 0.10 {
+            let moves = plan_load_sizing(&st.netlist, &env.lib, &est, st.tau_ps);
+            if moves.is_empty() {
                 break;
             }
-            round1_best = Some((netlist.clone(), placement.clone(), wns_now));
+            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
+        }
+        st.placement = Some(placement);
+        Ok(())
+    }
+
+    /// Pre-route optimization on placement-based estimates. Passes are
+    /// accept/reject: a pass that does not improve WNS is rolled back and
+    /// the loop stops.
+    pub(crate) fn stage_preroute_opt(
+        &self,
+        env: &FlowEnv,
+        st: &mut FlowState,
+    ) -> Result<(), FlowError> {
+        let timing = env.timing();
+        let mut placement = st.take_placement();
+        let mut last_wns = f64::NEG_INFINITY;
+        for pass in 0..env.opt_passes {
+            let est = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
+            let report = try_analyze(&st.netlist, &env.lib, &est, &timing)?;
+            if report.met() {
+                break;
+            }
+            if pass > 0 && report.wns <= last_wns {
+                break;
+            }
+            last_wns = report.wns;
+            let limit = 3000.max(st.netlist.net_count() / 4);
+            let moves = plan_timing_moves(&st.netlist, &env.lib, &est, &report, limit);
+            if moves.is_empty() {
+                break;
+            }
+            let saved = (st.netlist.clone(), placement.clone());
+            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
+            let est2 = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
+            let report2 = try_analyze(&st.netlist, &env.lib, &est2, &timing)?;
+            if report2.wns < report.wns {
+                st.netlist = saved.0;
+                placement = saved.1;
+                break;
+            }
+        }
+        st.placement = Some(placement);
+        Ok(())
+    }
+
+    /// Routing stage: global route, one load-sizing round against
+    /// extracted loads, and the final re-route / re-extract.
+    pub(crate) fn stage_routing(
+        &self,
+        env: &FlowEnv,
+        st: &mut FlowState,
+    ) -> Result<(), FlowError> {
+        let timing = env.timing();
+        let router = self.router(env);
+        let mut placement = st.take_placement();
+        let mut routed = router.try_route(&st.netlist, &placement, &env.lib)?;
+        let mut models = try_extraction_models(&st.netlist, &routed, &env.node)?;
+        for _ in 0..2 {
+            let report = try_analyze(&st.netlist, &env.lib, &models, &timing)?;
+            if report.met() {
+                break;
+            }
+            let moves = plan_load_sizing(&st.netlist, &env.lib, &models, st.tau_ps);
+            if moves.is_empty() {
+                break;
+            }
+            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
+        }
+        routed = router.try_route(&st.netlist, &placement, &env.lib)?;
+        models = try_extraction_models(&st.netlist, &routed, &env.node)?;
+        st.placement = Some(placement);
+        st.routed = Some(routed);
+        st.models = models;
+        Ok(())
+    }
+
+    /// Post-route optimization (accept/reject passes) followed by
+    /// iso-performance power recovery: cells with slack are repeatedly
+    /// downsized until nothing more fits ("with a better timing, cells
+    /// are downsized", Section 4.1), verified per round.
+    pub(crate) fn stage_postroute_opt(
+        &self,
+        env: &FlowEnv,
+        st: &mut FlowState,
+    ) -> Result<(), FlowError> {
+        let timing = env.timing();
+        let router = self.router(env);
+        let mut placement = st.take_placement();
+        for _ in 0..env.opt_passes {
+            let report = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
+            if report.met() {
+                break;
+            }
+            let limit = 2000.max(st.netlist.net_count() / 4);
+            let moves = plan_timing_moves(&st.netlist, &env.lib, &st.models, &report, limit);
+            if moves.is_empty() {
+                break;
+            }
+            let saved = (st.netlist.clone(), placement.clone());
+            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
+            let new_routed = router.try_route(&st.netlist, &placement, &env.lib)?;
+            let new_models = try_extraction_models(&st.netlist, &new_routed, &env.node)?;
+            let report2 = try_analyze(&st.netlist, &env.lib, &new_models, &timing)?;
+            if report2.wns < report.wns {
+                st.netlist = saved.0;
+                placement = saved.1;
+                break;
+            }
+            st.models = new_models;
+            drop(new_routed); // sign-off re-routes the final netlist
         }
 
-        // --- Sign-off. ---
-        routed = router.route(&netlist, &placement, &lib);
-        models = extraction_models(&netlist, &routed, &node);
-        let report = analyze(&netlist, &lib, &models, &timing);
-        let power = analyze_power(
-            &netlist,
-            &lib,
+        let recovery_batch = 500.max(st.netlist.instance_count() / 6);
+        for _ in 0..20 {
+            let report = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
+            if !report.met() {
+                break;
+            }
+            let margin = 0.02 * env.clock_ps;
+            let moves =
+                plan_power_recovery(&st.netlist, &env.lib, &report, margin, recovery_batch);
+            if moves.is_empty() {
+                break;
+            }
+            let saved = st.netlist.clone();
+            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
+            let check = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
+            if !check.met() {
+                st.netlist = saved;
+                break;
+            }
+        }
+        st.wns_after_opt = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?.wns;
+        st.placement = Some(placement);
+        Ok(())
+    }
+
+    /// Sign-off: final route and extraction of the final netlist, timing
+    /// and power analysis, result assembly.
+    pub(crate) fn stage_signoff(
+        &self,
+        env: &FlowEnv,
+        st: &mut FlowState,
+    ) -> Result<FlowResult, FlowError> {
+        let cfg = &self.config;
+        let timing = env.timing();
+        let router = self.router(env);
+        let placement = st
+            .placement
+            .as_ref()
+            .expect("stage driver invariant: placement stage runs first");
+        let routed = router.try_route(&st.netlist, placement, &env.lib)?;
+        let models = try_extraction_models(&st.netlist, &routed, &env.node)?;
+        let report = try_analyze(&st.netlist, &env.lib, &models, &timing)?;
+        let power = try_analyze_power(
+            &st.netlist,
+            &env.lib,
             &models,
-            &PowerConfig::new(clock_ps).with_alpha_ff(cfg.alpha_ff),
-        );
-        let stats = netlist.stats(&lib);
-        FlowResult {
+            &PowerConfig::new(env.clock_ps).with_alpha_ff(cfg.alpha_ff),
+        )?;
+        let stats = st.netlist.stats(&env.lib);
+        let result = FlowResult {
             bench: self.bench,
             style: self.style,
             node_id: cfg.node_id,
-            clock_ps,
+            clock_ps: env.clock_ps,
             hold_wns_ps: report.hold_wns,
             footprint_um2: placement.footprint_um2(),
             core_um: (
@@ -418,8 +590,11 @@ impl Flow {
             wns_ps: report.wns,
             power,
             layer_usage: LayerUsage::of(&routed),
-            wlm_curve: wlm.curve().to_vec(),
-        }
+            wlm_curve: st.wlm.curve().to_vec(),
+        };
+        st.routed = Some(routed);
+        st.models = models;
+        Ok(result)
     }
 }
 
@@ -489,24 +664,46 @@ pub fn estimate_models(
 }
 
 /// Sign-off net models from routed-segment extraction.
+///
+/// # Panics
+///
+/// Panics on out-of-range segment layers; see [`try_extraction_models`]
+/// for the fallible form used by the supervised flow.
 pub fn extraction_models(
     netlist: &Netlist,
     routed: &RoutedDesign,
     node: &TechNode,
 ) -> Vec<NetModel> {
+    match try_extraction_models(netlist, routed, node) {
+        Ok(models) => models,
+        Err(e) => panic!("sign-off extraction failed: {e}"),
+    }
+}
+
+/// Fallible form of [`extraction_models`].
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] when a routed segment references a layer
+/// outside the stack or carries a degenerate length.
+pub fn try_extraction_models(
+    netlist: &Netlist,
+    routed: &RoutedDesign,
+    node: &TechNode,
+) -> Result<Vec<NetModel>, ExtractError> {
     netlist
         .net_ids()
         .map(|id| {
             let rn = routed.net(id);
-            let p = extract_net(node, &routed.stack, &rn.segments, rn.via_count);
+            let p = try_extract_net(node, &routed.stack, &rn.segments, rn.via_count)?;
             // extract_net sums all segments in series (trunk model); a
             // multi-sink net branches, so the driver-to-worst-sink
             // resistance is closer to total / sqrt(fanout).
             let sinks = netlist.net(id).sinks.len().max(1) as f64;
-            NetModel {
+            Ok(NetModel {
                 c_wire: p.c_wire,
                 r_wire: p.r_wire / sinks.sqrt(),
-            }
+            })
         })
         .collect()
 }

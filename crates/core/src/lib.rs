@@ -26,6 +26,13 @@
 //! reports the percentage deltas of the paper's Tables 4/7/13/14;
 //! [`experiments`] regenerates every table and figure.
 //!
+//! Failure handling: every stage has a fallible entry point whose errors
+//! unify into [`FlowError`] ([`error`]); [`Flow::try_run`] reports the
+//! first failing stage instead of panicking; [`FlowSupervisor`]
+//! ([`supervisor`]) adds bounded retry with checkpointed resume and a
+//! degradation ladder, and [`faultinject`] plants deterministic faults
+//! to test that machinery.
+//!
 //! # Example: a small iso-performance comparison
 //!
 //! ```no_run
@@ -44,10 +51,18 @@
 //! ```
 
 mod compare;
-pub mod gmi;
+pub mod error;
 pub mod experiments;
+pub mod faultinject;
 mod flow;
+pub mod gmi;
+pub mod supervisor;
 
 pub use compare::Comparison;
-pub use flow::{estimate_models, extraction_models};
+pub use error::{ConfigError, FlowError, FlowStage};
+pub use faultinject::{FaultInjector, FaultPlan, PlannedFault};
+pub use flow::{estimate_models, extraction_models, try_extraction_models};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
+pub use supervisor::{
+    AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, SupervisorPolicy,
+};

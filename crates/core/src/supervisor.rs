@@ -1,0 +1,522 @@
+//! The flow supervisor: per-stage retry with checkpointed resume, plus a
+//! bounded degradation ladder when the flow cannot close as configured.
+//!
+//! The supervisor drives the same stage functions as [`Flow::try_run`],
+//! but wraps each stage in a retry loop that restores the last good
+//! [`FlowState`] checkpoint before re-attempting, and — when a whole run
+//! fails or sign-off timing does not close — escalates through a ladder
+//! of recovery knobs that mirrors what a designer would try by hand:
+//!
+//! 1. **More optimization passes**, resuming from the routing checkpoint
+//!    when one exists (re-closing post-route without re-synthesizing);
+//! 2. **Relaxed utilization** (a roomier floorplan routes and closes more
+//!    easily), restarting from synthesis since the WLM shifts;
+//! 3. **Clock backoff** (the paper's iso-performance pressure released a
+//!    step), also restarting from synthesis.
+//!
+//! The [`FlowReport`] records every attempt and ends in a
+//! [`Disposition`]: `Closed`, `ClosedDegraded` with the relaxations that
+//! were needed, or `Failed` naming the stage and its typed error.
+
+use m3d_netlist::Benchmark;
+use m3d_tech::DesignStyle;
+
+use crate::error::{FlowError, FlowStage};
+use crate::faultinject::{FaultInjector, FaultPlan};
+use crate::flow::{Flow, FlowConfig, FlowEnv, FlowResult, FlowState};
+
+/// Retry and degradation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Attempts per stage (per ladder rung) before escalating; >= 1.
+    pub max_stage_attempts: u32,
+    /// Whether the degradation ladder may run at all.
+    pub allow_degradation: bool,
+    /// Optimization passes added by the first ladder rung.
+    pub extra_opt_passes: usize,
+    /// Utilization multiplier of the second rung (< 1 loosens the core).
+    pub utilization_relax: f64,
+    /// Clock-period multiplier of the third rung (> 1 slows the target).
+    pub clock_backoff: f64,
+    /// Sign-off closure tolerance: the run counts as closed when
+    /// `wns_ps >= -wns_tolerance_frac * clock_ps`. `f64::INFINITY`
+    /// disables the gate entirely.
+    pub wns_tolerance_frac: f64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_stage_attempts: 2,
+            allow_degradation: true,
+            extra_opt_passes: 2,
+            utilization_relax: 0.85,
+            clock_backoff: 1.25,
+            wns_tolerance_frac: 0.05,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// One attempt per stage, no degradation, no sign-off gate — the
+    /// policy behind [`Flow::try_run`], which must execute exactly the
+    /// unsupervised stage sequence.
+    pub fn strict() -> Self {
+        SupervisorPolicy {
+            max_stage_attempts: 1,
+            allow_degradation: false,
+            wns_tolerance_frac: f64::INFINITY,
+            ..SupervisorPolicy::default()
+        }
+    }
+}
+
+/// One recovery knob the ladder applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relaxation {
+    /// Optimization pass budget increased.
+    ExtraOptPasses {
+        /// Passes added on top of the configured budget.
+        added: usize,
+    },
+    /// Placement utilization loosened.
+    RelaxedUtilization {
+        /// Utilization before the rung.
+        from: f64,
+        /// Utilization after the rung.
+        to: f64,
+    },
+    /// Clock target slowed.
+    ClockBackoff {
+        /// Clock period before the rung, ps.
+        from_ps: f64,
+        /// Clock period after the rung, ps.
+        to_ps: f64,
+    },
+}
+
+impl std::fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Relaxation::ExtraOptPasses { added } => {
+                write!(f, "+{added} optimization passes")
+            }
+            Relaxation::RelaxedUtilization { from, to } => {
+                write!(f, "utilization relaxed {from:.2} -> {to:.2}")
+            }
+            Relaxation::ClockBackoff { from_ps, to_ps } => {
+                write!(f, "clock backed off {from_ps:.0} ps -> {to_ps:.0} ps")
+            }
+        }
+    }
+}
+
+/// How a supervised run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Closed under the configured targets.
+    Closed,
+    /// Closed, but only after the listed relaxations.
+    ClosedDegraded {
+        /// Ladder rungs that were needed, in the order applied.
+        relaxations: Vec<Relaxation>,
+    },
+    /// Could not close: the stage that gave out, with its typed error.
+    Failed {
+        /// Stage of the final failure.
+        stage: FlowStage,
+        /// The error that exhausted the retry and degradation budget.
+        error: FlowError,
+    },
+}
+
+/// One stage execution attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// Stage attempted.
+    pub stage: FlowStage,
+    /// Degradation rung the attempt ran under (0 = as configured).
+    pub rung: u32,
+    /// 1-based attempt number within this stage at this rung.
+    pub attempt: u32,
+    /// `None` on success; the stage error otherwise.
+    pub error: Option<FlowError>,
+}
+
+/// The supervisor's structured account of a run.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Benchmark the run targeted.
+    pub bench: Benchmark,
+    /// Design style the run targeted.
+    pub style: DesignStyle,
+    /// Every stage attempt, in execution order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Outcome.
+    pub disposition: Disposition,
+    /// The sign-off result when the run closed (possibly degraded).
+    pub result: Option<FlowResult>,
+    /// Effective clock period after any backoff, ps.
+    pub clock_ps: f64,
+    /// Effective utilization after any relaxation.
+    pub utilization: f64,
+}
+
+impl FlowReport {
+    /// True when the run produced a sign-off result.
+    pub fn closed(&self) -> bool {
+        !matches!(self.disposition, Disposition::Failed { .. })
+    }
+
+    /// True when closure needed the degradation ladder.
+    pub fn degraded(&self) -> bool {
+        matches!(self.disposition, Disposition::ClosedDegraded { .. })
+    }
+
+    /// Number of attempts recorded for a stage (across all rungs).
+    pub fn stage_attempts(&self, stage: FlowStage) -> u32 {
+        self.attempts.iter().filter(|a| a.stage == stage).count() as u32
+    }
+
+    /// Converts the report into a plain result, discarding the attempt
+    /// history: the sign-off result when closed, the final error
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the final failure for `Failed` dispositions.
+    pub fn into_result(self) -> Result<FlowResult, FlowError> {
+        match self.disposition {
+            Disposition::Failed { error, .. } => Err(error),
+            Disposition::Closed | Disposition::ClosedDegraded { .. } => {
+                Ok(self.result.expect("closed dispositions carry a result"))
+            }
+        }
+    }
+}
+
+/// A whole-rung failure, carrying the routing checkpoint so the next
+/// rung can resume post-route work without re-synthesizing.
+struct RungFailure {
+    stage: FlowStage,
+    error: FlowError,
+    // Boxed: a checkpoint carries the whole working state, and the
+    // failure travels by value through `Result`.
+    routing_ckpt: Option<Box<FlowState>>,
+}
+
+/// Drives [`Flow`] stages under a [`SupervisorPolicy`], with optional
+/// deterministic fault injection for testing the recovery machinery.
+#[derive(Debug)]
+pub struct FlowSupervisor {
+    bench: Benchmark,
+    style: DesignStyle,
+    flow: Flow,
+    policy: SupervisorPolicy,
+    injector: FaultInjector,
+}
+
+impl FlowSupervisor {
+    /// A supervisor over the flow for `bench`/`style`/`config`, with the
+    /// default policy and no faults.
+    pub fn new(bench: Benchmark, style: DesignStyle, config: FlowConfig) -> Self {
+        FlowSupervisor {
+            bench,
+            style,
+            flow: Flow::new(bench, style, config),
+            policy: SupervisorPolicy::default(),
+            injector: FaultInjector::new(FaultPlan::new()),
+        }
+    }
+
+    /// Replaces the policy.
+    pub fn policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a deterministic fault plan (test harness).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.injector = FaultInjector::new(plan);
+        self
+    }
+
+    /// Runs the flow to a disposition. Never panics on stage failures:
+    /// every error lands in the report.
+    pub fn run(self) -> FlowReport {
+        let FlowSupervisor {
+            bench,
+            style,
+            flow,
+            policy,
+            mut injector,
+        } = self;
+        let mut records: Vec<AttemptRecord> = Vec::new();
+        let fail_report = |records: Vec<AttemptRecord>,
+                           stage: FlowStage,
+                           error: FlowError,
+                           clock_ps: f64,
+                           utilization: f64| FlowReport {
+            bench,
+            style,
+            attempts: records,
+            disposition: Disposition::Failed { stage, error },
+            result: None,
+            clock_ps,
+            utilization,
+        };
+
+        // Library preparation, retried like any stage.
+        let mut env = match run_attempts(
+            &mut injector,
+            &mut records,
+            policy.max_stage_attempts,
+            FlowStage::Library,
+            0,
+            || flow.prepare(),
+        ) {
+            Ok(env) => env,
+            Err(e) => return fail_report(records, FlowStage::Library, e, 0.0, 0.0),
+        };
+
+        let mut relaxations: Vec<Relaxation> = Vec::new();
+        let mut resume: Option<FlowState> = None;
+        let mut rung: u32 = 0;
+        loop {
+            match execute_rung(
+                &flow,
+                &env,
+                &policy,
+                &mut injector,
+                &mut records,
+                rung,
+                resume.take(),
+            ) {
+                Ok(result) => {
+                    let disposition = if relaxations.is_empty() {
+                        Disposition::Closed
+                    } else {
+                        Disposition::ClosedDegraded {
+                            relaxations: relaxations.clone(),
+                        }
+                    };
+                    return FlowReport {
+                        bench,
+                        style,
+                        attempts: records,
+                        disposition,
+                        result: Some(result),
+                        clock_ps: env.clock_ps,
+                        utilization: env.utilization,
+                    };
+                }
+                Err(fail) => {
+                    // Config/library errors are structural: no physical
+                    // knob fixes them, so fail fast. Otherwise walk the
+                    // ladder until it runs out.
+                    let structural = matches!(
+                        fail.error,
+                        FlowError::Config(_) | FlowError::Library(_)
+                    );
+                    if !policy.allow_degradation || structural || rung >= 3 {
+                        return fail_report(
+                            records,
+                            fail.stage,
+                            fail.error,
+                            env.clock_ps,
+                            env.utilization,
+                        );
+                    }
+                    match rung {
+                        0 => {
+                            env.opt_passes += policy.extra_opt_passes;
+                            relaxations.push(Relaxation::ExtraOptPasses {
+                                added: policy.extra_opt_passes,
+                            });
+                            // More passes only change post-route work, so
+                            // resume from the routing checkpoint when the
+                            // failed rung got that far.
+                            resume = fail.routing_ckpt.map(|b| *b);
+                        }
+                        1 => {
+                            let from = env.utilization;
+                            env.utilization *= policy.utilization_relax;
+                            relaxations.push(Relaxation::RelaxedUtilization {
+                                from,
+                                to: env.utilization,
+                            });
+                        }
+                        _ => {
+                            let from = env.clock_ps;
+                            env.clock_ps *= policy.clock_backoff;
+                            relaxations.push(Relaxation::ClockBackoff {
+                                from_ps: from,
+                                to_ps: env.clock_ps,
+                            });
+                        }
+                    }
+                    rung += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one stage under the retry budget: each failed attempt is recorded
+/// and re-tried from the caller-supplied closure, which rebuilds its
+/// working state from the last good checkpoint.
+fn run_attempts<T>(
+    injector: &mut FaultInjector,
+    records: &mut Vec<AttemptRecord>,
+    max_attempts: u32,
+    stage: FlowStage,
+    rung: u32,
+    mut f: impl FnMut() -> Result<T, FlowError>,
+) -> Result<T, FlowError> {
+    let max_attempts = max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let outcome = match injector.tick(stage) {
+            Some(injected) => Err(injected),
+            None => f(),
+        };
+        match outcome {
+            Ok(v) => {
+                records.push(AttemptRecord {
+                    stage,
+                    rung,
+                    attempt,
+                    error: None,
+                });
+                return Ok(v);
+            }
+            Err(e) => {
+                records.push(AttemptRecord {
+                    stage,
+                    rung,
+                    attempt,
+                    error: Some(e.clone()),
+                });
+                if attempt >= max_attempts {
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Executes one full pass of the pipeline (the two-round floorplan loop
+/// plus sign-off) at the current ladder rung, checkpointing after every
+/// successful stage so retries resume from the last good state.
+fn execute_rung(
+    flow: &Flow,
+    env: &FlowEnv,
+    policy: &SupervisorPolicy,
+    injector: &mut FaultInjector,
+    records: &mut Vec<AttemptRecord>,
+    rung: u32,
+    resume: Option<FlowState>,
+) -> Result<FlowResult, RungFailure> {
+    let att = policy.max_stage_attempts;
+    let resumed = resume.is_some();
+    let mut routing_ckpt: Option<FlowState> = if resumed { resume.clone() } else { None };
+    let fail = |stage: FlowStage, error: FlowError, ckpt: Option<FlowState>| RungFailure {
+        stage,
+        error,
+        routing_ckpt: ckpt.map(Box::new),
+    };
+
+    let mut state = match resume {
+        Some(s) => s,
+        None => run_attempts(injector, records, att, FlowStage::Synthesis, rung, || {
+            flow.stage_synthesis(env)
+        })
+        .map_err(|e| fail(FlowStage::Synthesis, e, None))?,
+    };
+
+    // The two-round floorplan loop of the unsupervised flow: round 1
+    // sizes the design; a second round re-builds the core when the cell
+    // area drifted from the floorplan basis. A degraded resume re-closes
+    // post-route work only.
+    let mut round = 0;
+    let mut round1_best: Option<(m3d_netlist::Netlist, m3d_place::Placement, f64)> = None;
+    loop {
+        if !(resumed && round == 0) {
+            for (stage, step) in [
+                (FlowStage::Placement, Flow::stage_placement as StageFn),
+                (FlowStage::PreRouteOpt, Flow::stage_preroute_opt as StageFn),
+                (FlowStage::Routing, Flow::stage_routing as StageFn),
+            ] {
+                state = run_attempts(injector, records, att, stage, rung, || {
+                    let mut s = state.clone();
+                    step(flow, env, &mut s)?;
+                    Ok(s)
+                })
+                .map_err(|e| fail(stage, e, routing_ckpt.clone()))?;
+            }
+            routing_ckpt = Some(state.clone());
+        }
+        state = run_attempts(injector, records, att, FlowStage::PostRouteOpt, rung, || {
+            let mut s = state.clone();
+            flow.stage_postroute_opt(env, &mut s)?;
+            Ok(s)
+        })
+        .map_err(|e| fail(FlowStage::PostRouteOpt, e, routing_ckpt.clone()))?;
+
+        round += 1;
+        if resumed {
+            break;
+        }
+        let wns_now = state.wns_after_opt;
+        if round >= 2 {
+            // Keep whichever round closed better (round 2 can fail on
+            // stubborn designs; fall back to the round-1 result).
+            if let Some((n1, p1, w1)) = round1_best.take() {
+                if wns_now < w1.min(0.0) {
+                    // Sign-off below re-routes and re-extracts.
+                    state.netlist = n1;
+                    state.placement = Some(p1);
+                }
+            }
+            break;
+        }
+        let area_now: f64 = state.netlist.total_cell_area(&env.lib);
+        let placement = state
+            .placement
+            .as_ref()
+            .expect("post-route stage leaves a placement");
+        let basis = area_now / placement.footprint_um2();
+        if (basis / env.utilization - 1.0).abs() <= 0.10 {
+            break;
+        }
+        round1_best = Some((
+            state.netlist.clone(),
+            placement.clone(),
+            wns_now,
+        ));
+    }
+
+    let result = run_attempts(injector, records, att, FlowStage::SignOff, rung, || {
+        let mut s = state.clone();
+        flow.stage_signoff(env, &mut s)
+    })
+    .map_err(|e| fail(FlowStage::SignOff, e, routing_ckpt.clone()))?;
+
+    if result.wns_ps < -policy.wns_tolerance_frac * env.clock_ps {
+        let error = FlowError::TimingNotClosed {
+            wns_ps: result.wns_ps,
+            clock_ps: env.clock_ps,
+        };
+        records.push(AttemptRecord {
+            stage: FlowStage::SignOff,
+            rung,
+            attempt: 0,
+            error: Some(error.clone()),
+        });
+        return Err(fail(FlowStage::SignOff, error, routing_ckpt));
+    }
+    Ok(result)
+}
+
+type StageFn = fn(&Flow, &FlowEnv, &mut FlowState) -> Result<(), FlowError>;

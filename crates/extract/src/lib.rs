@@ -36,4 +36,4 @@ mod cell;
 mod net;
 
 pub use cell::{extract_cell, CellExtraction, TopSiliconModel};
-pub use net::{extract_net, NetParasitics};
+pub use net::{extract_net, try_extract_net, ExtractError, NetParasitics};

@@ -42,6 +42,42 @@ impl NetParasitics {
     }
 }
 
+/// Net-extraction failure: a routed segment the extractor cannot turn
+/// into parasitics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// A segment referenced a layer index outside the metal stack.
+    LayerOutOfRange {
+        /// The referenced stack layer index.
+        layer: u16,
+        /// Number of layers the stack actually has.
+        stack_len: usize,
+    },
+    /// A segment length was negative or non-finite.
+    BadSegmentLength {
+        /// The segment's stack layer index.
+        layer: u16,
+        /// The offending length, µm.
+        len_um: f64,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::LayerOutOfRange { layer, stack_len } => write!(
+                f,
+                "segment references layer {layer} but the stack has {stack_len} layers"
+            ),
+            ExtractError::BadSegmentLength { layer, len_um } => {
+                write!(f, "segment on layer {layer} has invalid length {len_um} um")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
 fn class_slot(class: MetalClass) -> usize {
     match class {
         MetalClass::M1 => 0,
@@ -61,26 +97,57 @@ fn class_slot(class: MetalClass) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if a segment references a layer index outside the stack.
+/// Panics if a segment references a layer index outside the stack; see
+/// [`try_extract_net`] for the fallible form used by the supervised flow.
 pub fn extract_net(
     node: &TechNode,
     stack: &MetalStack,
     segments: &[(u16, f64)],
     via_count: u32,
 ) -> NetParasitics {
+    match try_extract_net(node, stack, segments, via_count) {
+        Ok(p) => p,
+        Err(e) => panic!("net extraction failed: {e}"),
+    }
+}
+
+/// Fallible form of [`extract_net`].
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] when a segment references a layer outside the
+/// stack or carries a negative / non-finite length.
+pub fn try_extract_net(
+    node: &TechNode,
+    stack: &MetalStack,
+    segments: &[(u16, f64)],
+    via_count: u32,
+) -> Result<NetParasitics, ExtractError> {
     let mut p = NetParasitics {
         via_count,
         r_wire: node.via_resistance * via_count as f64,
         ..Default::default()
     };
+    let layers = stack.layers();
     for &(layer_idx, len_um) in segments {
-        let layer = &stack.layers()[layer_idx as usize];
+        let layer = layers
+            .get(layer_idx as usize)
+            .ok_or(ExtractError::LayerOutOfRange {
+                layer: layer_idx,
+                stack_len: layers.len(),
+            })?;
+        if !len_um.is_finite() || len_um < 0.0 {
+            return Err(ExtractError::BadSegmentLength {
+                layer: layer_idx,
+                len_um,
+            });
+        }
         let rc = WireRc::for_layer(node, layer);
         p.c_wire += rc.capacitance(len_um);
         p.r_wire += rc.resistance(len_um);
         p.class_len_um[class_slot(layer.class)] += len_um;
     }
-    p
+    Ok(p)
 }
 
 #[cfg(test)]

@@ -96,7 +96,17 @@ pub fn generate(lib: &CellLibrary, scale: BenchScale) -> Netlist {
     }
 
     // Exponent adjust and result registers.
-    let exp_adj = b.prefix_adder(&exp_sum, &count[..exp_bits.min(count.len())].to_vec().iter().copied().chain(std::iter::repeat(exp_sum[0]).take(exp_bits.saturating_sub(count.len()))).collect::<Vec<_>>());
+    let exp_adj = b.prefix_adder(
+        &exp_sum,
+        &count[..exp_bits.min(count.len())]
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(
+                exp_sum[0],
+                exp_bits.saturating_sub(count.len()),
+            ))
+            .collect::<Vec<_>>(),
+    );
     let result_q = b.dff_bus(&rounded);
     let exp_q = b.dff_bus(&exp_adj);
     for &o in result_q.iter().chain(&exp_q) {

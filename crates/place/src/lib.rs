@@ -41,4 +41,4 @@ mod placer;
 mod spread;
 
 pub use placement::Placement;
-pub use placer::Placer;
+pub use placer::{PlaceError, Placer};

@@ -8,6 +8,37 @@ use crate::legalize::legalize_rows;
 use crate::spread::spread;
 use crate::Placement;
 
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// Target utilization outside `(0, 1]`.
+    InvalidUtilization(f64),
+    /// The netlist has no instances to place.
+    EmptyNetlist,
+    /// An instance's cell footprint was non-finite or non-positive, so
+    /// no core area can be derived.
+    BadCellArea {
+        /// Offending cell name.
+        cell: String,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::InvalidUtilization(u) => {
+                write!(f, "utilization must be in (0, 1], got {u}")
+            }
+            PlaceError::EmptyNetlist => write!(f, "cannot place an empty netlist"),
+            PlaceError::BadCellArea { cell } => {
+                write!(f, "cell {cell} has a degenerate footprint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
 /// Placement engine with tunable knobs.
 ///
 /// See the crate docs for the algorithm outline.
@@ -81,7 +112,46 @@ impl<'l> Placer<'l> {
     }
 
     /// Runs the full placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty netlist or degenerate cell footprints; see
+    /// [`Placer::try_place`] for the fallible form used by the
+    /// supervised flow.
     pub fn place(&self, netlist: &Netlist) -> Placement {
+        match self.try_place(netlist) {
+            Ok(p) => p,
+            Err(e) => panic!("placement failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Placer::place`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] when the netlist is empty, a cell footprint
+    /// is degenerate, or the configured utilization is out of range.
+    pub fn try_place(&self, netlist: &Netlist) -> Result<Placement, PlaceError> {
+        if !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(PlaceError::InvalidUtilization(self.utilization));
+        }
+        if netlist.instance_count() == 0 {
+            return Err(PlaceError::EmptyNetlist);
+        }
+        for i in netlist.inst_ids() {
+            let c = self.lib.cell(netlist.inst(i).cell);
+            let area = c.width_nm as f64 * c.height_nm as f64;
+            if !area.is_finite() || area <= 0.0 {
+                return Err(PlaceError::BadCellArea {
+                    cell: c.name.clone(),
+                });
+            }
+        }
+        Ok(self.place_validated(netlist))
+    }
+
+    /// The placement proper; inputs validated by [`Placer::try_place`].
+    fn place_validated(&self, netlist: &Netlist) -> Placement {
         let lib = self.lib;
         let n_inst = netlist.instance_count();
         let cell_area_nm2: f64 = netlist
@@ -144,7 +214,7 @@ impl<'l> Placer<'l> {
         for i in 0..n_inst {
             let r = i / cols;
             let c0 = i % cols;
-            let c = if r % 2 == 0 { c0 } else { cols - 1 - c0 };
+            let c = if r.is_multiple_of(2) { c0 } else { cols - 1 - c0 };
             let jitter_x: f64 = rng.gen_range(-0.3..0.3);
             let jitter_y: f64 = rng.gen_range(-0.3..0.3);
             xs.push(((c as f64 + 0.5 + jitter_x) / cols as f64 * width as f64)

@@ -63,8 +63,8 @@ fn axis_pass(
     let bin_w = primary_extent / g as f64;
     // Group cells by band.
     let mut bands: Vec<Vec<u32>> = vec![Vec::new(); g];
-    for i in 0..primary.len() {
-        let b = ((secondary[i] / band_h) as usize).min(g - 1);
+    for (i, &s) in secondary.iter().enumerate().take(primary.len()) {
+        let b = ((s / band_h) as usize).min(g - 1);
         bands[b].push(i as u32);
     }
     for band in bands {

@@ -37,23 +37,93 @@ impl PowerConfig {
     }
 }
 
+/// Power-analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// `models` is shorter than the net count.
+    ModelCountMismatch {
+        /// Nets in the design.
+        nets: usize,
+        /// Models supplied.
+        models: usize,
+    },
+    /// A switching-activity knob is outside `[0, 1]` or non-finite.
+    InvalidActivity {
+        /// Knob name (`alpha_pi` / `alpha_ff`).
+        knob: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Clock period non-finite or non-positive.
+    InvalidClockPeriod(f64),
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerError::ModelCountMismatch { nets, models } => write!(
+                f,
+                "power analysis needs one NetModel per net: {nets} nets, {models} models"
+            ),
+            PowerError::InvalidActivity { knob, value } => {
+                write!(f, "{knob} must be in [0, 1], got {value}")
+            }
+            PowerError::InvalidClockPeriod(t) => {
+                write!(f, "clock period must be positive, got {t} ps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
 /// Runs statistical power analysis.
 ///
 /// `models` supplies per-net wire capacitance (indexed by `NetId`).
 ///
 /// # Panics
 ///
-/// Panics if `models` is shorter than the net count.
+/// Panics if `models` is shorter than the net count; see
+/// [`try_analyze_power`] for the fallible form used by the supervised
+/// flow.
 pub fn analyze_power(
     netlist: &Netlist,
     lib: &CellLibrary,
     models: &[NetModel],
     config: &PowerConfig,
 ) -> PowerReport {
-    assert!(
-        models.len() >= netlist.net_count(),
-        "one NetModel per net required"
-    );
+    match try_analyze_power(netlist, lib, models, config) {
+        Ok(report) => report,
+        Err(e) => panic!("power analysis failed: {e}"),
+    }
+}
+
+/// Fallible form of [`analyze_power`].
+///
+/// # Errors
+///
+/// Returns [`PowerError`] on a model/net count mismatch or out-of-range
+/// activity and clock knobs.
+pub fn try_analyze_power(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    models: &[NetModel],
+    config: &PowerConfig,
+) -> Result<PowerReport, PowerError> {
+    if models.len() < netlist.net_count() {
+        return Err(PowerError::ModelCountMismatch {
+            nets: netlist.net_count(),
+            models: models.len(),
+        });
+    }
+    for (knob, value) in [("alpha_pi", config.alpha_pi), ("alpha_ff", config.alpha_ff)] {
+        if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+            return Err(PowerError::InvalidActivity { knob, value });
+        }
+    }
+    if !(config.clock_period_ps.is_finite() && config.clock_period_ps > 0.0) {
+        return Err(PowerError::InvalidClockPeriod(config.clock_period_ps));
+    }
     let act = propagate_activity(netlist, lib, config.alpha_pi, config.alpha_ff);
     let t = config.clock_period_ps;
     let vdd = lib.node().vdd;
@@ -103,7 +173,7 @@ pub fn analyze_power(
     // Primary-input pin power is already counted through their nets; port
     // drivers themselves are external. Undriven nets contribute nothing.
     let _ = NetDriver::None;
-    report
+    Ok(report)
 }
 
 /// Per-instance power: internal + leakage per cell, sorted descending —
@@ -136,7 +206,7 @@ pub fn per_instance_power(
             (id, p)
         })
         .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite power"));
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     rows
 }
 

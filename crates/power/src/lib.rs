@@ -39,5 +39,5 @@ mod analysis;
 mod report;
 
 pub use activity::{propagate_activity, Activity};
-pub use analysis::{analyze_power, per_instance_power, PowerConfig};
+pub use analysis::{analyze_power, per_instance_power, try_analyze_power, PowerConfig, PowerError};
 pub use report::PowerReport;

@@ -45,6 +45,15 @@ impl Default for CtsConfig {
     }
 }
 
+impl CtsConfig {
+    /// `max_fanout` with a floor of 1: a zero fanout would recurse
+    /// forever (a one-sink slice could never become a leaf), so the
+    /// builder clamps instead of trusting the caller.
+    fn effective_fanout(&self) -> usize {
+        self.max_fanout.max(1)
+    }
+}
+
 /// One branch point of the synthesized tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CtsNode {
@@ -100,15 +109,19 @@ fn build_recursive(
         sinks_below: sinks.len(),
     });
     *depth = (*depth).max(level);
-    if sinks.len() <= cfg.max_fanout {
+    if sinks.len() <= cfg.effective_fanout() {
         // Leaf: direct stubs to each sink.
         for s in sinks.iter() {
             *wl_nm += here.manhattan(*s);
         }
         return here;
     }
-    // Split by the spread-out dimension at the median.
-    let bb = m3d_geom::Rect::bounding(sinks.iter().copied()).expect("non-empty sinks");
+    // Split by the spread-out dimension at the median. The slice is
+    // non-empty here: `build_clock_tree` rejects empty sink sets before
+    // recursing, and both median halves keep at least one sink because
+    // `len > effective_fanout() >= 1`.
+    let bb = m3d_geom::Rect::bounding(sinks.iter().copied())
+        .expect("recursion invariant: sink slices are never empty");
     let by_x = bb.width() >= bb.height();
     if by_x {
         sinks.sort_by_key(|p| p.x);
@@ -219,6 +232,17 @@ mod tests {
             t.total_wirelength_um,
             estimate
         );
+    }
+
+    #[test]
+    fn zero_fanout_is_clamped_and_terminates() {
+        // max_fanout == 0 would otherwise never satisfy the leaf check
+        // for a single-sink slice and recurse forever.
+        let (n, t) = tree(0);
+        let clock = n.clock.expect("sequential");
+        assert_eq!(t.sink_count, n.net(clock).sinks.len());
+        let (_, one) = tree(1);
+        assert_eq!(t.buffers.len(), one.buffers.len());
     }
 
     #[test]

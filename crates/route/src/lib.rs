@@ -43,4 +43,4 @@ mod router;
 
 pub use grid::CongestionGrid;
 pub use report::LayerUsage;
-pub use router::{RoutedDesign, RoutedNet, Router};
+pub use router::{RouteError, RoutedDesign, RoutedNet, Router};

@@ -55,6 +55,37 @@ impl RoutedDesign {
     }
 }
 
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The metal stack lacks a layer the router depends on (M1 today).
+    MissingLayer {
+        /// Layer name the router looked for.
+        layer: &'static str,
+    },
+    /// A net's half-perimeter wirelength evaluated to a non-finite value,
+    /// so nets cannot be ordered for routing.
+    NonFiniteNetLength {
+        /// Offending net id.
+        net: u32,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::MissingLayer { layer } => {
+                write!(f, "metal stack has no {layer} layer")
+            }
+            RouteError::NonFiniteNetLength { net } => {
+                write!(f, "net {net} has a non-finite wirelength estimate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// The global router. See the crate docs for the algorithm.
 #[derive(Debug, Clone)]
 pub struct Router<'a> {
@@ -91,12 +122,39 @@ impl<'a> Router<'a> {
     }
 
     /// Routes every net of the placed design.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stack has no M1 or a net length is non-finite; see
+    /// [`Router::try_route`] for the fallible form used by the supervised
+    /// flow.
     pub fn route(
         &self,
         netlist: &Netlist,
         placement: &Placement,
         lib: &CellLibrary,
     ) -> RoutedDesign {
+        match self.try_route(netlist, placement, lib) {
+            Ok(r) => r,
+            Err(e) => panic!("routing failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Router::route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when the stack is missing M1 or any net's
+    /// wirelength estimate is non-finite.
+    pub fn try_route(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        lib: &CellLibrary,
+    ) -> Result<RoutedDesign, RouteError> {
+        if self.stack.by_name("M1").is_none() {
+            return Err(RouteError::MissingLayer { layer: "M1" });
+        }
         let mut grid = CongestionGrid::new(placement.core, self.stack);
         let mut nets: Vec<RoutedNet> = vec![RoutedNet::default(); netlist.net_count()];
 
@@ -107,7 +165,10 @@ impl<'a> Router<'a> {
             .net_ids()
             .map(|id| (id, placement.net_hpwl_um(netlist, id)))
             .collect();
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lengths"));
+        if let Some((id, _)) = order.iter().find(|(_, l)| !l.is_finite()) {
+            return Err(RouteError::NonFiniteNetLength { net: id.0 });
+        }
+        order.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         for (id, hpwl) in order {
             if Some(id) == netlist.clock {
@@ -122,11 +183,11 @@ impl<'a> Router<'a> {
             }
             nets[id.0 as usize] = self.route_net(&pts, &mut grid, lib, netlist, id);
         }
-        RoutedDesign {
+        Ok(RoutedDesign {
             nets,
             grid,
             stack: self.stack.clone(),
-        }
+        })
     }
 
     /// Picks a concrete layer pair (H, V) within a class, spreading usage
@@ -259,11 +320,11 @@ impl<'a> Router<'a> {
         let salt = id.0 as usize;
         let mut trunk_class = MetalClass::Local;
         let mut best_edges = 0;
-        for slot in 0..3 {
-            if chosen_slot_hist[slot] == 0 {
+        for (slot, &slot_edges) in chosen_slot_hist.iter().enumerate() {
+            if slot_edges == 0 {
                 continue;
             }
-            let share = chosen_slot_hist[slot] as f64 / total_edges.max(1) as f64;
+            let share = slot_edges as f64 / total_edges.max(1) as f64;
             let (h, v) = self.layers_in(slot_class(slot), salt);
             let len = routed_len * share;
             segments.push((h, len * 0.5));
@@ -274,8 +335,8 @@ impl<'a> Router<'a> {
                 let last = segments.len() - 1;
                 segments[last].1 += len * 0.5;
             }
-            if chosen_slot_hist[slot] > best_edges {
-                best_edges = chosen_slot_hist[slot];
+            if slot_edges > best_edges {
+                best_edges = slot_edges;
                 trunk_class = slot_class(slot);
             }
         }

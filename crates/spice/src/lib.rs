@@ -43,6 +43,10 @@ pub use solver::solve_dense;
 pub use transient::{dc_transfer, Transient, TransientResult};
 pub use waveform::Waveform;
 
+/// Stage-error alias: SPICE's one failure mode is Newton non-convergence,
+/// so the flow-level taxonomy wraps [`ConvergenceError`] under this name.
+pub type SpiceError = ConvergenceError;
+
 /// Error produced when the nonlinear solver fails to converge.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConvergenceError {

@@ -38,6 +38,42 @@ impl TimingConfig {
     }
 }
 
+/// Timing-analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// `models` was shorter than the net count (one [`NetModel`] per net
+    /// is required).
+    ModelCountMismatch {
+        /// Nets in the design.
+        nets: usize,
+        /// Models supplied.
+        models: usize,
+    },
+    /// The netlist contains a combinational cycle, so no topological
+    /// order — and no arrival times — exist.
+    CombinationalCycle {
+        /// Number of instances trapped in cyclic regions.
+        involved: usize,
+    },
+}
+
+impl std::fmt::Display for StaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaError::ModelCountMismatch { nets, models } => write!(
+                f,
+                "timing needs one net model per net: {nets} nets but {models} models"
+            ),
+            StaError::CombinationalCycle { involved } => write!(
+                f,
+                "combinational cycle: {involved} instances have no topological order"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
 /// Runs static timing analysis.
 ///
 /// `models` must be indexed by `NetId` (one entry per net).
@@ -45,18 +81,41 @@ impl TimingConfig {
 /// # Panics
 ///
 /// Panics if `models` is shorter than the net count or the netlist has a
-/// combinational cycle.
+/// combinational cycle; see [`try_analyze`] for the fallible form used
+/// by the supervised flow.
 pub fn analyze(
     netlist: &Netlist,
     lib: &CellLibrary,
     models: &[NetModel],
     config: &TimingConfig,
 ) -> TimingReport {
-    assert!(
-        models.len() >= netlist.net_count(),
-        "one NetModel per net required"
-    );
-    let (_, order) = levelize(netlist, lib).expect("combinational cycle in design");
+    match try_analyze(netlist, lib, models, config) {
+        Ok(report) => report,
+        Err(e) => panic!("timing analysis failed: {e}"),
+    }
+}
+
+/// Fallible form of [`analyze`].
+///
+/// # Errors
+///
+/// Returns [`StaError`] on a model-count mismatch or a combinational
+/// cycle.
+pub fn try_analyze(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    models: &[NetModel],
+    config: &TimingConfig,
+) -> Result<TimingReport, StaError> {
+    if models.len() < netlist.net_count() {
+        return Err(StaError::ModelCountMismatch {
+            nets: netlist.net_count(),
+            models: models.len(),
+        });
+    }
+    let (_, order) = levelize(netlist, lib).map_err(|cycle| StaError::CombinationalCycle {
+        involved: cycle.len(),
+    })?;
 
     let n_nets = netlist.net_count();
     let mut arrival = vec![0.0f64; n_nets];
@@ -220,7 +279,7 @@ pub fn analyze(
         }
     }
 
-    TimingReport {
+    Ok(TimingReport {
         arrival,
         slew,
         slack,
@@ -229,7 +288,7 @@ pub fn analyze(
         tns,
         clock_period_ps: t,
         worst_endpoint,
-    }
+    })
 }
 
 #[cfg(test)]

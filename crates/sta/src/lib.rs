@@ -40,6 +40,6 @@ mod engine;
 pub mod opt;
 mod report;
 
-pub use engine::{analyze, NetModel, TimingConfig};
+pub use engine::{analyze, try_analyze, NetModel, StaError, TimingConfig};
 pub use opt::{plan_load_sizing, plan_power_recovery, plan_timing_moves, OptMove};
 pub use report::{PathHop, TimingReport};

@@ -35,5 +35,5 @@
 mod optimize;
 mod wlm;
 
-pub use optimize::{synthesize, wlm_net_models, SynthConfig};
+pub use optimize::{synthesize, try_synthesize, wlm_net_models, SynthConfig, SynthError};
 pub use wlm::WireLoadModel;

@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use m3d_cells::{CellFunction, CellLibrary};
 use m3d_netlist::Netlist;
-use m3d_sta::{analyze, plan_timing_moves, NetModel, OptMove, TimingConfig};
+use m3d_sta::{plan_timing_moves, try_analyze, NetModel, OptMove, StaError, TimingConfig};
 use m3d_tech::{MetalClass, MetalStack, TechNode, WireRc};
 
 use crate::WireLoadModel;
@@ -69,25 +69,86 @@ pub fn wlm_net_models(
         .collect()
 }
 
+/// Synthesis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// Target clock non-finite or non-positive.
+    InvalidClock(f64),
+    /// Timing analysis inside the optimization loop failed.
+    Timing(StaError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::InvalidClock(c) => {
+                write!(f, "synthesis clock target must be positive, got {c} ps")
+            }
+            SynthError::Timing(e) => write!(f, "timing analysis during synthesis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Timing(e) => Some(e),
+            SynthError::InvalidClock(_) => None,
+        }
+    }
+}
+
+impl From<StaError> for SynthError {
+    fn from(e: StaError) -> Self {
+        SynthError::Timing(e)
+    }
+}
+
 /// WLM-guided synthesis optimization: sizing and buffering until the
 /// clock is met at the WLM estimate or the pass budget is exhausted.
 ///
 /// Buffers are inserted *logically* (no placement yet): the farther half
 /// of a net's sinks — by the WLM there is no geometry, so simply half the
 /// fanout — moves behind the repeater.
+///
+/// # Panics
+///
+/// Panics on a degenerate clock target or an unanalyzable netlist; see
+/// [`try_synthesize`] for the fallible form used by the supervised flow.
 pub fn synthesize(
-    mut netlist: Netlist,
+    netlist: Netlist,
     lib: &CellLibrary,
     wlm: &WireLoadModel,
     config: &SynthConfig,
 ) -> Netlist {
+    match try_synthesize(netlist, lib, wlm, config) {
+        Ok(n) => n,
+        Err(e) => panic!("synthesis failed: {e}"),
+    }
+}
+
+/// Fallible form of [`synthesize`].
+///
+/// # Errors
+///
+/// Returns [`SynthError`] when the clock target is degenerate or the
+/// netlist cannot be timed (combinational cycle, model mismatch).
+pub fn try_synthesize(
+    mut netlist: Netlist,
+    lib: &CellLibrary,
+    wlm: &WireLoadModel,
+    config: &SynthConfig,
+) -> Result<Netlist, SynthError> {
+    if !(config.clock_ps.is_finite() && config.clock_ps > 0.0) {
+        return Err(SynthError::InvalidClock(config.clock_ps));
+    }
     let node = lib.node().clone();
     let stack = MetalStack::new(&node, lib.style().default_stack());
     let timing = TimingConfig::new(config.clock_ps);
     let buf = lib.smallest(CellFunction::Buf);
     for _pass in 0..config.passes {
         let models = wlm_net_models(&netlist, wlm, &node, &stack);
-        let report = analyze(&netlist, lib, &models, &timing);
+        let report = try_analyze(&netlist, lib, &models, &timing)?;
         if report.met() {
             break;
         }
@@ -126,13 +187,14 @@ pub fn synthesize(
             }
         }
     }
-    netlist
+    Ok(netlist)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use m3d_netlist::{BenchScale, Benchmark};
+    use m3d_sta::analyze;
     use m3d_tech::DesignStyle;
 
     fn ctx() -> (TechNode, CellLibrary, Netlist) {

@@ -25,8 +25,8 @@ impl WireLoadModel {
     /// fanout — the paper's "from preliminary layout simulations, per
     /// each circuit we extract a WLM".
     pub fn from_placement(netlist: &Netlist, placement: &Placement) -> Self {
-        let mut sum = vec![0.0f64; Self::MAX_FANOUT + 1];
-        let mut count = vec![0usize; Self::MAX_FANOUT + 1];
+        let mut sum = [0.0f64; Self::MAX_FANOUT + 1];
+        let mut count = [0usize; Self::MAX_FANOUT + 1];
         for id in netlist.net_ids() {
             if Some(id) == netlist.clock {
                 continue;

@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of `criterion` the bench targets use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a plain min/mean over `sample_size` wall-clock samples —
+//! enough to eyeball regressions locally; no statistics, plots, or
+//! baseline storage.
+
+use std::time::Instant;
+
+/// Number of timed samples when the group does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), DEFAULT_SAMPLE_SIZE, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // One untimed warm-up pass.
+    let mut warm = Bencher::default();
+    f(&mut warm);
+    let mut best = u128::MAX;
+    let mut total: u128 = 0;
+    let mut iters: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.iters == 0 {
+            continue;
+        }
+        let per_iter = b.elapsed_ns / b.iters as u128;
+        best = best.min(per_iter);
+        total += b.elapsed_ns;
+        iters += b.iters;
+    }
+    if iters > 0 {
+        let mean = total / iters as u128;
+        println!(
+            "bench {id:<40} mean {:>12.3} ms  best {:>12.3} ms  ({iters} iters)",
+            mean as f64 / 1e6,
+            best as f64 / 1e6,
+        );
+    }
+}
+
+/// Prevents the optimizer from discarding a value (forwards to `std`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Supports the `proptest!` item macro with `arg in strategy` bindings,
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, numeric `Range`
+//! strategies, and the `prop_assert!`/`prop_assert_eq!` family. Cases are
+//! generated from a deterministic per-test PRNG (FNV-hashed test path ×
+//! case index), so failures reproduce without a persistence file. No
+//! shrinking is performed: the failing inputs are reported as drawn.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is tuned for cheap unit properties; the
+        // heavier flow-level properties here override it downward anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64 over a seeded counter).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        // FNV-1a over the test path gives a stable per-test seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Only what the workspace needs: sampling; shrinking
+/// is intentionally absent.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.abs_diff(self.start) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_strategy_float!(f32, f64);
+
+/// Constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything test modules import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("(", $(stringify!($arg), " = {:?}, ",)* ")"),
+                    $(&$arg),*
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed at case {} with inputs {}: {}",
+                        stringify!($name),
+                        __case,
+                        __inputs,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($cfg:expr;) => {};
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assert_eq failed: {:?} != {:?}",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assert_ne failed: both sides are {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn trailing_comma_and_eq(a in 0usize..4,) {
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros and declares the two marker traits
+//! so `use serde::{Deserialize, Serialize}` keeps resolving. The build
+//! container has no registry access, so the real crate cannot be fetched;
+//! nothing in this workspace performs actual serialization (the derives
+//! exist so downstream users of the real serde can), which makes the
+//! empty expansion sound.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}

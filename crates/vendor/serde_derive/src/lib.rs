@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as annotations —
+//! nothing in the toolkit serializes at run time (there is no `serde_json`
+//! or similar consumer), so the derives can expand to nothing. Keeping the
+//! derive macros around (rather than stripping the annotations from ~30
+//! files) preserves source compatibility with the real `serde` should the
+//! build environment ever regain registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,104 @@
+//! Demonstrates the flow supervisor: a clean run, a planted transient
+//! fault absorbed by retry, the degradation ladder, and a hard failure
+//! that surfaces as a typed disposition instead of a panic.
+//!
+//! ```text
+//! cargo run --release --example supervised_flow
+//! ```
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{
+    Disposition, FaultPlan, FlowConfig, FlowStage, FlowSupervisor, SupervisorPolicy,
+};
+
+fn cfg() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+fn report(tag: &str, r: &monolith3d::FlowReport) {
+    println!("== {tag} ==");
+    match &r.disposition {
+        Disposition::Closed => println!("  closed as configured"),
+        Disposition::ClosedDegraded { relaxations } => {
+            println!("  closed degraded after:");
+            for rx in relaxations {
+                println!("    - {rx}");
+            }
+        }
+        Disposition::Failed { stage, error } => {
+            println!("  FAILED in {stage}: {error}");
+        }
+    }
+    for a in &r.attempts {
+        let outcome = match &a.error {
+            None => "ok".to_string(),
+            Some(e) => format!("err: {e}"),
+        };
+        println!(
+            "  rung {} attempt {} {:<26} {}",
+            a.rung,
+            a.attempt,
+            a.stage.to_string(),
+            outcome
+        );
+    }
+    if let Some(res) = &r.result {
+        println!(
+            "  sign-off: WNS {:+.0} ps @ {:.0} ps clock, {:.2} mW",
+            res.wns_ps,
+            r.clock_ps,
+            res.total_power_mw()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // 1. No faults: the supervisor closes exactly like the plain flow.
+    let clean = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg()).run();
+    report("clean run", &clean);
+
+    // 2. A transient fault in post-route optimization: absorbed by one
+    //    retry from the routing checkpoint.
+    let retried = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .run();
+    report("transient post-route fault", &retried);
+
+    // 3. Repeated faults with no retry budget: the degradation ladder
+    //    walks extra passes -> looser floorplan -> slower clock.
+    let degraded = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+        .policy(SupervisorPolicy {
+            max_stage_attempts: 1,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(
+            FaultPlan::new()
+                .fail_on(FlowStage::PostRouteOpt, 1)
+                .fail_on(FlowStage::PostRouteOpt, 2)
+                .fail_on(FlowStage::PostRouteOpt, 3),
+        )
+        .run();
+    report("degradation ladder", &degraded);
+
+    // 4. A persistent routing fault with degradation disabled: a typed
+    //    Failed disposition, not a panic.
+    let failed = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+        .policy(SupervisorPolicy {
+            allow_degradation: false,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(FaultPlan::new().always(FlowStage::Routing))
+        .run();
+    report("persistent routing fault", &failed);
+
+    // 5. A degenerate configuration: rejected pre-flight with a typed
+    //    error before any stage runs.
+    let mut bad = cfg();
+    bad.clock_ps = Some(f64::NAN);
+    match monolith3d::Flow::new(Benchmark::Aes, DesignStyle::TwoD, bad).try_run() {
+        Ok(_) => println!("== degenerate config == unexpectedly closed"),
+        Err(e) => println!("== degenerate config ==\n  rejected: {e}"),
+    }
+}

@@ -6,12 +6,12 @@ use std::sync::OnceLock;
 use m3d_cells::{layout::generate_layout, CellFunction, CellLibrary, Topology};
 use m3d_extract::{extract_cell, TopSiliconModel};
 use m3d_geom::{LayerShape, Point, Rect};
-use m3d_tech::CellLayer;
-use m3d_netlist::{NetId, Netlist, NetlistBuilder};
+use m3d_netlist::{BenchScale, Benchmark, NetId, Netlist, NetlistBuilder};
 use m3d_place::Placer;
 use m3d_power::propagate_activity;
 use m3d_route::Router;
-use m3d_tech::{DesignStyle, MetalStack, StackKind, TechNode};
+use m3d_tech::{CellLayer, DesignStyle, MetalStack, NodeId, StackKind, TechNode};
+use monolith3d::{Flow, FlowConfig, FlowError};
 use proptest::prelude::*;
 
 fn lib() -> &'static CellLibrary {
@@ -193,5 +193,201 @@ proptest! {
         }
         n.check_consistency(l);
         m3d_netlist::levelize(&n, l).expect("repeaters keep the DAG acyclic");
+    }
+}
+
+/// Plants one degenerate knob in an otherwise valid configuration.
+fn corrupt_knob(cfg: &mut FlowConfig, knob: usize, flavor: u64) {
+    let odd = flavor % 2 == 1;
+    match knob {
+        0 => cfg.clock_ps = Some(if odd { f64::NAN } else { -500.0 }),
+        1 => cfg.utilization = Some(if odd { 1.5 } else { 0.0 }),
+        2 => cfg.pin_cap_scale = if odd { -0.4 } else { f64::INFINITY },
+        3 => cfg.alpha_ff = if odd { 7.0 } else { -0.1 },
+        4 => cfg.place_iterations = 0,
+        _ => cfg.clock_scale = if odd { f64::NEG_INFINITY } else { f64::NAN },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn degenerate_configs_yield_typed_errors_not_panics(
+        knob in 0usize..6, flavor in 0u64..4,
+    ) {
+        let mut cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
+        corrupt_knob(&mut cfg, knob, flavor);
+        let outcome = Flow::new(Benchmark::Aes, DesignStyle::TwoD, cfg).try_run();
+        prop_assert!(
+            matches!(outcome, Err(FlowError::Config(_))),
+            "knob {knob}/{flavor} must be rejected pre-flight: {outcome:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // A handful of full runs: randomized-but-sane knobs must reach
+    // sign-off without panicking or erroring.
+    #[test]
+    fn try_run_closes_across_sane_knob_variations(
+        util_pct in 55u32..85, alpha_m in 1u32..4,
+    ) {
+        let mut cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
+        cfg.utilization = Some(util_pct as f64 / 100.0);
+        cfg.alpha_ff = alpha_m as f64 * 0.1;
+        let r = Flow::new(Benchmark::Des, DesignStyle::TwoD, cfg)
+            .try_run()
+            .expect("sane configs close");
+        prop_assert!(r.total_power_mw() > 0.0);
+    }
+}
+
+/// Every [`FlowError`] variant renders an actionable message.
+mod flow_error_display {
+    use monolith3d::{ConfigError, FlowError, FlowStage};
+
+    fn shows(e: FlowError, needles: &[&str]) {
+        let text = e.to_string();
+        for needle in needles {
+            assert!(
+                text.contains(needle),
+                "{text:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn config() {
+        shows(
+            FlowError::Config(ConfigError::BadClock(-500.0)),
+            &["invalid flow config", "clock_ps", "-500"],
+        );
+        shows(
+            FlowError::Config(ConfigError::BadUtilization(1.5)),
+            &["utilization", "(0, 1]", "1.5"],
+        );
+        shows(
+            FlowError::Config(ConfigError::BadPinCapScale(0.0)),
+            &["pin_cap_scale", "positive"],
+        );
+        shows(
+            FlowError::Config(ConfigError::BadAlphaFf(7.0)),
+            &["alpha_ff", "[0, 1]", "7"],
+        );
+        shows(
+            FlowError::Config(ConfigError::ZeroPlaceIterations),
+            &["place_iterations", "at least 1"],
+        );
+        shows(
+            FlowError::Config(ConfigError::BadClockScale(f64::NAN)),
+            &["clock_scale", "NaN"],
+        );
+    }
+
+    #[test]
+    fn library() {
+        shows(
+            FlowError::Library(m3d_cells::LibraryError::DegenerateGeometry {
+                cell: "INV_X1".into(),
+                width_nm: 0,
+                height_nm: 1400,
+            }),
+            &["library stage", "INV_X1", "0 x 1400"],
+        );
+    }
+
+    #[test]
+    fn synthesis() {
+        shows(
+            FlowError::Synth(m3d_synth::SynthError::InvalidClock(f64::NAN)),
+            &["synthesis stage", "clock", "NaN"],
+        );
+    }
+
+    #[test]
+    fn placement() {
+        shows(
+            FlowError::Place(m3d_place::PlaceError::InvalidUtilization(2.0)),
+            &["placement stage", "utilization", "2"],
+        );
+        shows(
+            FlowError::Place(m3d_place::PlaceError::EmptyNetlist),
+            &["placement stage", "empty netlist"],
+        );
+    }
+
+    #[test]
+    fn routing() {
+        shows(
+            FlowError::Route(m3d_route::RouteError::MissingLayer { layer: "M1" }),
+            &["routing stage", "M1"],
+        );
+    }
+
+    #[test]
+    fn timing() {
+        shows(
+            FlowError::Sta(m3d_sta::StaError::ModelCountMismatch {
+                nets: 10,
+                models: 3,
+            }),
+            &["timing analysis", "10", "3"],
+        );
+        shows(
+            FlowError::Sta(m3d_sta::StaError::CombinationalCycle { involved: 4 }),
+            &["timing analysis", "cycle", "4"],
+        );
+    }
+
+    #[test]
+    fn power() {
+        shows(
+            FlowError::Power(m3d_power::PowerError::InvalidClockPeriod(-1.0)),
+            &["power analysis", "clock", "-1"],
+        );
+    }
+
+    #[test]
+    fn extraction() {
+        shows(
+            FlowError::Extract(m3d_extract::ExtractError::LayerOutOfRange {
+                layer: 9,
+                stack_len: 6,
+            }),
+            &["parasitic extraction", "9", "6"],
+        );
+    }
+
+    #[test]
+    fn spice() {
+        shows(
+            FlowError::Spice(m3d_spice::ConvergenceError { at_time_ps: 42 }),
+            &["spice characterization", "converge", "42"],
+        );
+    }
+
+    #[test]
+    fn injected() {
+        shows(
+            FlowError::Injected {
+                stage: FlowStage::Routing,
+                detail: "planted".into(),
+            },
+            &["injected fault", "routing", "planted"],
+        );
+    }
+
+    #[test]
+    fn timing_not_closed() {
+        shows(
+            FlowError::TimingNotClosed {
+                wns_ps: -87.3,
+                clock_ps: 1200.0,
+            },
+            &["not closed", "-87.3", "1200"],
+        );
     }
 }

@@ -1,0 +1,205 @@
+//! Fault-injection tests for the flow supervisor: planted stage failures
+//! must be absorbed by retry, escalated through the degradation ladder,
+//! or reported as a typed `Failed` disposition — never a panic.
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{
+    Disposition, FaultPlan, FlowConfig, FlowError, FlowStage, FlowSupervisor, Relaxation,
+    SupervisorPolicy,
+};
+
+fn cfg() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+fn supervisor() -> FlowSupervisor {
+    FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+}
+
+#[test]
+fn transient_fault_is_retried_and_the_run_still_closes() {
+    let report = supervisor()
+        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .run();
+
+    assert!(report.closed(), "disposition: {:?}", report.disposition);
+    assert_eq!(report.disposition, Disposition::Closed, "retry is not degradation");
+    let result = report.result.as_ref().expect("closed runs carry a result");
+    assert!(result.total_power_mw() > 0.0);
+
+    // The injected failure and the retry are both on the record...
+    let post: Vec<_> = report
+        .attempts
+        .iter()
+        .filter(|a| a.stage == FlowStage::PostRouteOpt)
+        .collect();
+    assert!(
+        matches!(post[0].error, Some(FlowError::Injected { .. })),
+        "first post-route attempt carries the injected error: {:?}",
+        post[0]
+    );
+    assert_eq!(post[1].attempt, 2);
+    assert!(post[1].error.is_none(), "second attempt succeeds");
+
+    // ...while the stages before the fault ran exactly once: the retry
+    // resumed from the checkpoint instead of restarting the flow.
+    assert_eq!(report.stage_attempts(FlowStage::Synthesis), 1);
+}
+
+#[test]
+fn persistent_fault_without_degradation_fails_naming_the_stage() {
+    let report = supervisor()
+        .policy(SupervisorPolicy {
+            allow_degradation: false,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(FaultPlan::new().always(FlowStage::Routing))
+        .run();
+
+    assert!(!report.closed());
+    match &report.disposition {
+        Disposition::Failed { stage, error } => {
+            assert_eq!(*stage, FlowStage::Routing);
+            assert!(matches!(error, FlowError::Injected { .. }), "got {error}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // The retry budget was spent before giving up.
+    assert_eq!(
+        report.stage_attempts(FlowStage::Routing),
+        SupervisorPolicy::default().max_stage_attempts
+    );
+    assert!(report.result.is_none());
+}
+
+#[test]
+fn repeated_faults_walk_the_degradation_ladder_to_a_degraded_close() {
+    // One attempt per stage, three planted post-route failures: rung 0
+    // fails as configured, the ladder then adds passes (resuming from the
+    // routing checkpoint), relaxes utilization, and finally backs the
+    // clock off before the fourth invocation closes.
+    let baseline = supervisor().run();
+    assert!(baseline.closed(), "baseline must close: {:?}", baseline.disposition);
+
+    let report = supervisor()
+        .policy(SupervisorPolicy {
+            max_stage_attempts: 1,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(
+            FaultPlan::new()
+                .fail_on(FlowStage::PostRouteOpt, 1)
+                .fail_on(FlowStage::PostRouteOpt, 2)
+                .fail_on(FlowStage::PostRouteOpt, 3),
+        )
+        .run();
+
+    assert!(report.closed(), "disposition: {:?}", report.disposition);
+    let relaxations = match &report.disposition {
+        Disposition::ClosedDegraded { relaxations } => relaxations,
+        other => panic!("expected ClosedDegraded, got {other:?}"),
+    };
+    assert!(
+        matches!(relaxations[0], Relaxation::ExtraOptPasses { .. }),
+        "first rung adds passes: {relaxations:?}"
+    );
+    assert!(
+        relaxations
+            .iter()
+            .any(|r| matches!(r, Relaxation::RelaxedUtilization { .. })),
+        "ladder reached the utilization rung: {relaxations:?}"
+    );
+    assert!(
+        relaxations
+            .iter()
+            .any(|r| matches!(r, Relaxation::ClockBackoff { .. })),
+        "ladder reached the clock rung: {relaxations:?}"
+    );
+    // The relaxed knobs show up in the effective operating point.
+    assert!(report.utilization < baseline.utilization);
+    assert!(report.clock_ps > baseline.clock_ps);
+    assert!(report.degraded());
+    assert!(report.result.is_some());
+}
+
+#[test]
+fn extra_passes_rung_resumes_from_the_routing_checkpoint() {
+    // With exactly one planted post-route failure and no retry budget,
+    // rung 1 must re-enter at post-route: synthesis through routing run
+    // once in total.
+    let report = supervisor()
+        .policy(SupervisorPolicy {
+            max_stage_attempts: 1,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .run();
+
+    assert!(report.closed(), "disposition: {:?}", report.disposition);
+    assert_eq!(report.stage_attempts(FlowStage::Synthesis), 1);
+    let routing_rungs: Vec<u32> = report
+        .attempts
+        .iter()
+        .filter(|a| a.stage == FlowStage::Routing)
+        .map(|a| a.rung)
+        .collect();
+    assert!(
+        routing_rungs.iter().all(|&r| r == 0),
+        "routing never re-ran on a later rung: {routing_rungs:?}"
+    );
+    let rung1_post = report
+        .attempts
+        .iter()
+        .find(|a| a.stage == FlowStage::PostRouteOpt && a.rung == 1)
+        .expect("rung 1 re-attempted post-route optimization");
+    assert!(rung1_post.error.is_none());
+}
+
+#[test]
+fn structural_errors_fail_fast_without_touching_the_ladder() {
+    let mut config = cfg();
+    config.clock_ps = Some(f64::NAN);
+    let report = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, config).run();
+
+    match &report.disposition {
+        Disposition::Failed { stage, error } => {
+            assert_eq!(*stage, FlowStage::Library);
+            assert!(matches!(error, FlowError::Config(_)), "got {error}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // Nothing past preparation ever ran.
+    assert!(report
+        .attempts
+        .iter()
+        .all(|a| a.stage == FlowStage::Library));
+}
+
+#[test]
+fn persistent_fault_exhausts_the_ladder_and_reports_the_final_error() {
+    let report = supervisor()
+        .policy(SupervisorPolicy {
+            max_stage_attempts: 1,
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(FaultPlan::new().always(FlowStage::SignOff))
+        .run();
+
+    assert!(!report.closed());
+    match &report.disposition {
+        Disposition::Failed { stage, error } => {
+            assert_eq!(*stage, FlowStage::SignOff);
+            assert!(matches!(error, FlowError::Injected { .. }), "got {error}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // All four rungs (as configured + three relaxations) were tried.
+    let signoff_rungs: Vec<u32> = report
+        .attempts
+        .iter()
+        .filter(|a| a.stage == FlowStage::SignOff)
+        .map(|a| a.rung)
+        .collect();
+    assert_eq!(signoff_rungs, vec![0, 1, 2, 3]);
+}
