@@ -70,7 +70,7 @@ fn bench_ablations(c: &mut Criterion) {
             let mut cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
             cfg.tmi_wlm = tmi_wlm;
             b.iter(|| {
-                black_box(Flow::new(Benchmark::Ldpc, DesignStyle::Tmi, cfg.clone()).run())
+                black_box(Flow::new(Benchmark::Ldpc, DesignStyle::Tmi, cfg.clone()).run_uncached())
             });
         });
     }

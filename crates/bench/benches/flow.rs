@@ -1,5 +1,9 @@
 //! End-to-end flow benches: one per paper table family, on reduced-scale
 //! circuits (the full-scale tables come from the `paper_tables` binary).
+//!
+//! Every iteration calls `run_uncached` so criterion measures the flow
+//! engine, not an `ArtifactCache` lookup; the cold/warm wall-clock story
+//! lives in the `flow_bench` binary (`BENCH_flow.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -19,30 +23,36 @@ fn bench_flow(c: &mut Criterion) {
     // Table 4 family: the 45 nm iso-performance flows.
     for bench in [Benchmark::Aes, Benchmark::Des, Benchmark::Ldpc] {
         g.bench_function(format!("table4_{}_2d", bench.name()), |b| {
-            b.iter(|| black_box(Flow::new(bench, DesignStyle::TwoD, cfg45()).run()));
+            b.iter(|| black_box(Flow::new(bench, DesignStyle::TwoD, cfg45()).run_uncached()));
         });
         g.bench_function(format!("table4_{}_tmi", bench.name()), |b| {
-            b.iter(|| black_box(Flow::new(bench, DesignStyle::Tmi, cfg45()).run()));
+            b.iter(|| black_box(Flow::new(bench, DesignStyle::Tmi, cfg45()).run_uncached()));
         });
     }
 
     // Table 7 family: the 7 nm projection.
     g.bench_function("table7_aes_tmi_7nm", |b| {
         let cfg = FlowConfig::new(NodeId::N7).scale(BenchScale::Small);
-        b.iter(|| black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run()));
+        b.iter(|| {
+            black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run_uncached())
+        });
     });
 
     // Fig. 4 family: a clock-sweep point.
     g.bench_function("fig4_aes_fast_clock", |b| {
         let cfg = cfg45().clock(720.0);
-        b.iter(|| black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run()));
+        b.iter(|| {
+            black_box(Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg.clone()).run_uncached())
+        });
     });
 
     // Table 8 family: pin-cap variant.
     g.bench_function("table8_des_pincap", |b| {
         let mut cfg = FlowConfig::new(NodeId::N7).scale(BenchScale::Small);
         cfg.pin_cap_scale = 0.6;
-        b.iter(|| black_box(Flow::new(Benchmark::Des, DesignStyle::Tmi, cfg.clone()).run()));
+        b.iter(|| {
+            black_box(Flow::new(Benchmark::Des, DesignStyle::Tmi, cfg.clone()).run_uncached())
+        });
     });
     g.finish();
 }

@@ -1,0 +1,74 @@
+//! Cold/warm wall-clock smoke benchmark of the flow engine's memo layer.
+//!
+//! ```text
+//! flow_bench [output.json]
+//! ```
+//!
+//! Runs the `paper_tables` smoke subset (see `SMOKE_SUBSET`) twice at
+//! reduced benchmark scale: once against a cleared `ArtifactCache`
+//! (cold — every library build and flow executes) and once against the
+//! now-primed cache (warm — completed results are shared). Writes the
+//! two suite times, their ratio and the cache counters to
+//! `BENCH_flow.json` (or the path given as the first argument).
+
+use std::time::Instant;
+
+use m3d_bench::{paper_drivers, PaperDriver, SMOKE_SUBSET};
+use m3d_netlist::BenchScale;
+use monolith3d::{ArtifactCache, CacheStats};
+
+/// Runs the smoke subset once, returning the wall-clock seconds.
+fn run_suite(drivers: &[PaperDriver]) -> f64 {
+    let t = Instant::now();
+    for name in SMOKE_SUBSET {
+        let (_, driver) = drivers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("subset drivers are registered");
+        let out = driver(BenchScale::Small);
+        assert!(!out.is_empty(), "driver '{name}' produced no output");
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn stats_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"library_builds\": {}, \"library_hits\": {}, \"flow_stores\": {}, \"flow_hits\": {}, \"flow_misses\": {}}}",
+        s.library_builds, s.library_hits, s.flow_stores, s.flow_hits, s.flow_misses
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_flow.json".to_string());
+    let drivers = paper_drivers();
+    let cache = ArtifactCache::global();
+
+    cache.clear();
+    let cold_s = run_suite(&drivers);
+    let cold_stats = cache.stats();
+    eprintln!("[cold suite: {cold_s:.3} s; {cold_stats}]");
+
+    let warm_s = run_suite(&drivers);
+    let warm_stats = cache.stats();
+    eprintln!("[warm suite: {warm_s:.3} s; {warm_stats}]");
+
+    let speedup = cold_s / warm_s.max(1e-9);
+    let suite = SMOKE_SUBSET
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"suite\": [{suite}],\n  \"scale\": \"small\",\n  \"cold_s\": {cold_s:.4},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.1},\n  \"cold_cache\": {},\n  \"warm_cache\": {}\n}}\n",
+        stats_json(&cold_stats),
+        stats_json(&warm_stats)
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}: cold {cold_s:.3} s, warm {warm_s:.3} s ({speedup:.1}x)");
+    assert!(
+        speedup >= 2.0,
+        "warm suite must be at least 2x faster than cold (got {speedup:.1}x)"
+    );
+}

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper_tables [--small] <experiment | all>
+//! paper_tables [--small] [--subset] <experiment | all>
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6 table7 table8
@@ -9,81 +9,44 @@
 //! fig10 fig11 s5 gmi (the G-MI extension study).
 //!
 //! `--small` runs the reduced benchmark circuits (seconds); the default
-//! paper scale regenerates the full study (minutes).
+//! paper scale regenerates the full study (minutes). `--subset` selects
+//! the flow-heavy smoke subset the `flow_bench` binary times.
+//!
+//! Every flow and cell library routes through the process-wide
+//! `ArtifactCache`, so a full run builds each distinct library exactly
+//! once and repeated flow points are shared across tables. Cache
+//! statistics go to stderr; stdout carries only the tables.
 
 use std::time::Instant;
 
+use m3d_bench::{paper_drivers, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
-use monolith3d::experiments as exp;
+use monolith3d::ArtifactCache;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let subset = args.iter().any(|a| a == "--subset");
     let scale = if small {
         BenchScale::Small
     } else {
         BenchScale::Paper
     };
-    let wanted: Vec<&str> = args
+    let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    if subset {
+        wanted.extend(SMOKE_SUBSET);
+    }
     let wanted = if wanted.is_empty() {
         vec!["all"]
     } else {
         wanted
     };
 
-    type Driver = (&'static str, fn(BenchScale) -> String);
-
-    // Cell-level experiments ignore the benchmark scale; thin wrappers
-    // adapt them to the common driver signature.
-    fn t1(_: BenchScale) -> String {
-        exp::table1_cell_rc()
-    }
-    fn t2(_: BenchScale) -> String {
-        exp::table2_cell_timing_power()
-    }
-    fn t3(_: BenchScale) -> String {
-        exp::table3_metal_layers()
-    }
-    fn t6(_: BenchScale) -> String {
-        exp::table6_node_setup()
-    }
-    fn t11(_: BenchScale) -> String {
-        exp::table11_7nm_cells()
-    }
-    fn f5(_: BenchScale) -> String {
-        exp::fig5_cell_inventory()
-    }
-
-    let drivers: Vec<Driver> = vec![
-        ("table1", t1),
-        ("table2", t2),
-        ("table3", t3),
-        ("table4", exp::table4_layout_45nm),
-        ("table5", exp::table5_prior_work),
-        ("table6", t6),
-        ("table7", exp::table7_layout_7nm),
-        ("table8", exp::table8_pin_cap),
-        ("table9", exp::table9_resistivity),
-        ("table11", t11),
-        ("table12", exp::table12_benchmarks),
-        ("table15", exp::table15_wlm_impact),
-        ("table16", exp::table16_net_breakdown),
-        ("table17", exp::table17_metal_stack),
-        ("fig3", exp::fig3_circuit_character),
-        ("fig4", exp::fig4_clock_sweep),
-        ("fig5", f5),
-        ("fig6", exp::fig6_wlm_curves),
-        ("fig10", exp::fig10_layer_usage),
-        ("fig11", exp::fig11_activity_sweep),
-        ("s5", exp::fig_s5_blockage),
-        ("gmi", monolith3d::gmi::gmi_comparison),
-        ("summary", exp::summary_scorecard),
-    ];
-
+    let drivers = paper_drivers();
     let run_all = wanted.contains(&"all");
     let mut ran = 0;
     for (name, driver) in &drivers {
@@ -107,4 +70,5 @@ fn main() {
         );
         std::process::exit(2);
     }
+    eprintln!("[artifact cache: {}]", ArtifactCache::global().stats());
 }

@@ -1,19 +1,25 @@
 //! Benchmark harness for the `monolith3d` toolkit.
 //!
-//! Two kinds of artifacts live here:
+//! Three kinds of artifacts live here:
 //!
 //! * the **`paper_tables` binary** — regenerates every table and figure
 //!   of the paper at full (`--paper`) or reduced (`--small`) benchmark
-//!   scale. `paper_tables all` writes the complete run that
-//!   `EXPERIMENTS.md` records.
+//!   scale through the shared [`monolith3d::ArtifactCache`].
+//!   `paper_tables all` writes the complete run that `EXPERIMENTS.md`
+//!   records; `paper_tables --small --subset` runs the flow-heavy smoke
+//!   subset.
+//! * the **`flow_bench` binary** — times that smoke subset cold
+//!   (cleared cache) and warm (primed cache) and writes the comparison
+//!   to `BENCH_flow.json`.
 //! * **Criterion benches** (`cells`, `pipeline`, `flow`, `ablations`) —
 //!   performance measurements of the toolkit's engines plus the ablation
-//!   studies DESIGN.md calls out, run on reduced-scale circuits so a
-//!   `cargo bench` pass stays in minutes.
+//!   studies DESIGN.md calls out, run on reduced-scale circuits (and
+//!   through `Flow::run_uncached`, so the cache never hides the work).
 
 use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark, Netlist};
 use m3d_tech::{DesignStyle, TechNode};
+use monolith3d::experiments as exp;
 
 /// Builds the (library, netlist) pair the pipeline benches share.
 pub fn bench_design(bench: Benchmark) -> (CellLibrary, Netlist) {
@@ -21,6 +27,63 @@ pub fn bench_design(bench: Benchmark) -> (CellLibrary, Netlist) {
     let lib = CellLibrary::build(&node, DesignStyle::TwoD);
     let netlist = bench.generate(&lib, BenchScale::Small);
     (lib, netlist)
+}
+
+/// One named experiment driver of the `paper_tables` registry.
+pub type PaperDriver = (&'static str, fn(BenchScale) -> String);
+
+/// The flow-heavy smoke subset: `paper_tables --subset` and the
+/// `flow_bench` cold/warm benchmark both run exactly these drivers.
+pub const SMOKE_SUBSET: [&str; 4] = ["table4", "fig3", "table16", "fig10"];
+
+// Cell-level experiments ignore the benchmark scale; thin wrappers
+// adapt them to the common driver signature.
+fn t1(_: BenchScale) -> String {
+    exp::table1_cell_rc()
+}
+fn t2(_: BenchScale) -> String {
+    exp::table2_cell_timing_power()
+}
+fn t3(_: BenchScale) -> String {
+    exp::table3_metal_layers()
+}
+fn t6(_: BenchScale) -> String {
+    exp::table6_node_setup()
+}
+fn t11(_: BenchScale) -> String {
+    exp::table11_7nm_cells()
+}
+fn f5(_: BenchScale) -> String {
+    exp::fig5_cell_inventory()
+}
+
+/// The full experiment registry, in the order `paper_tables all` runs.
+pub fn paper_drivers() -> Vec<PaperDriver> {
+    vec![
+        ("table1", t1),
+        ("table2", t2),
+        ("table3", t3),
+        ("table4", exp::table4_layout_45nm),
+        ("table5", exp::table5_prior_work),
+        ("table6", t6),
+        ("table7", exp::table7_layout_7nm),
+        ("table8", exp::table8_pin_cap),
+        ("table9", exp::table9_resistivity),
+        ("table11", t11),
+        ("table12", exp::table12_benchmarks),
+        ("table15", exp::table15_wlm_impact),
+        ("table16", exp::table16_net_breakdown),
+        ("table17", exp::table17_metal_stack),
+        ("fig3", exp::fig3_circuit_character),
+        ("fig4", exp::fig4_clock_sweep),
+        ("fig5", f5),
+        ("fig6", exp::fig6_wlm_curves),
+        ("fig10", exp::fig10_layer_usage),
+        ("fig11", exp::fig11_activity_sweep),
+        ("s5", exp::fig_s5_blockage),
+        ("gmi", monolith3d::gmi::gmi_comparison),
+        ("summary", exp::summary_scorecard),
+    ]
 }
 
 #[cfg(test)]
@@ -32,5 +95,16 @@ mod tests {
         let (lib, n) = bench_design(Benchmark::Aes);
         assert!(n.instance_count() > 100);
         n.check_consistency(&lib);
+    }
+
+    #[test]
+    fn smoke_subset_names_are_registered() {
+        let drivers = paper_drivers();
+        for name in SMOKE_SUBSET {
+            assert!(
+                drivers.iter().any(|(n, _)| *n == name),
+                "subset driver '{name}' missing from the registry"
+            );
+        }
     }
 }

@@ -5,7 +5,12 @@ use m3d_tech::{DesignStyle, TechNode};
 fn main() {
     let node = TechNode::n45();
     println!("cell      2D_R    3D_R  | 2D_C    3D_C   3Dc_C   (kOhm / fF, signal nodes only)");
-    for f in [CellFunction::Inv, CellFunction::Nand2, CellFunction::Mux2, CellFunction::Dff] {
+    for f in [
+        CellFunction::Inv,
+        CellFunction::Nand2,
+        CellFunction::Mux2,
+        CellFunction::Dff,
+    ] {
         let topo = Topology::for_function(f);
         let mut row = format!("{:8}", f.base_name());
         let mut r = vec![];
@@ -14,13 +19,30 @@ fn main() {
             let g = generate_layout(&node, &topo, style, 1);
             for model in [TopSiliconModel::Dielectric, TopSiliconModel::Conductor] {
                 let e = extract_cell(&node, &g.shapes, model);
-                let sum_r: f64 = e.node_r.iter().filter(|(&n,_)| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id()).map(|(_,v)| v).sum();
-                let sum_c: f64 = e.node_c.iter().filter(|(&n,_)| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id()).map(|(_,v)| v).sum();
-                if model == TopSiliconModel::Dielectric { r.push(sum_r); c.push(sum_c); }
-                else if style == DesignStyle::Tmi { c.push(sum_c); }
+                let sum_r: f64 = e
+                    .node_r
+                    .iter()
+                    .filter(|(&n, _)| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id())
+                    .map(|(_, v)| v)
+                    .sum();
+                let sum_c: f64 = e
+                    .node_c
+                    .iter()
+                    .filter(|(&n, _)| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id())
+                    .map(|(_, v)| v)
+                    .sum();
+                if model == TopSiliconModel::Dielectric {
+                    r.push(sum_r);
+                    c.push(sum_c);
+                } else if style == DesignStyle::Tmi {
+                    c.push(sum_c);
+                }
             }
         }
-        row += &format!("  {:.3}  {:.3} | {:.3}  {:.3}  {:.3}", r[0], r[1], c[0], c[1], c[2]);
+        row += &format!(
+            "  {:.3}  {:.3} | {:.3}  {:.3}  {:.3}",
+            r[0], r[1], c[0], c[1], c[2]
+        );
         println!("{row}");
     }
     println!("paper:  INV 0.186/0.107 | 0.363 0.368 0.349");

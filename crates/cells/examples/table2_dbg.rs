@@ -1,11 +1,20 @@
-use m3d_cells::{characterize::characterize_spice, layout::generate_layout, CellFunction, Topology};
+use m3d_cells::{
+    characterize::characterize_spice, layout::generate_layout, CellFunction, Topology,
+};
 use m3d_tech::{DesignStyle, TechNode};
 fn main() {
     let node = TechNode::n45();
     let topo = Topology::for_function(CellFunction::Inv);
     let geom = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
-    let t = characterize_spice(&node, CellFunction::Inv, 1, &topo, &geom,
-        vec![7.5, 37.5, 150.0], vec![0.8, 3.2, 12.8]);
+    let t = characterize_spice(
+        &node,
+        CellFunction::Inv,
+        1,
+        &topo,
+        &geom,
+        vec![7.5, 37.5, 150.0],
+        vec![0.8, 3.2, 12.8],
+    );
     for (s, l, tgt) in [(7.5, 0.8, 17.2), (37.5, 3.2, 51.1), (150.0, 12.8, 188.3)] {
         println!("slew {s:6} load {l:5}: delay {:7.1} (paper {tgt}), slew_out {:6.1}, energy {:.3} (paper ~0.36-0.45)",
             t.delay.lookup(s, l), t.out_slew.lookup(s, l), t.energy.lookup(s, l));

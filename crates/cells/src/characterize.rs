@@ -183,7 +183,12 @@ pub fn characterize_analytic(
     // Internal stages drive roughly C_STAGE * drive each, through the
     // cell's average internal wiring resistance -- this is where the
     // folded DFF pays for its poly jumpers (Table 1 discussion).
-    let n_signals = topo.signals().iter().filter(|s| !s.is_supply()).count().max(1);
+    let n_signals = topo
+        .signals()
+        .iter()
+        .filter(|s| !s.is_supply())
+        .count()
+        .max(1);
     let r_int_mean: f64 = topo
         .signals()
         .iter()
@@ -228,7 +233,8 @@ pub fn characterize_analytic(
     // inter-tier coupling charge largely cancels when both tiers switch,
     // so the dielectric-model C would overstate T-MI cell power (the paper
     // measures T-MI cell power slightly *below* 2D, Table 2).
-    let c_sw = junction_c_on(topo, out, drive) + ground_c(&die, out)
+    let c_sw = junction_c_on(topo, out, drive)
+        + ground_c(&die, out)
         + calib::SW_SHARE * (stages - 1.0).min(2.0) * c_total_int * 0.15;
     let i_drv = node.vdd / r_drive;
     let energy = Nldm::from_fn(slews.clone(), loads.clone(), |s, _l| {
@@ -381,7 +387,11 @@ pub fn characterize_spice(
             v_end > vdd / 2.0
         };
         let t_in = r
-            .cross_time(nodes[&Signal::Input(toggle_input as u8)], vdd / 2.0, rising_in)
+            .cross_time(
+                nodes[&Signal::Input(toggle_input as u8)],
+                vdd / 2.0,
+                rising_in,
+            )
             .expect("input crosses midpoint");
         let t_out = r
             .cross_time(out_pin, vdd / 2.0, out_rising)
@@ -410,14 +420,7 @@ pub fn characterize_spice(
         }
     }
 
-    let analytic = characterize_analytic(
-        node,
-        DesignStyle::TwoD,
-        function,
-        drive,
-        topo,
-        geometry,
-    );
+    let analytic = characterize_analytic(node, DesignStyle::TwoD, function, drive, topo, geometry);
     CellTables {
         delay: Nldm::new(slews.clone(), loads.clone(), delay_v),
         out_slew: Nldm::new(slews.clone(), loads.clone(), slew_v),
@@ -537,14 +540,8 @@ mod tests {
             vec![7.5, 37.5],
             vec![0.8, 3.2],
         );
-        let analytic = characterize_analytic(
-            &node,
-            DesignStyle::TwoD,
-            CellFunction::Inv,
-            1,
-            &topo,
-            &geom,
-        );
+        let analytic =
+            characterize_analytic(&node, DesignStyle::TwoD, CellFunction::Inv, 1, &topo, &geom);
         for &(s, l) in &[(7.5, 0.8), (37.5, 3.2)] {
             let ds = spice.delay.lookup(s, l);
             let da = analytic.delay.lookup(s, l);

@@ -312,7 +312,10 @@ pub fn generate_layout(
             let x_hi = *all_x.last().expect("non-empty") + m1_w / 2;
             push(
                 metal,
-                Rect::new(Point::new(x_lo, y), Point::new(x_hi.max(x_lo + m1_w), y + m1_w)),
+                Rect::new(
+                    Point::new(x_lo, y),
+                    Point::new(x_hi.max(x_lo + m1_w), y + m1_w),
+                ),
                 *sig,
             );
             // Vertical stubs from the diffusion band up to the strap.
@@ -341,11 +344,16 @@ pub fn generate_layout(
         // MIV stitching for folded cells: one per signal present on both tiers.
         if fold {
             let on_top = taps.iter().any(|t| t.sig == *sig && t.top_tier)
-                || topo.devices.iter().zip(0..).any(|(d, _)| {
-                    d.gate == *sig && d.kind == MosKind::Nmos
-                });
+                || topo
+                    .devices
+                    .iter()
+                    .zip(0..)
+                    .any(|(d, _)| d.gate == *sig && d.kind == MosKind::Nmos);
             let on_bot = taps.iter().any(|t| t.sig == *sig && !t.top_tier)
-                || topo.devices.iter().any(|d| d.gate == *sig && d.kind == MosKind::Pmos);
+                || topo
+                    .devices
+                    .iter()
+                    .any(|d| d.gate == *sig && d.kind == MosKind::Pmos);
             if on_top && on_bot {
                 let mean_x: Nm = {
                     let xs: Vec<Nm> = taps.iter().filter(|t| t.sig == *sig).map(|t| t.x).collect();
@@ -490,8 +498,16 @@ mod tests {
                     .map(|(_, r)| r)
                     .sum()
             };
-            let r2 = sum_signal(&extract_cell(&node, &g2.shapes, TopSiliconModel::Dielectric));
-            let r3 = sum_signal(&extract_cell(&node, &g3.shapes, TopSiliconModel::Dielectric));
+            let r2 = sum_signal(&extract_cell(
+                &node,
+                &g2.shapes,
+                TopSiliconModel::Dielectric,
+            ));
+            let r3 = sum_signal(&extract_cell(
+                &node,
+                &g3.shapes,
+                TopSiliconModel::Dielectric,
+            ));
             assert!(r3 < r2, "{f:?}: r3 {r3} !< r2 {r2}");
         }
     }

@@ -38,8 +38,8 @@
 pub mod characterize;
 mod function;
 pub mod gds;
-pub mod liberty;
 pub mod layout;
+pub mod liberty;
 mod library;
 mod nldm;
 mod topology;

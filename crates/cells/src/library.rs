@@ -585,11 +585,7 @@ mod tests {
         // Delay at the scaled corner: 0.471x.
         let d45 = i45.delay.lookup(37.5, 3.2);
         let d7 = i7.delay.lookup(37.5 * 0.42, 3.2 * 0.179);
-        assert!(
-            (d7 / d45 - 0.471).abs() < 0.01,
-            "delay ratio {}",
-            d7 / d45
-        );
+        assert!((d7 / d45 - 0.471).abs() < 0.01, "delay ratio {}", d7 / d45);
         // Leakage: 0.678x; energy: 0.084x.
         assert!((i7.leakage_mw / i45.leakage_mw - 0.678).abs() < 0.01);
         // Cell height scales to 218 nm.

@@ -129,11 +129,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn table() -> Nldm {
-        Nldm::from_fn(
-            vec![7.5, 37.5, 150.0],
-            vec![0.8, 3.2, 12.8],
-            |s, l| 0.5 * s + 8.0 * l,
-        )
+        Nldm::from_fn(vec![7.5, 37.5, 150.0], vec![0.8, 3.2, 12.8], |s, l| {
+            0.5 * s + 8.0 * l
+        })
     }
 
     #[test]

@@ -230,7 +230,7 @@ impl Topology {
                 // Internal complements.
                 t.inverter(In(0), Int(0), 0.7); // Int(0) = !A
                 t.inverter(In(1), Int(1), 0.7); // Int(1) = !B
-                // PDN: (A & B) | (!A & !B)  -> output low on equality.
+                                                // PDN: (A & B) | (!A & !B)  -> output low on equality.
                 t.dev(Nmos, In(0), Out(0), Int(2), WN * STACK);
                 t.dev(Nmos, In(1), Int(2), Vss, WN * STACK);
                 t.dev(Nmos, Int(0), Out(0), Int(3), WN * STACK);
@@ -366,12 +366,12 @@ impl Topology {
                 t.inverter(Int(2), Int(3), 0.8);
                 t.inverter(Int(3), Int(4), 0.6);
                 t.tgate(Int(4), Int(2), Int(1), Int(0)); // feedback while CK high
-                // Slave: master out passes while CK high.
+                                                         // Slave: master out passes while CK high.
                 t.tgate(Int(3), Int(5), Int(1), Int(0));
                 t.inverter(Int(5), Int(6), 0.8);
                 t.inverter(Int(6), Int(7), 0.6);
                 t.tgate(Int(7), Int(5), Int(0), Int(1)); // feedback while CK low
-                // Output buffer.
+                                                         // Output buffer.
                 t.inverter(Int(6), Out(0), 1.2);
             }
         }
@@ -386,8 +386,14 @@ mod tests {
     #[test]
     fn device_counts_match_textbook_structures() {
         assert_eq!(Topology::for_function(CellFunction::Inv).device_count(), 2);
-        assert_eq!(Topology::for_function(CellFunction::Nand2).device_count(), 4);
-        assert_eq!(Topology::for_function(CellFunction::Xor2).device_count(), 12);
+        assert_eq!(
+            Topology::for_function(CellFunction::Nand2).device_count(),
+            4
+        );
+        assert_eq!(
+            Topology::for_function(CellFunction::Xor2).device_count(),
+            12
+        );
         assert_eq!(
             Topology::for_function(CellFunction::FullAdder).device_count(),
             28

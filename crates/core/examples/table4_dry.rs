@@ -8,9 +8,18 @@ fn main() {
     for bench in Benchmark::ALL {
         let t = Instant::now();
         let cmp = Comparison::run(bench, &cfg);
-        println!("{}  (2D wns {:.0}, 3D wns {:.0}, buffers {} -> {})  [{:.1?}]", cmp.table_row(),
-            cmp.two_d.wns_ps, cmp.tmi.wns_ps, cmp.two_d.buffer_count, cmp.tmi.buffer_count, t.elapsed());
+        println!(
+            "{}  (2D wns {:.0}, 3D wns {:.0}, buffers {} -> {})  [{:.1?}]",
+            cmp.table_row(),
+            cmp.two_d.wns_ps,
+            cmp.tmi.wns_ps,
+            cmp.two_d.buffer_count,
+            cmp.tmi.buffer_count,
+            t.elapsed()
+        );
     }
-    println!("paper:  FPU -41.7 -26.3 -14.5 -9.4 -19.5 -11.1 | AES -42.4 -23.6 -10.9 -7.6 -13.9 -9.5");
+    println!(
+        "paper:  FPU -41.7 -26.3 -14.5 -9.4 -19.5 -11.1 | AES -42.4 -23.6 -10.9 -7.6 -13.9 -9.5"
+    );
     println!("        LDPC -43.2 -33.6 -32.1 -12.8 -39.2 -21.7 | DES -40.9 -21.5 -4.1 -1.6 -7.7 -1.4 | M256 -43.4 -28.4 -17.5 -10.7 -22.2 -12.9");
 }

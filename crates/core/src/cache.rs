@@ -1,0 +1,344 @@
+//! Content-keyed memoization of flow artifacts.
+//!
+//! The paper's study is one pipeline evaluated under ~20 configuration
+//! sweeps, and most sweeps share whole sub-problems: every 45 nm 2D run
+//! characterizes the same cell library, and several tables re-run the
+//! identical (benchmark, style, config) flow the previous table already
+//! signed off. [`ArtifactCache`] shares those artifacts:
+//!
+//! * **Cell libraries** are built once per [`LibraryKey`] — the
+//!   projection of a [`FlowConfig`] onto the fields a library build
+//!   actually consumes: `(node_id, style, lower_metal_rho,
+//!   pin_cap_scale)`.
+//! * **Completed [`FlowResult`]s** are shared per [`FlowKey`] — the
+//!   projection of `(benchmark, style, FlowConfig)` onto the knobs the
+//!   stage graph consumes, with unconsumed knobs canonicalized away so
+//!   they cannot split the key (a 2D flow never reads `tmi_wlm`;
+//!   `stack_kind: None` resolves to the style default; `clock_scale: 0`
+//!   resolves to the per-benchmark calibration).
+//!
+//! Keys canonicalize `f64` knobs to their bit patterns, so a cache hit
+//! requires bit-equal configuration — there is no tolerance matching,
+//! and a hit therefore returns a bit-identical result (the flow itself
+//! is deterministic; `tests/flow_cache.rs` asserts both properties).
+//!
+//! One process-wide cache ([`ArtifactCache::global`]) serves
+//! [`crate::Flow::run`], every `experiments::*` driver and the
+//! `paper_tables` binary; fresh instances (`ArtifactCache::default`)
+//! isolate tests and benchmarks that must measure cold runs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use m3d_cells::CellLibrary;
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, MetalClass, NodeId, StackKind, TechNode};
+
+use crate::error::FlowError;
+use crate::flow::{default_clock_scale_at, FlowConfig, FlowResult};
+
+/// Cache key of one characterized cell library: every [`FlowConfig`]
+/// field the library build consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LibraryKey {
+    node_id: NodeId,
+    style: DesignStyle,
+    lower_metal_rho: bool,
+    pin_cap_scale_bits: u64,
+}
+
+impl LibraryKey {
+    /// Builds the key from the consumed fields.
+    pub fn new(
+        node_id: NodeId,
+        style: DesignStyle,
+        lower_metal_rho: bool,
+        pin_cap_scale: f64,
+    ) -> Self {
+        LibraryKey {
+            node_id,
+            style,
+            lower_metal_rho,
+            pin_cap_scale_bits: pin_cap_scale.to_bits(),
+        }
+    }
+}
+
+/// Cache key of one completed flow: the projection of
+/// `(benchmark, style, FlowConfig)` onto the knobs the stage graph
+/// consumes. Knobs a given flow never reads are canonicalized so they
+/// cannot split the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    bench: Benchmark,
+    style: DesignStyle,
+    node_id: NodeId,
+    bench_scale: BenchScale,
+    /// Resolved: `stack_kind.unwrap_or(style.default_stack())`.
+    stack_kind: StackKind,
+    clock_ps_bits: Option<u64>,
+    utilization_bits: Option<u64>,
+    /// Canonicalized to `true` for 2D flows — only the T-MI synthesis
+    /// path reads this switch (Table 15 "-n").
+    tmi_wlm: bool,
+    pin_cap_scale_bits: u64,
+    lower_metal_rho: bool,
+    alpha_ff_bits: u64,
+    mb1_routing: bool,
+    opt_passes: usize,
+    place_iterations: usize,
+    /// Resolved: `0.0` selects the per-benchmark calibration, so an
+    /// explicit equal factor shares the entry.
+    clock_scale_bits: u64,
+}
+
+impl FlowKey {
+    /// Projects `(bench, style, config)` onto the consumed knobs.
+    pub fn of(bench: Benchmark, style: DesignStyle, cfg: &FlowConfig) -> Self {
+        let clock_scale = if cfg.clock_scale > 0.0 {
+            cfg.clock_scale
+        } else {
+            default_clock_scale_at(bench, cfg.node_id)
+        };
+        FlowKey {
+            bench,
+            style,
+            node_id: cfg.node_id,
+            bench_scale: cfg.bench_scale,
+            stack_kind: cfg.stack_kind.unwrap_or(style.default_stack()),
+            clock_ps_bits: cfg.clock_ps.map(f64::to_bits),
+            utilization_bits: cfg.utilization.map(f64::to_bits),
+            tmi_wlm: cfg.tmi_wlm || style == DesignStyle::TwoD,
+            pin_cap_scale_bits: cfg.pin_cap_scale.to_bits(),
+            lower_metal_rho: cfg.lower_metal_rho,
+            alpha_ff_bits: cfg.alpha_ff.to_bits(),
+            mb1_routing: cfg.mb1_routing,
+            opt_passes: cfg.opt_passes,
+            place_iterations: cfg.place_iterations,
+            clock_scale_bits: clock_scale.to_bits(),
+        }
+    }
+}
+
+/// A snapshot of the cache's hit/build counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cell libraries characterized from scratch.
+    pub library_builds: u64,
+    /// Library requests served from the cache.
+    pub library_hits: u64,
+    /// Completed flow results stored.
+    pub flow_stores: u64,
+    /// Flow lookups served from the cache.
+    pub flow_hits: u64,
+    /// Flow lookups that missed (and therefore ran the pipeline).
+    pub flow_misses: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "libraries: {} built, {} served from cache; flows: {} run, {} served from cache",
+            self.library_builds, self.library_hits, self.flow_stores, self.flow_hits
+        )
+    }
+}
+
+/// The shared memo layer for cell libraries and completed flow results.
+///
+/// Thread-safe; lookups clone an `Arc` (libraries) or the stored value
+/// (flow results). Library characterization runs outside the lock, so
+/// two threads racing on the same cold key may both build — the first
+/// insert wins and both observe the same artifact.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    libraries: Mutex<HashMap<LibraryKey, Arc<CellLibrary>>>,
+    results: Mutex<HashMap<FlowKey, Arc<FlowResult>>>,
+    library_builds: AtomicU64,
+    library_hits: AtomicU64,
+    flow_stores: AtomicU64,
+    flow_hits: AtomicU64,
+    flow_misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// The process-wide cache shared by [`crate::Flow::run`], the
+    /// experiment drivers and `paper_tables`.
+    pub fn global() -> Arc<ArtifactCache> {
+        static GLOBAL: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(ArtifactCache::default())))
+    }
+
+    /// The characterized library for the consumed knobs, built at most
+    /// once per distinct [`LibraryKey`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Library`] when characterization or the
+    /// pin-cap scaling fails.
+    pub fn library(
+        &self,
+        node_id: NodeId,
+        style: DesignStyle,
+        lower_metal_rho: bool,
+        pin_cap_scale: f64,
+    ) -> Result<Arc<CellLibrary>, FlowError> {
+        let key = LibraryKey::new(node_id, style, lower_metal_rho, pin_cap_scale);
+        if let Some(hit) = self.libraries.lock().expect("cache lock").get(&key) {
+            self.library_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock: characterization dominates any
+        // duplicate-build race, and the first insert wins below.
+        let node = {
+            let n = TechNode::for_id(node_id);
+            if lower_metal_rho {
+                n.with_rho_scaled(&[MetalClass::Local, MetalClass::Intermediate], 0.5)
+            } else {
+                n
+            }
+        };
+        let mut lib = CellLibrary::try_build(&node, style)?;
+        if pin_cap_scale != 1.0 {
+            lib = lib.try_with_pin_cap_scaled(pin_cap_scale)?;
+        }
+        self.library_builds.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(lib);
+        Ok(Arc::clone(
+            self.libraries
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(entry),
+        ))
+    }
+
+    /// The stored sign-off result for this flow point, if any.
+    pub fn lookup_result(
+        &self,
+        bench: Benchmark,
+        style: DesignStyle,
+        cfg: &FlowConfig,
+    ) -> Option<FlowResult> {
+        let key = FlowKey::of(bench, style, cfg);
+        let hit = self.results.lock().expect("cache lock").get(&key).cloned();
+        match &hit {
+            Some(_) => self.flow_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.flow_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit.map(|r| (*r).clone())
+    }
+
+    /// Stores a completed sign-off result under its consumed-knob key.
+    pub fn store_result(
+        &self,
+        bench: Benchmark,
+        style: DesignStyle,
+        cfg: &FlowConfig,
+        result: &FlowResult,
+    ) {
+        self.flow_stores.fetch_add(1, Ordering::Relaxed);
+        self.results
+            .lock()
+            .expect("cache lock")
+            .insert(FlowKey::of(bench, style, cfg), Arc::new(result.clone()));
+    }
+
+    /// Drops every stored artifact and resets the counters — the cold
+    /// half of a cold/warm benchmark.
+    pub fn clear(&self) {
+        self.libraries.lock().expect("cache lock").clear();
+        self.results.lock().expect("cache lock").clear();
+        for c in [
+            &self.library_builds,
+            &self.library_hits,
+            &self.flow_stores,
+            &self.flow_hits,
+            &self.flow_misses,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            library_builds: self.library_builds.load(Ordering::Relaxed),
+            library_hits: self.library_hits.load(Ordering::Relaxed),
+            flow_stores: self.flow_stores.load(Ordering::Relaxed),
+            flow_hits: self.flow_hits.load(Ordering::Relaxed),
+            flow_misses: self.flow_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg45() -> FlowConfig {
+        FlowConfig::new(NodeId::N45)
+    }
+
+    #[test]
+    fn consumed_knob_changes_the_flow_key() {
+        let base = FlowKey::of(Benchmark::Des, DesignStyle::TwoD, &cfg45());
+        let mut scaled = cfg45();
+        scaled.pin_cap_scale = 0.6;
+        assert_ne!(
+            base,
+            FlowKey::of(Benchmark::Des, DesignStyle::TwoD, &scaled)
+        );
+    }
+
+    #[test]
+    fn unconsumed_knob_shares_the_flow_key() {
+        // A 2D flow never reads the T-MI WLM switch…
+        let mut flipped = cfg45();
+        flipped.tmi_wlm = false;
+        assert_eq!(
+            FlowKey::of(Benchmark::Des, DesignStyle::TwoD, &cfg45()),
+            FlowKey::of(Benchmark::Des, DesignStyle::TwoD, &flipped)
+        );
+        // …while a T-MI flow does.
+        assert_ne!(
+            FlowKey::of(Benchmark::Des, DesignStyle::Tmi, &cfg45()),
+            FlowKey::of(Benchmark::Des, DesignStyle::Tmi, &flipped)
+        );
+    }
+
+    #[test]
+    fn resolved_defaults_share_the_flow_key() {
+        let mut explicit = cfg45();
+        explicit.stack_kind = Some(DesignStyle::Tmi.default_stack());
+        explicit.clock_scale = default_clock_scale_at(Benchmark::Aes, NodeId::N45);
+        assert_eq!(
+            FlowKey::of(Benchmark::Aes, DesignStyle::Tmi, &cfg45()),
+            FlowKey::of(Benchmark::Aes, DesignStyle::Tmi, &explicit)
+        );
+    }
+
+    #[test]
+    fn library_is_built_once_per_key() {
+        let cache = ArtifactCache::default();
+        let a = cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        let b = cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        assert!(Arc::ptr_eq(&a, &b), "second request must be a cache hit");
+        let stats = cache.stats();
+        assert_eq!(stats.library_builds, 1);
+        assert_eq!(stats.library_hits, 1);
+
+        // A consumed-knob change builds a distinct artifact.
+        let c = cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 0.6)
+            .expect("library builds");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().library_builds, 2);
+    }
+}

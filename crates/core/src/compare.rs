@@ -92,9 +92,21 @@ mod tests {
     fn comparison_shows_tmi_benefits_on_small_aes() {
         let cfg = FlowConfig::new(NodeId::N45).scale(BenchScale::Small);
         let cmp = Comparison::run(Benchmark::Aes, &cfg);
-        assert!(cmp.footprint_pct() < -25.0, "footprint {}", cmp.footprint_pct());
-        assert!(cmp.wirelength_pct() < -5.0, "wirelength {}", cmp.wirelength_pct());
-        assert!(cmp.total_power_pct() < 0.0, "power {}", cmp.total_power_pct());
+        assert!(
+            cmp.footprint_pct() < -25.0,
+            "footprint {}",
+            cmp.footprint_pct()
+        );
+        assert!(
+            cmp.wirelength_pct() < -5.0,
+            "wirelength {}",
+            cmp.wirelength_pct()
+        );
+        assert!(
+            cmp.total_power_pct() < 0.0,
+            "power {}",
+            cmp.total_power_pct()
+        );
         let row = cmp.table_row();
         assert!(row.contains("AES"));
     }

@@ -76,6 +76,28 @@ impl FlowStage {
             FlowStage::SignOff => "sign-off",
         }
     }
+
+    /// Stable short key — the name the stage graph, fault plans and
+    /// checkpoint tables address a stage by (`"route"`, `"signoff"`, …).
+    pub fn key(self) -> &'static str {
+        match self {
+            FlowStage::Library => "library",
+            FlowStage::Synthesis => "synth",
+            FlowStage::Placement => "place",
+            FlowStage::PreRouteOpt => "preroute",
+            FlowStage::Routing => "route",
+            FlowStage::PostRouteOpt => "postroute",
+            FlowStage::SignOff => "signoff",
+        }
+    }
+
+    /// Resolves a stage from its short key or display name.
+    pub fn from_name(name: &str) -> Option<FlowStage> {
+        FlowStage::ALL
+            .iter()
+            .copied()
+            .find(|s| s.key() == name || s.name() == name)
+    }
 }
 
 impl std::fmt::Display for FlowStage {
@@ -152,6 +174,14 @@ pub enum FlowError {
     Extract(ExtractError),
     /// SPICE characterization failure.
     Spice(SpiceError),
+    /// A stage asked the artifact store for something no earlier stage
+    /// produced — a stage-sequencing bug in the driver, not a data error.
+    MissingArtifact {
+        /// The artifact that was requested (`"netlist"`, `"placement"`, …).
+        artifact: &'static str,
+        /// The stage that needed it.
+        stage: FlowStage,
+    },
     /// A deterministic fault injected by the test harness.
     Injected {
         /// Stage the fault was planted in.
@@ -169,6 +199,11 @@ pub enum FlowError {
 }
 
 impl FlowError {
+    /// Shorthand for [`FlowError::MissingArtifact`].
+    pub(crate) fn missing(artifact: &'static str, stage: FlowStage) -> FlowError {
+        FlowError::MissingArtifact { artifact, stage }
+    }
+
     /// The stage this error is attributed to, when unambiguous from the
     /// error itself. `Config` pre-dates all stages and returns `None`.
     pub fn stage(&self) -> Option<FlowStage> {
@@ -184,6 +219,7 @@ impl FlowError {
             | FlowError::Power(_)
             | FlowError::Extract(_)
             | FlowError::Spice(_) => None,
+            FlowError::MissingArtifact { stage, .. } => Some(*stage),
             FlowError::Injected { stage, .. } => Some(*stage),
             FlowError::TimingNotClosed { .. } => Some(FlowStage::SignOff),
         }
@@ -202,6 +238,10 @@ impl std::fmt::Display for FlowError {
             FlowError::Power(e) => write!(f, "power analysis: {e}"),
             FlowError::Extract(e) => write!(f, "parasitic extraction: {e}"),
             FlowError::Spice(e) => write!(f, "spice characterization: {e}"),
+            FlowError::MissingArtifact { artifact, stage } => write!(
+                f,
+                "stage {stage} needs artifact '{artifact}' that no earlier stage produced"
+            ),
             FlowError::Injected { stage, detail } => {
                 write!(f, "injected fault in {stage}: {detail}")
             }
@@ -225,7 +265,9 @@ impl std::error::Error for FlowError {
             FlowError::Power(e) => Some(e),
             FlowError::Extract(e) => Some(e),
             FlowError::Spice(e) => Some(e),
-            FlowError::Injected { .. } | FlowError::TimingNotClosed { .. } => None,
+            FlowError::MissingArtifact { .. }
+            | FlowError::Injected { .. }
+            | FlowError::TimingNotClosed { .. } => None,
         }
     }
 }

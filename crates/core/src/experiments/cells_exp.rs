@@ -6,10 +6,12 @@ use std::fmt::Write as _;
 use m3d_cells::{
     characterize::{characterize_analytic, characterize_spice},
     layout::generate_layout,
-    CellFunction, CellLibrary, Signal, Topology,
+    CellFunction, Signal, Topology,
 };
 use m3d_extract::{extract_cell, CellExtraction, TopSiliconModel};
 use m3d_tech::{DesignStyle, MetalClass, MetalStack, StackKind, TechNode};
+
+use crate::cache::ArtifactCache;
 
 /// The four cells Tables 1/2 report on.
 const TABLE_CELLS: [CellFunction; 4] = [
@@ -28,8 +30,7 @@ const TABLE1_PAPER: [(&str, f64, f64, f64, f64, f64); 4] = [
 ];
 
 fn signal_totals(e: &CellExtraction) -> (f64, f64) {
-    let is_signal =
-        |n: u32| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id();
+    let is_signal = |n: u32| n != Signal::Vdd.node_id() && n != Signal::Vss.node_id();
     let r = e
         .node_r
         .iter()
@@ -59,8 +60,16 @@ pub fn table1_cell_rc() -> String {
         let topo = Topology::for_function(*f);
         let g2 = generate_layout(&node, &topo, DesignStyle::TwoD, 1);
         let g3 = generate_layout(&node, &topo, DesignStyle::Tmi, 1);
-        let (r2, c2) = signal_totals(&extract_cell(&node, &g2.shapes, TopSiliconModel::Dielectric));
-        let (r3, c3) = signal_totals(&extract_cell(&node, &g3.shapes, TopSiliconModel::Dielectric));
+        let (r2, c2) = signal_totals(&extract_cell(
+            &node,
+            &g2.shapes,
+            TopSiliconModel::Dielectric,
+        ));
+        let (r3, c3) = signal_totals(&extract_cell(
+            &node,
+            &g3.shapes,
+            TopSiliconModel::Dielectric,
+        ));
         let (_, c3c) = signal_totals(&extract_cell(&node, &g3.shapes, TopSiliconModel::Conductor));
         let _ = writeln!(
             out,
@@ -128,15 +137,7 @@ pub fn table2_cell_timing_power() -> String {
                     let t = characterize_analytic(&node, style, f, 1, &topo, &geom);
                     (t.delay.lookup(slew, load), t.energy.lookup(slew, load))
                 } else {
-                    let t = characterize_spice(
-                        &node,
-                        f,
-                        1,
-                        &topo,
-                        &geom,
-                        vec![slew],
-                        vec![load],
-                    );
+                    let t = characterize_spice(&node, f, 1, &topo, &geom, vec![slew], vec![load]);
                     (t.delay.lookup(slew, load), t.energy.lookup(slew, load))
                 }
             };
@@ -184,17 +185,11 @@ pub fn table3_metal_layers() -> String {
             MetalClass::Local,
             MetalClass::M1,
         ] {
-            let names: Vec<&str> = stack
-                .layers_of(class)
-                .map(|l| l.name.as_str())
-                .collect();
+            let names: Vec<&str> = stack.layers_of(class).map(|l| l.name.as_str()).collect();
             if names.is_empty() {
                 continue;
             }
-            let l = stack
-                .layers_of(class)
-                .next()
-                .expect("class has layers");
+            let l = stack.layers_of(class).next().expect("class has layers");
             let _ = writeln!(
                 out,
                 "  {:12} {:18} {:4}/{:4}/{:4}",
@@ -206,7 +201,9 @@ pub fn table3_metal_layers() -> String {
             );
         }
     }
-    out.push_str("paper: global 400/400/800, intermediate 140/140/280, local 70/70/140, M1 70/65/130\n");
+    out.push_str(
+        "paper: global 400/400/800, intermediate 140/140/280, local 70/70/140, M1 70/65/130\n",
+    );
     out
 }
 
@@ -224,11 +221,27 @@ pub fn table6_node_setup() -> String {
             format!("{}", n45.gate_length),
             format!("{}", n7.gate_length),
         ),
-        ("BEOL ILD k", format!("{}", n45.ild_k), format!("{}", n7.ild_k)),
+        (
+            "BEOL ILD k",
+            format!("{}", n45.ild_k),
+            format!("{}", n7.ild_k),
+        ),
         (
             "M2 width (nm)",
-            format!("{}", MetalStack::new(&n45, StackKind::TwoD).by_name("M2").expect("M2").width),
-            format!("{}", MetalStack::new(&n7, StackKind::TwoD).by_name("M2").expect("M2").width),
+            format!(
+                "{}",
+                MetalStack::new(&n45, StackKind::TwoD)
+                    .by_name("M2")
+                    .expect("M2")
+                    .width
+            ),
+            format!(
+                "{}",
+                MetalStack::new(&n7, StackKind::TwoD)
+                    .by_name("M2")
+                    .expect("M2")
+                    .width
+            ),
         ),
         (
             "MIV diameter (nm)",
@@ -266,7 +279,9 @@ pub fn table11_7nm_cells() -> String {
     let paper = "paper 45nm:  INV 0.463/44.3/31.4/0.446/2844  NAND2 0.523/49.2/35.9/0.680/4962  DFF 0.877/124.7/34.6/3.425/42965\n\
                  paper  7nm:  INV 0.125/25.6/15.1/0.020/2583  NAND2 0.082/30.5/19.3/0.020/2906  DFF 0.097/27.1/8.3/0.604/23241\n";
     for node in [TechNode::n45(), TechNode::n7()] {
-        let lib = CellLibrary::build(&node, DesignStyle::TwoD);
+        let lib = ArtifactCache::global()
+            .library(node.id, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
         let k = node.dimension_scale();
         let (slew, load) = if k < 1.0 {
             (19.0 * 0.42, 3.2 * 0.179)
@@ -297,7 +312,9 @@ pub fn table11_7nm_cells() -> String {
 /// we tabulate all of them).
 pub fn fig5_cell_inventory() -> String {
     let node = TechNode::n45();
-    let lib = CellLibrary::build(&node, DesignStyle::Tmi);
+    let lib = ArtifactCache::global()
+        .library(node.id, DesignStyle::Tmi, false, 1.0)
+        .expect("library builds");
     let mut out = String::new();
     let _ = writeln!(
         out,

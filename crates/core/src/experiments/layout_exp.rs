@@ -2,12 +2,12 @@
 
 use std::fmt::Write as _;
 
-use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_place::Placer;
 use m3d_synth::WireLoadModel;
-use m3d_tech::{DesignStyle, NodeId, TechNode};
+use m3d_tech::{DesignStyle, NodeId};
 
+use crate::cache::ArtifactCache;
 use crate::{Comparison, FlowConfig, FlowResult};
 
 fn detail_row(r: &FlowResult) -> String {
@@ -136,8 +136,7 @@ pub fn fig3_circuit_character(scale: BenchScale) -> String {
     );
     for bench in [Benchmark::Ldpc, Benchmark::Des] {
         let r = crate::Flow::new(bench, DesignStyle::TwoD, cfg.clone()).run();
-        let avg_net =
-            r.wirelength_um / (r.cell_count as f64).max(1.0);
+        let avg_net = r.wirelength_um / (r.cell_count as f64).max(1.0);
         let _ = writeln!(
             out,
             "{:5}: footprint {:7.0} um2 ({:5.1} x {:5.1} um), WL {:6.3} m, \
@@ -174,8 +173,9 @@ pub fn table12_benchmarks(scale: BenchScale) -> String {
          node circuit  clk(ns)  #cells   area(um2)   #nets   fanout  #flops"
     );
     for node_id in [NodeId::N45, NodeId::N7] {
-        let node = TechNode::for_id(node_id);
-        let lib = CellLibrary::build(&node, DesignStyle::TwoD);
+        let lib = ArtifactCache::global()
+            .library(node_id, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
         for bench in Benchmark::ALL {
             let n = bench.generate(&lib, scale);
             let s = n.stats(&lib);
@@ -234,8 +234,9 @@ pub fn table16_net_breakdown(scale: BenchScale) -> String {
 
 /// Fig. 6: the fanout-vs-wirelength wire-load-model curves per benchmark.
 pub fn fig6_wlm_curves(scale: BenchScale) -> String {
-    let node = TechNode::n45();
-    let lib = CellLibrary::build(&node, DesignStyle::TwoD);
+    let lib = ArtifactCache::global()
+        .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+        .expect("library builds");
     let mut out = String::new();
     let _ = writeln!(
         out,

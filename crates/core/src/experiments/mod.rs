@@ -43,7 +43,6 @@ pub use layout_exp::{
     table4_layout_45nm, table5_prior_work, table7_layout_7nm,
 };
 pub use sweeps::{
-    fig10_layer_usage, fig11_activity_sweep, fig4_clock_sweep, fig_s5_blockage,
-    summary_scorecard, table15_wlm_impact, table17_metal_stack, table8_pin_cap,
-    table9_resistivity,
+    fig10_layer_usage, fig11_activity_sweep, fig4_clock_sweep, fig_s5_blockage, summary_scorecard,
+    table15_wlm_impact, table17_metal_stack, table8_pin_cap, table9_resistivity,
 };

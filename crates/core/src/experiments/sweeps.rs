@@ -179,9 +179,7 @@ pub fn table17_metal_stack(scale: BenchScale) -> String {
             );
         }
     }
-    out.push_str(
-        "paper: the +M stack cuts total power a further 2.4% (LDPC) / 2.8% (M256)\n",
-    );
+    out.push_str("paper: the +M stack cuts total power a further 2.4% (LDPC) / 2.8% (M256)\n");
     out
 }
 
@@ -195,7 +193,9 @@ pub fn fig10_layer_usage(scale: BenchScale) -> String {
         let u = &r.layer_usage;
         let _ = writeln!(out, "{}:\n{}", bench.name(), u.to_table());
     }
-    out.push_str("paper: both local and intermediate heavily used; LDPC uses more global metal than M256\n");
+    out.push_str(
+        "paper: both local and intermediate heavily used; LDPC uses more global metal than M256\n",
+    );
     out
 }
 
@@ -300,7 +300,9 @@ pub fn summary_scorecard(scale: BenchScale) -> String {
         .unwrap_or(0.0);
     claims.push((
         "DES is the smallest benefit (Section 4.3)".into(),
-        reductions.iter().all(|(b, p, _)| *b == Benchmark::Des || *p <= des),
+        reductions
+            .iter()
+            .all(|(b, p, _)| *b == Benchmark::Des || *p <= des),
     ));
 
     // Claim 2: footprint reduction ~40%+ everywhere.

@@ -5,7 +5,13 @@
 //! the matching invocation with [`FlowError::Injected`]. Because the
 //! flow itself is deterministic, a plan makes an entire
 //! retry/degradation scenario reproducible — "placement fails once, then
-//! recovers" is `FaultPlan::new().fail_on(FlowStage::Placement, 1)`.
+//! recovers" is `FaultPlan::new().fail_stage("place", 1)`.
+//!
+//! Stages are addressed by the stage graph's names (`"route"`,
+//! `"signoff"`, … — see [`FlowStage::key`]) via
+//! [`FaultPlan::fail_stage`] / [`FaultPlan::always_stage`]; the
+//! enum-keyed [`FaultPlan::fail_on`] / [`FaultPlan::always`] remain for
+//! callers that already hold a [`FlowStage`].
 
 use crate::error::{FlowError, FlowStage};
 
@@ -54,10 +60,36 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the stage named `stage` (stage-graph short name or display
+    /// name, e.g. `"route"`) on its `invocation`-th entry, 1-based.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to — a typo in a
+    /// test plan, best caught loudly.
+    pub fn fail_stage(self, stage: &str, invocation: u32) -> Self {
+        self.fail_on(resolve(stage), invocation)
+    }
+
+    /// Fails the stage named `stage` on every entry — an unrecoverable
+    /// fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn always_stage(self, stage: &str) -> Self {
+        self.always(resolve(stage))
+    }
+
     /// True when the plan contains no faults.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
     }
+}
+
+/// Resolves a stage name, panicking on unknown names (test-harness API).
+fn resolve(name: &str) -> FlowStage {
+    FlowStage::from_name(name).unwrap_or_else(|| panic!("no flow stage is named '{name}'"))
 }
 
 /// Executes a [`FaultPlan`]: counts stage entries and reports the error
@@ -111,6 +143,28 @@ mod tests {
         assert!(inj.tick(FlowStage::Routing).is_none());
         // Other stages are unaffected.
         assert!(inj.tick(FlowStage::Placement).is_none());
+    }
+
+    #[test]
+    fn named_plans_resolve_stage_graph_names() {
+        let by_name = FaultPlan::new()
+            .fail_stage("route", 2)
+            .always_stage("signoff");
+        let by_enum = FaultPlan::new()
+            .fail_on(FlowStage::Routing, 2)
+            .always(FlowStage::SignOff);
+        assert_eq!(by_name, by_enum);
+        // Display names resolve too.
+        assert_eq!(
+            FaultPlan::new().fail_stage("post-route optimization", 1),
+            FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no flow stage is named")]
+    fn unknown_stage_name_panics() {
+        let _ = FaultPlan::new().fail_stage("not-a-stage", 1);
     }
 
     #[test]

@@ -1,19 +1,27 @@
+//! The flow façade: configuration, result type, and the thin [`Flow`]
+//! wrapper over the stage graph.
+//!
+//! Stage bodies live in [`crate::stage`]; sequencing, retry and
+//! degradation live in [`crate::supervisor`]; memoization lives in
+//! [`crate::cache`]. This module keeps the public entry points
+//! (`Flow::run` / `try_run`) plus the numerical helpers the stages
+//! share (net-model estimation, extraction, move application).
+
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use m3d_cells::{CellFunction, CellLibrary};
 use m3d_extract::{try_extract_net, ExtractError};
 use m3d_geom::Point;
 use m3d_netlist::{BenchScale, Benchmark, NetDriver, NetId, Netlist};
-use m3d_place::{Placement, Placer};
-use m3d_power::{try_analyze_power, PowerConfig, PowerReport};
-use m3d_route::{LayerUsage, RoutedDesign, Router};
-use m3d_sta::{
-    plan_load_sizing, plan_power_recovery, plan_timing_moves, try_analyze, NetModel, OptMove,
-    StaError, TimingConfig,
-};
-use m3d_synth::{try_synthesize, SynthConfig, WireLoadModel};
+use m3d_place::Placement;
+use m3d_power::PowerReport;
+use m3d_route::{LayerUsage, RoutedDesign};
+use m3d_sta::{NetModel, OptMove, TimingConfig};
 use m3d_tech::{DesignStyle, MetalClass, MetalStack, NodeId, StackKind, TechNode, WireRc};
 
+use crate::cache::ArtifactCache;
 use crate::error::{ConfigError, FlowError};
 use crate::supervisor::{FlowSupervisor, SupervisorPolicy};
 
@@ -192,15 +200,15 @@ impl FlowResult {
     }
 }
 
-/// The resolved run environment: validated knobs, characterized library,
-/// metal stack. Built once by [`Flow::prepare`]; the supervisor mutates
-/// the effective `clock_ps` / `utilization` / `opt_passes` when walking
-/// its degradation ladder.
+/// The resolved run environment: validated knobs, characterized library
+/// (shared through the [`ArtifactCache`]), metal stack. Built once by
+/// the library stage; the supervisor mutates the effective `clock_ps` /
+/// `utilization` / `opt_passes` when walking its degradation ladder.
 #[derive(Debug, Clone)]
 pub(crate) struct FlowEnv {
     pub(crate) node: TechNode,
     pub(crate) stack: MetalStack,
-    pub(crate) lib: CellLibrary,
+    pub(crate) lib: Arc<CellLibrary>,
     /// Effective clock period, ps (override or calibrated target).
     pub(crate) clock_ps: f64,
     /// Effective placement utilization target.
@@ -216,38 +224,14 @@ impl FlowEnv {
     }
 }
 
-/// Everything a stage produces that later stages consume — the unit the
-/// supervisor checkpoints. Cloning one is cheap relative to a stage, so
-/// a retry restores the last good state instead of restarting the flow.
-#[derive(Debug, Clone)]
-pub(crate) struct FlowState {
-    pub(crate) netlist: Netlist,
-    pub(crate) wlm: WireLoadModel,
-    /// Per-stage delay target for load-based sizing, ps.
-    pub(crate) tau_ps: f64,
-    pub(crate) placement: Option<Placement>,
-    pub(crate) routed: Option<RoutedDesign>,
-    pub(crate) models: Vec<NetModel>,
-    /// WNS measured at the end of post-route optimization, ps — the
-    /// floorplan-round accept/revert signal.
-    pub(crate) wns_after_opt: f64,
-}
-
-impl FlowState {
-    /// Takes the placement produced by the placement stage. The stage
-    /// drivers (`try_run`, the supervisor) always run placement first, so
-    /// absence is a driver bug, not a data error.
-    fn take_placement(&mut self) -> Placement {
-        self.placement
-            .take()
-            .expect("stage driver invariant: placement stage runs first")
-    }
-}
-
 /// The full design-and-analysis pipeline for one benchmark at one
 /// (node, style) point: library preparation, WLM-guided synthesis,
 /// placement, pre-route optimization, routing, post-route optimization,
 /// power recovery, and sign-off timing/power (paper Fig. 1).
+///
+/// `Flow` is a thin wrapper: the stage bodies live in the
+/// [`crate::StageGraph`], sequencing lives in [`crate::FlowSupervisor`],
+/// and completed results are shared through the [`ArtifactCache`].
 #[derive(Debug)]
 pub struct Flow {
     bench: Benchmark,
@@ -272,329 +256,63 @@ impl Flow {
     /// Panics when any stage fails; see [`Flow::try_run`] for the
     /// fallible form.
     pub fn run(&self) -> FlowResult {
-        match self.try_run() {
-            Ok(r) => r,
-            Err(e) => panic!("flow failed: {e}"),
-        }
+        self.try_run()
+            .unwrap_or_else(|e| panic!("flow failed: {e}"))
     }
 
     /// Runs the pipeline end to end, reporting the first stage failure
     /// instead of panicking.
     ///
-    /// Executes exactly the stage sequence [`Flow::run`] executes — one
-    /// attempt per stage, no recovery. Supervised retry, checkpointed
-    /// resume, and the degradation ladder live in
-    /// [`crate::FlowSupervisor`], which drives these same stages.
+    /// Checks the process-wide [`ArtifactCache`] first: a flow point
+    /// already signed off under an equivalent configuration returns the
+    /// stored (bit-identical) result without re-running any stage. On a
+    /// miss, executes exactly the stage sequence [`Flow::run`] executes
+    /// — one attempt per stage, no recovery — and stores the result.
+    /// Supervised retry, checkpointed resume, and the degradation
+    /// ladder live in [`crate::FlowSupervisor`], which drives the same
+    /// stage graph.
     ///
     /// # Errors
     ///
     /// Returns the [`FlowError`] of the first failing stage.
     pub fn try_run(&self) -> Result<FlowResult, FlowError> {
-        FlowSupervisor::new(self.bench, self.style, self.config.clone())
+        self.try_run_with_cache(&ArtifactCache::global())
+    }
+
+    /// [`Flow::try_run`] against an explicit cache — the process-wide
+    /// one for sharing, or a fresh [`ArtifactCache::default`] for
+    /// isolated cold runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FlowError`] of the first failing stage.
+    pub fn try_run_with_cache(&self, cache: &Arc<ArtifactCache>) -> Result<FlowResult, FlowError> {
+        // Validate before the lookup so degenerate configs always
+        // surface as errors and never touch the key space.
+        self.config.validate()?;
+        if let Some(hit) = cache.lookup_result(self.bench, self.style, &self.config) {
+            return Ok(hit);
+        }
+        let result = FlowSupervisor::new(self.bench, self.style, self.config.clone())
             .policy(SupervisorPolicy::strict())
+            .with_cache(Arc::clone(cache))
             .run()
-            .into_result()
-    }
-
-    /// Resolves the run environment: validated config, characterized
-    /// library, metal stack, and the effective clock / utilization /
-    /// pass-budget targets.
-    pub(crate) fn prepare(&self) -> Result<FlowEnv, FlowError> {
-        let cfg = &self.config;
-        cfg.validate()?;
-        let node = cfg.tech_node();
-        let stack_kind = cfg.stack_kind.unwrap_or(self.style.default_stack());
-        let stack = MetalStack::new(&node, stack_kind);
-        let mut lib = CellLibrary::try_build(&node, self.style)?;
-        if cfg.pin_cap_scale != 1.0 {
-            lib = lib.try_with_pin_cap_scaled(cfg.pin_cap_scale)?;
-        }
-        let scale = if cfg.clock_scale > 0.0 {
-            cfg.clock_scale
-        } else {
-            default_clock_scale_at(self.bench, cfg.node_id)
-        };
-        let clock_ps = cfg
-            .clock_ps
-            .unwrap_or_else(|| self.bench.target_clock_ps(cfg.node_id))
-            * scale;
-        let utilization = cfg
-            .utilization
-            .unwrap_or_else(|| self.bench.target_utilization());
-        Ok(FlowEnv {
-            node,
-            stack,
-            lib,
-            clock_ps,
-            utilization,
-            opt_passes: cfg.opt_passes,
-        })
-    }
-
-    /// The router configured for this flow, borrowing the environment.
-    fn router<'e>(&self, env: &'e FlowEnv) -> Router<'e> {
-        let r = Router::new(&env.node, &env.stack);
-        if self.config.mb1_routing {
-            r
-        } else {
-            r.without_mb1()
-        }
-    }
-
-    /// Synthesis stage: wire-load model measured on a preliminary
-    /// placement, WLM-guided synthesis, and the per-stage delay target
-    /// derived from the synthesized logic depth.
-    pub(crate) fn stage_synthesis(&self, env: &FlowEnv) -> Result<FlowState, FlowError> {
-        let cfg = &self.config;
-        let raw = self.bench.generate(&env.lib, cfg.bench_scale);
-        let wlm = if cfg.tmi_wlm || self.style == DesignStyle::TwoD {
-            let prelim = Placer::new(&env.lib)
-                .utilization(env.utilization)
-                .iterations(16)
-                .try_place(&raw)?;
-            WireLoadModel::from_placement(&raw, &prelim)
-        } else {
-            // Table 15 "-n": synthesize the T-MI design against the WLM
-            // measured on the *2D* implementation.
-            let lib2d = CellLibrary::try_build(&env.node, DesignStyle::TwoD)?;
-            let raw2d = self.bench.generate(&lib2d, cfg.bench_scale);
-            let prelim = Placer::new(&lib2d)
-                .utilization(env.utilization)
-                .iterations(16)
-                .try_place(&raw2d)?;
-            WireLoadModel::from_placement(&raw2d, &prelim)
-        };
-        let netlist = try_synthesize(raw, &env.lib, &wlm, &SynthConfig::new(env.clock_ps))?;
-
-        // Per-stage delay target for load-based sizing: a share of the
-        // clock budget divided by the design's logic depth.
-        let tau_ps = {
-            let (levels, _) = m3d_netlist::levelize(&netlist, &env.lib)
-                .map_err(|cycle| StaError::CombinationalCycle {
-                    involved: cycle.len(),
-                })?;
-            let depth = levels.iter().copied().max().unwrap_or(1) as f64 + 3.0;
-            (0.55 * env.clock_ps / depth).clamp(20.0, 200.0)
-        };
-        Ok(FlowState {
-            netlist,
-            wlm,
-            tau_ps,
-            placement: None,
-            routed: None,
-            models: Vec::new(),
-            wns_after_opt: 0.0,
-        })
-    }
-
-    /// Placement stage: global placement, then load-based sizing gated on
-    /// need — drivers are mapped to their placed loads only while the
-    /// design misses its clock (iterated because sizing moves the loads).
-    pub(crate) fn stage_placement(
-        &self,
-        env: &FlowEnv,
-        st: &mut FlowState,
-    ) -> Result<(), FlowError> {
-        let timing = env.timing();
-        let mut placement = Placer::new(&env.lib)
-            .utilization(env.utilization)
-            .iterations(self.config.place_iterations)
-            .try_place(&st.netlist)?;
-        for _ in 0..3 {
-            let est = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
-            let report = try_analyze(&st.netlist, &env.lib, &est, &timing)?;
-            if report.met() {
-                break;
-            }
-            let moves = plan_load_sizing(&st.netlist, &env.lib, &est, st.tau_ps);
-            if moves.is_empty() {
-                break;
-            }
-            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
-        }
-        st.placement = Some(placement);
-        Ok(())
-    }
-
-    /// Pre-route optimization on placement-based estimates. Passes are
-    /// accept/reject: a pass that does not improve WNS is rolled back and
-    /// the loop stops.
-    pub(crate) fn stage_preroute_opt(
-        &self,
-        env: &FlowEnv,
-        st: &mut FlowState,
-    ) -> Result<(), FlowError> {
-        let timing = env.timing();
-        let mut placement = st.take_placement();
-        let mut last_wns = f64::NEG_INFINITY;
-        for pass in 0..env.opt_passes {
-            let est = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
-            let report = try_analyze(&st.netlist, &env.lib, &est, &timing)?;
-            if report.met() {
-                break;
-            }
-            if pass > 0 && report.wns <= last_wns {
-                break;
-            }
-            last_wns = report.wns;
-            let limit = 3000.max(st.netlist.net_count() / 4);
-            let moves = plan_timing_moves(&st.netlist, &env.lib, &est, &report, limit);
-            if moves.is_empty() {
-                break;
-            }
-            let saved = (st.netlist.clone(), placement.clone());
-            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
-            let est2 = estimate_models(&st.netlist, &placement, &env.node, &env.stack);
-            let report2 = try_analyze(&st.netlist, &env.lib, &est2, &timing)?;
-            if report2.wns < report.wns {
-                st.netlist = saved.0;
-                placement = saved.1;
-                break;
-            }
-        }
-        st.placement = Some(placement);
-        Ok(())
-    }
-
-    /// Routing stage: global route, one load-sizing round against
-    /// extracted loads, and the final re-route / re-extract.
-    pub(crate) fn stage_routing(
-        &self,
-        env: &FlowEnv,
-        st: &mut FlowState,
-    ) -> Result<(), FlowError> {
-        let timing = env.timing();
-        let router = self.router(env);
-        let mut placement = st.take_placement();
-        let mut routed = router.try_route(&st.netlist, &placement, &env.lib)?;
-        let mut models = try_extraction_models(&st.netlist, &routed, &env.node)?;
-        for _ in 0..2 {
-            let report = try_analyze(&st.netlist, &env.lib, &models, &timing)?;
-            if report.met() {
-                break;
-            }
-            let moves = plan_load_sizing(&st.netlist, &env.lib, &models, st.tau_ps);
-            if moves.is_empty() {
-                break;
-            }
-            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
-        }
-        routed = router.try_route(&st.netlist, &placement, &env.lib)?;
-        models = try_extraction_models(&st.netlist, &routed, &env.node)?;
-        st.placement = Some(placement);
-        st.routed = Some(routed);
-        st.models = models;
-        Ok(())
-    }
-
-    /// Post-route optimization (accept/reject passes) followed by
-    /// iso-performance power recovery: cells with slack are repeatedly
-    /// downsized until nothing more fits ("with a better timing, cells
-    /// are downsized", Section 4.1), verified per round.
-    pub(crate) fn stage_postroute_opt(
-        &self,
-        env: &FlowEnv,
-        st: &mut FlowState,
-    ) -> Result<(), FlowError> {
-        let timing = env.timing();
-        let router = self.router(env);
-        let mut placement = st.take_placement();
-        for _ in 0..env.opt_passes {
-            let report = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
-            if report.met() {
-                break;
-            }
-            let limit = 2000.max(st.netlist.net_count() / 4);
-            let moves = plan_timing_moves(&st.netlist, &env.lib, &st.models, &report, limit);
-            if moves.is_empty() {
-                break;
-            }
-            let saved = (st.netlist.clone(), placement.clone());
-            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
-            let new_routed = router.try_route(&st.netlist, &placement, &env.lib)?;
-            let new_models = try_extraction_models(&st.netlist, &new_routed, &env.node)?;
-            let report2 = try_analyze(&st.netlist, &env.lib, &new_models, &timing)?;
-            if report2.wns < report.wns {
-                st.netlist = saved.0;
-                placement = saved.1;
-                break;
-            }
-            st.models = new_models;
-            drop(new_routed); // sign-off re-routes the final netlist
-        }
-
-        let recovery_batch = 500.max(st.netlist.instance_count() / 6);
-        for _ in 0..20 {
-            let report = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
-            if !report.met() {
-                break;
-            }
-            let margin = 0.02 * env.clock_ps;
-            let moves =
-                plan_power_recovery(&st.netlist, &env.lib, &report, margin, recovery_batch);
-            if moves.is_empty() {
-                break;
-            }
-            let saved = st.netlist.clone();
-            apply_moves(&mut st.netlist, &mut placement, &env.lib, &moves);
-            let check = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?;
-            if !check.met() {
-                st.netlist = saved;
-                break;
-            }
-        }
-        st.wns_after_opt = try_analyze(&st.netlist, &env.lib, &st.models, &timing)?.wns;
-        st.placement = Some(placement);
-        Ok(())
-    }
-
-    /// Sign-off: final route and extraction of the final netlist, timing
-    /// and power analysis, result assembly.
-    pub(crate) fn stage_signoff(
-        &self,
-        env: &FlowEnv,
-        st: &mut FlowState,
-    ) -> Result<FlowResult, FlowError> {
-        let cfg = &self.config;
-        let timing = env.timing();
-        let router = self.router(env);
-        let placement = st
-            .placement
-            .as_ref()
-            .expect("stage driver invariant: placement stage runs first");
-        let routed = router.try_route(&st.netlist, placement, &env.lib)?;
-        let models = try_extraction_models(&st.netlist, &routed, &env.node)?;
-        let report = try_analyze(&st.netlist, &env.lib, &models, &timing)?;
-        let power = try_analyze_power(
-            &st.netlist,
-            &env.lib,
-            &models,
-            &PowerConfig::new(env.clock_ps).with_alpha_ff(cfg.alpha_ff),
-        )?;
-        let stats = st.netlist.stats(&env.lib);
-        let result = FlowResult {
-            bench: self.bench,
-            style: self.style,
-            node_id: cfg.node_id,
-            clock_ps: env.clock_ps,
-            hold_wns_ps: report.hold_wns,
-            footprint_um2: placement.footprint_um2(),
-            core_um: (
-                placement.core.width() as f64 * 1e-3,
-                placement.core.height() as f64 * 1e-3,
-            ),
-            cell_count: stats.cell_count,
-            buffer_count: stats.buffer_count,
-            utilization: placement.utilization,
-            wirelength_um: routed.total_wirelength_um(),
-            wns_ps: report.wns,
-            power,
-            layer_usage: LayerUsage::of(&routed),
-            wlm_curve: st.wlm.curve().to_vec(),
-        };
-        st.routed = Some(routed);
-        st.models = models;
+            .into_result()?;
+        cache.store_result(self.bench, self.style, &self.config, &result);
         Ok(result)
+    }
+
+    /// Runs the pipeline with no memoization at all: a private, empty
+    /// cache, so every artifact (cell library included) is rebuilt.
+    /// This is what criterion benchmarks call — a cached run would
+    /// measure a hash lookup, not the flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any stage fails.
+    pub fn run_uncached(&self) -> FlowResult {
+        self.try_run_with_cache(&Arc::new(ArtifactCache::default()))
+            .unwrap_or_else(|e| panic!("flow failed: {e}"))
     }
 }
 
@@ -633,10 +351,7 @@ pub fn estimate_models(
     let s = node.dimension_scale();
     let thresholds = (30.0 * s, 140.0 * s);
     let rc_of = |class: MetalClass| {
-        let layer = stack
-            .layers_of(class)
-            .next()
-            .expect("class in stack");
+        let layer = stack.layers_of(class).next().expect("class in stack");
         WireRc::for_layer(node, layer)
     };
     let rcs = [
@@ -838,7 +553,11 @@ fn insert_repeater_chain(
         .map(|(i, s)| (i, driver_pos.manhattan(placement.pos(s.inst))))
         .collect();
     by_dist.sort_by_key(|&(_, d)| d);
-    let keep = if by_dist.len() == 1 { 0 } else { by_dist.len() / 2 };
+    let keep = if by_dist.len() == 1 {
+        0
+    } else {
+        by_dist.len() / 2
+    };
     let far: Vec<usize> = by_dist[keep..].iter().map(|&(i, _)| i).collect();
     if far.is_empty() {
         return;
@@ -888,7 +607,11 @@ mod tests {
         assert!(r.footprint_um2 > 0.0);
         assert!(r.wirelength_um > 0.0);
         assert!(r.total_power_mw() > 0.0);
-        assert!(r.wns_ps > -0.05 * r.clock_ps, "timing badly violated: {} ps", r.wns_ps);
+        assert!(
+            r.wns_ps > -0.05 * r.clock_ps,
+            "timing badly violated: {} ps",
+            r.wns_ps
+        );
         assert!(r.cell_count > 100);
     }
 
@@ -905,7 +628,12 @@ mod tests {
     #[test]
     fn faster_clock_costs_power() {
         let base = small_cfg();
-        let slow = Flow::new(Benchmark::Aes, DesignStyle::TwoD, base.clone().clock(2000.0)).run();
+        let slow = Flow::new(
+            Benchmark::Aes,
+            DesignStyle::TwoD,
+            base.clone().clock(2000.0),
+        )
+        .run();
         let fast = Flow::new(Benchmark::Aes, DesignStyle::TwoD, base.clock(900.0)).run();
         assert!(fast.total_power_mw() > slow.total_power_mw());
     }

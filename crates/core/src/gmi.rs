@@ -27,6 +27,7 @@ use m3d_sta::TimingConfig;
 use m3d_synth::{synthesize, SynthConfig, WireLoadModel};
 use m3d_tech::{DesignStyle, MetalStack, NodeId, StackKind};
 
+use crate::cache::ArtifactCache;
 use crate::flow::{default_clock_scale_at, estimate_models, extraction_models};
 use crate::{Flow, FlowConfig};
 
@@ -138,10 +139,7 @@ pub fn fm_bipartition(
                         continue;
                     }
                     let mine = pins.iter().filter(|&&p| p as usize == i).count();
-                    let same = pins
-                        .iter()
-                        .filter(|&&p| side[p as usize] == from)
-                        .count();
+                    let same = pins.iter().filter(|&&p| side[p as usize] == from).count();
                     let other = pins.len() - same;
                     if other == 0 {
                         gain -= 1; // uncut net becomes cut
@@ -214,7 +212,14 @@ pub struct GmiResult {
 /// Runs the G-MI flow for a benchmark (2D library, two tiers).
 pub fn run_gmi(bench: Benchmark, config: &FlowConfig) -> GmiResult {
     let node = config.tech_node();
-    let lib = CellLibrary::build(&node, DesignStyle::TwoD);
+    let lib = ArtifactCache::global()
+        .library(
+            config.node_id,
+            DesignStyle::TwoD,
+            config.lower_metal_rho,
+            1.0,
+        )
+        .expect("library builds");
     let clock_ps = config
         .clock_ps
         .unwrap_or_else(|| bench.target_clock_ps(config.node_id))

@@ -26,12 +26,19 @@
 //! reports the percentage deltas of the paper's Tables 4/7/13/14;
 //! [`experiments`] regenerates every table and figure.
 //!
+//! The pipeline itself is a [`StageGraph`] ([`stage`]): one [`Stage`]
+//! per paper step, reading and writing a typed [`FlowContext`] artifact
+//! store ([`artifacts`]), with cell libraries and completed results
+//! shared through a content-keyed [`ArtifactCache`] ([`cache`]) so the
+//! experiment drivers and `paper_tables` never rebuild an identical
+//! artifact.
+//!
 //! Failure handling: every stage has a fallible entry point whose errors
 //! unify into [`FlowError`] ([`error`]); [`Flow::try_run`] reports the
 //! first failing stage instead of panicking; [`FlowSupervisor`]
 //! ([`supervisor`]) adds bounded retry with checkpointed resume and a
-//! degradation ladder, and [`faultinject`] plants deterministic faults
-//! to test that machinery.
+//! degradation ladder, and [`faultinject`] plants deterministic faults —
+//! addressed to stages by name — to test that machinery.
 //!
 //! # Example: a small iso-performance comparison
 //!
@@ -50,19 +57,25 @@
 //! );
 //! ```
 
+pub mod artifacts;
+pub mod cache;
 mod compare;
 pub mod error;
 pub mod experiments;
 pub mod faultinject;
 mod flow;
 pub mod gmi;
+pub mod stage;
 pub mod supervisor;
 
+pub use artifacts::FlowContext;
+pub use cache::{ArtifactCache, CacheStats, FlowKey, LibraryKey};
 pub use compare::Comparison;
 pub use error::{ConfigError, FlowError, FlowStage};
 pub use faultinject::{FaultInjector, FaultPlan, PlannedFault};
-pub use flow::{estimate_models, extraction_models, try_extraction_models};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
+pub use flow::{estimate_models, extraction_models, try_extraction_models};
+pub use stage::{Stage, StageGraph};
 pub use supervisor::{
     AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, SupervisorPolicy,
 };

@@ -1,11 +1,12 @@
 //! The flow supervisor: per-stage retry with checkpointed resume, plus a
 //! bounded degradation ladder when the flow cannot close as configured.
 //!
-//! The supervisor drives the same stage functions as [`Flow::try_run`],
-//! but wraps each stage in a retry loop that restores the last good
-//! [`FlowState`] checkpoint before re-attempting, and — when a whole run
-//! fails or sign-off timing does not close — escalates through a ladder
-//! of recovery knobs that mirrors what a designer would try by hand:
+//! The supervisor drives the [`crate::StageGraph`] — the same stages
+//! `Flow::try_run` executes — but wraps each stage in a retry loop that
+//! restores the last good [`Artifacts`] checkpoint before re-attempting,
+//! and — when a whole run fails or sign-off timing does not close —
+//! escalates through a ladder of recovery knobs that mirrors what a
+//! designer would try by hand:
 //!
 //! 1. **More optimization passes**, resuming from the routing checkpoint
 //!    when one exists (re-closing post-route without re-synthesizing);
@@ -14,16 +15,22 @@
 //! 3. **Clock backoff** (the paper's iso-performance pressure released a
 //!    step), also restarting from synthesis.
 //!
-//! The [`FlowReport`] records every attempt and ends in a
-//! [`Disposition`]: `Closed`, `ClosedDegraded` with the relaxations that
-//! were needed, or `Failed` naming the stage and its typed error.
+//! The [`FlowReport`] records every attempt — each named by its
+//! [`FlowStage`] — and ends in a [`Disposition`]: `Closed`,
+//! `ClosedDegraded` with the relaxations that were needed, or `Failed`
+//! naming the stage and its typed error.
+
+use std::sync::Arc;
 
 use m3d_netlist::Benchmark;
 use m3d_tech::DesignStyle;
 
+use crate::artifacts::{Artifacts, FlowContext};
+use crate::cache::ArtifactCache;
 use crate::error::{FlowError, FlowStage};
 use crate::faultinject::{FaultInjector, FaultPlan};
-use crate::flow::{Flow, FlowConfig, FlowEnv, FlowResult, FlowState};
+use crate::flow::{FlowConfig, FlowResult};
+use crate::stage::{Stage, StageGraph};
 
 /// Retry and degradation policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,8 +66,8 @@ impl Default for SupervisorPolicy {
 
 impl SupervisorPolicy {
     /// One attempt per stage, no degradation, no sign-off gate — the
-    /// policy behind [`Flow::try_run`], which must execute exactly the
-    /// unsupervised stage sequence.
+    /// policy behind [`crate::Flow::try_run`], which must execute
+    /// exactly the unsupervised stage sequence.
     pub fn strict() -> Self {
         SupervisorPolicy {
             max_stage_attempts: 1,
@@ -178,6 +185,14 @@ impl FlowReport {
         self.attempts.iter().filter(|a| a.stage == stage).count() as u32
     }
 
+    /// Number of attempts recorded for a stage addressed by name
+    /// (`"route"`, `"sign-off"`, …). Unknown names count zero.
+    pub fn stage_attempts_named(&self, name: &str) -> u32 {
+        FlowStage::from_name(name)
+            .map(|s| self.stage_attempts(s))
+            .unwrap_or(0)
+    }
+
     /// Converts the report into a plain result, discarding the attempt
     /// history: the sign-off result when closed, the final error
     /// otherwise.
@@ -202,30 +217,42 @@ struct RungFailure {
     error: FlowError,
     // Boxed: a checkpoint carries the whole working state, and the
     // failure travels by value through `Result`.
-    routing_ckpt: Option<Box<FlowState>>,
+    routing_ckpt: Option<Box<Artifacts>>,
 }
 
-/// Drives [`Flow`] stages under a [`SupervisorPolicy`], with optional
+/// Drives the [`StageGraph`] under a [`SupervisorPolicy`], with optional
 /// deterministic fault injection for testing the recovery machinery.
+///
+/// The supervisor always *executes* its stages — it never consults the
+/// result cache, so planted faults and degradation scenarios behave
+/// identically whether or not an equivalent flow already completed.
+/// Result memoization lives one level up, in
+/// [`crate::Flow::try_run_with_cache`]; the shared cache passed here
+/// only deduplicates cell-library builds inside the library stage.
 #[derive(Debug)]
 pub struct FlowSupervisor {
     bench: Benchmark,
     style: DesignStyle,
-    flow: Flow,
+    config: FlowConfig,
     policy: SupervisorPolicy,
     injector: FaultInjector,
+    graph: StageGraph,
+    cache: Arc<ArtifactCache>,
 }
 
 impl FlowSupervisor {
-    /// A supervisor over the flow for `bench`/`style`/`config`, with the
-    /// default policy and no faults.
+    /// A supervisor over the paper pipeline for `bench`/`style`/`config`,
+    /// with the default policy, no faults, and the process-wide
+    /// library cache.
     pub fn new(bench: Benchmark, style: DesignStyle, config: FlowConfig) -> Self {
         FlowSupervisor {
             bench,
             style,
-            flow: Flow::new(bench, style, config),
+            config,
             policy: SupervisorPolicy::default(),
             injector: FaultInjector::new(FaultPlan::new()),
+            graph: StageGraph::paper_pipeline(),
+            cache: ArtifactCache::global(),
         }
     }
 
@@ -241,17 +268,27 @@ impl FlowSupervisor {
         self
     }
 
+    /// Replaces the artifact cache (library-build sharing only; see the
+    /// type docs).
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// Runs the flow to a disposition. Never panics on stage failures:
     /// every error lands in the report.
     pub fn run(self) -> FlowReport {
         let FlowSupervisor {
             bench,
             style,
-            flow,
+            config,
             policy,
             mut injector,
+            graph,
+            cache,
         } = self;
         let mut records: Vec<AttemptRecord> = Vec::new();
+        let mut cx = FlowContext::new(bench, style, config, cache);
         let fail_report = |records: Vec<AttemptRecord>,
                            stage: FlowStage,
                            error: FlowError,
@@ -267,25 +304,24 @@ impl FlowSupervisor {
         };
 
         // Library preparation, retried like any stage.
-        let mut env = match run_attempts(
+        if let Err(e) = run_stage(
+            graph.stage(FlowStage::Library),
+            &mut cx,
             &mut injector,
             &mut records,
             policy.max_stage_attempts,
-            FlowStage::Library,
             0,
-            || flow.prepare(),
         ) {
-            Ok(env) => env,
-            Err(e) => return fail_report(records, FlowStage::Library, e, 0.0, 0.0),
-        };
+            return fail_report(records, FlowStage::Library, e, 0.0, 0.0);
+        }
 
         let mut relaxations: Vec<Relaxation> = Vec::new();
-        let mut resume: Option<FlowState> = None;
+        let mut resume: Option<Artifacts> = None;
         let mut rung: u32 = 0;
         loop {
             match execute_rung(
-                &flow,
-                &env,
+                &graph,
+                &mut cx,
                 &policy,
                 &mut injector,
                 &mut records,
@@ -300,6 +336,7 @@ impl FlowSupervisor {
                             relaxations: relaxations.clone(),
                         }
                     };
+                    let env = cx.env.as_ref().expect("library stage ran");
                     return FlowReport {
                         bench,
                         style,
@@ -314,19 +351,17 @@ impl FlowSupervisor {
                     // Config/library errors are structural: no physical
                     // knob fixes them, so fail fast. Otherwise walk the
                     // ladder until it runs out.
-                    let structural = matches!(
-                        fail.error,
-                        FlowError::Config(_) | FlowError::Library(_)
-                    );
+                    let structural =
+                        matches!(fail.error, FlowError::Config(_) | FlowError::Library(_));
                     if !policy.allow_degradation || structural || rung >= 3 {
-                        return fail_report(
-                            records,
-                            fail.stage,
-                            fail.error,
-                            env.clock_ps,
-                            env.utilization,
-                        );
+                        let (clock_ps, utilization) = cx
+                            .env
+                            .as_ref()
+                            .map(|e| (e.clock_ps, e.utilization))
+                            .unwrap_or((0.0, 0.0));
+                        return fail_report(records, fail.stage, fail.error, clock_ps, utilization);
                     }
+                    let env = cx.env.as_mut().expect("library stage ran");
                     match rung {
                         0 => {
                             env.opt_passes += policy.extra_opt_passes;
@@ -362,42 +397,46 @@ impl FlowSupervisor {
     }
 }
 
-/// Runs one stage under the retry budget: each failed attempt is recorded
-/// and re-tried from the caller-supplied closure, which rebuilds its
-/// working state from the last good checkpoint.
-fn run_attempts<T>(
+/// Runs one stage under the retry budget: the artifact store is
+/// checkpointed before the first attempt, every failed attempt is
+/// recorded and the checkpoint restored, so a retry re-enters the stage
+/// from the last good state.
+fn run_stage(
+    stage: &dyn Stage,
+    cx: &mut FlowContext,
     injector: &mut FaultInjector,
     records: &mut Vec<AttemptRecord>,
     max_attempts: u32,
-    stage: FlowStage,
     rung: u32,
-    mut f: impl FnMut() -> Result<T, FlowError>,
-) -> Result<T, FlowError> {
+) -> Result<(), FlowError> {
+    let id = stage.id();
+    let checkpoint = cx.art.clone();
     let max_attempts = max_attempts.max(1);
     let mut attempt = 0;
     loop {
         attempt += 1;
-        let outcome = match injector.tick(stage) {
+        let outcome = match injector.tick(id) {
             Some(injected) => Err(injected),
-            None => f(),
+            None => stage.run(cx),
         };
         match outcome {
-            Ok(v) => {
+            Ok(()) => {
                 records.push(AttemptRecord {
-                    stage,
+                    stage: id,
                     rung,
                     attempt,
                     error: None,
                 });
-                return Ok(v);
+                return Ok(());
             }
             Err(e) => {
                 records.push(AttemptRecord {
-                    stage,
+                    stage: id,
                     rung,
                     attempt,
                     error: Some(e.clone()),
                 });
+                cx.art = checkpoint.clone();
                 if attempt >= max_attempts {
                     return Err(e);
                 }
@@ -407,33 +446,41 @@ fn run_attempts<T>(
 }
 
 /// Executes one full pass of the pipeline (the two-round floorplan loop
-/// plus sign-off) at the current ladder rung, checkpointing after every
-/// successful stage so retries resume from the last good state.
+/// plus sign-off) at the current ladder rung, checkpointing the artifact
+/// store after routing so retries and ladder resumes restart from the
+/// last good state.
 fn execute_rung(
-    flow: &Flow,
-    env: &FlowEnv,
+    graph: &StageGraph,
+    cx: &mut FlowContext,
     policy: &SupervisorPolicy,
     injector: &mut FaultInjector,
     records: &mut Vec<AttemptRecord>,
     rung: u32,
-    resume: Option<FlowState>,
+    resume: Option<Artifacts>,
 ) -> Result<FlowResult, RungFailure> {
     let att = policy.max_stage_attempts;
     let resumed = resume.is_some();
-    let mut routing_ckpt: Option<FlowState> = if resumed { resume.clone() } else { None };
-    let fail = |stage: FlowStage, error: FlowError, ckpt: Option<FlowState>| RungFailure {
+    let mut routing_ckpt: Option<Artifacts> = resume.clone();
+    if let Some(art) = resume {
+        cx.art = art;
+    }
+    let fail = |stage: FlowStage, error: FlowError, ckpt: Option<Artifacts>| RungFailure {
         stage,
         error,
         routing_ckpt: ckpt.map(Box::new),
     };
 
-    let mut state = match resume {
-        Some(s) => s,
-        None => run_attempts(injector, records, att, FlowStage::Synthesis, rung, || {
-            flow.stage_synthesis(env)
-        })
-        .map_err(|e| fail(FlowStage::Synthesis, e, None))?,
-    };
+    if !resumed {
+        run_stage(
+            graph.stage(FlowStage::Synthesis),
+            cx,
+            injector,
+            records,
+            att,
+            rung,
+        )
+        .map_err(|e| fail(FlowStage::Synthesis, e, None))?;
+    }
 
     // The two-round floorplan loop of the unsupervised flow: round 1
     // sizes the design; a second round re-builds the core when the cell
@@ -443,70 +490,78 @@ fn execute_rung(
     let mut round1_best: Option<(m3d_netlist::Netlist, m3d_place::Placement, f64)> = None;
     loop {
         if !(resumed && round == 0) {
-            for (stage, step) in [
-                (FlowStage::Placement, Flow::stage_placement as StageFn),
-                (FlowStage::PreRouteOpt, Flow::stage_preroute_opt as StageFn),
-                (FlowStage::Routing, Flow::stage_routing as StageFn),
+            for id in [
+                FlowStage::Placement,
+                FlowStage::PreRouteOpt,
+                FlowStage::Routing,
             ] {
-                state = run_attempts(injector, records, att, stage, rung, || {
-                    let mut s = state.clone();
-                    step(flow, env, &mut s)?;
-                    Ok(s)
-                })
-                .map_err(|e| fail(stage, e, routing_ckpt.clone()))?;
+                run_stage(graph.stage(id), cx, injector, records, att, rung)
+                    .map_err(|e| fail(id, e, routing_ckpt.clone()))?;
             }
-            routing_ckpt = Some(state.clone());
+            routing_ckpt = Some(cx.art.clone());
         }
-        state = run_attempts(injector, records, att, FlowStage::PostRouteOpt, rung, || {
-            let mut s = state.clone();
-            flow.stage_postroute_opt(env, &mut s)?;
-            Ok(s)
-        })
+        run_stage(
+            graph.stage(FlowStage::PostRouteOpt),
+            cx,
+            injector,
+            records,
+            att,
+            rung,
+        )
         .map_err(|e| fail(FlowStage::PostRouteOpt, e, routing_ckpt.clone()))?;
 
         round += 1;
         if resumed {
             break;
         }
-        let wns_now = state.wns_after_opt;
+        let wns_now = cx.art.wns_after_opt;
         if round >= 2 {
             // Keep whichever round closed better (round 2 can fail on
             // stubborn designs; fall back to the round-1 result).
             if let Some((n1, p1, w1)) = round1_best.take() {
                 if wns_now < w1.min(0.0) {
                     // Sign-off below re-routes and re-extracts.
-                    state.netlist = n1;
-                    state.placement = Some(p1);
+                    cx.art.netlist = Some(n1);
+                    cx.art.placement = Some(p1);
                 }
             }
             break;
         }
-        let area_now: f64 = state.netlist.total_cell_area(&env.lib);
-        let placement = state
+        let env = cx.env.as_ref().expect("library stage ran");
+        let netlist = cx
+            .art
+            .netlist
+            .as_ref()
+            .expect("synthesis stage leaves a netlist");
+        let placement = cx
+            .art
             .placement
             .as_ref()
             .expect("post-route stage leaves a placement");
+        let area_now: f64 = netlist.total_cell_area(&env.lib);
         let basis = area_now / placement.footprint_um2();
         if (basis / env.utilization - 1.0).abs() <= 0.10 {
             break;
         }
-        round1_best = Some((
-            state.netlist.clone(),
-            placement.clone(),
-            wns_now,
-        ));
+        round1_best = Some((netlist.clone(), placement.clone(), wns_now));
     }
 
-    let result = run_attempts(injector, records, att, FlowStage::SignOff, rung, || {
-        let mut s = state.clone();
-        flow.stage_signoff(env, &mut s)
-    })
+    run_stage(
+        graph.stage(FlowStage::SignOff),
+        cx,
+        injector,
+        records,
+        att,
+        rung,
+    )
     .map_err(|e| fail(FlowStage::SignOff, e, routing_ckpt.clone()))?;
+    let result = cx.result.take().expect("sign-off stage stores a result");
 
-    if result.wns_ps < -policy.wns_tolerance_frac * env.clock_ps {
+    let clock_ps = cx.env.as_ref().expect("library stage ran").clock_ps;
+    if result.wns_ps < -policy.wns_tolerance_frac * clock_ps {
         let error = FlowError::TimingNotClosed {
             wns_ps: result.wns_ps,
-            clock_ps: env.clock_ps,
+            clock_ps,
         };
         records.push(AttemptRecord {
             stage: FlowStage::SignOff,
@@ -518,5 +573,3 @@ fn execute_rung(
     }
     Ok(result)
 }
-
-type StageFn = fn(&Flow, &FlowEnv, &mut FlowState) -> Result<(), FlowError>;

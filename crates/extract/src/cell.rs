@@ -87,11 +87,7 @@ fn inter_tier_c_area(node: &TechNode) -> f64 {
 ///
 /// `shapes` whose node is [`LayerShape::FLOATING`] (wells, implants) are
 /// ignored.
-pub fn extract_cell(
-    node: &TechNode,
-    shapes: &ShapeSet,
-    model: TopSiliconModel,
-) -> CellExtraction {
+pub fn extract_cell(node: &TechNode, shapes: &ShapeSet, model: TopSiliconModel) -> CellExtraction {
     let mut ext = CellExtraction::default();
 
     let mut planar: Vec<&LayerShape> = Vec::new();
@@ -120,9 +116,7 @@ pub fn extract_cell(
 
     // Inter-tier vertical coupling for folded cells.
     let c_vert = inter_tier_c_area(node);
-    let tier_of = |s: &LayerShape| {
-        CellLayer::from_index(s.layer).map(|l| l.props(node).tier)
-    };
+    let tier_of = |s: &LayerShape| CellLayer::from_index(s.layer).map(|l| l.props(node).tier);
     let mut bottom_grounded: BTreeMap<u32, f64> = BTreeMap::new();
     if model == TopSiliconModel::Conductor {
         for a in &planar {
@@ -166,7 +160,8 @@ pub fn extract_cell(
                     if a.node != b.node {
                         *ext.node_c.entry(a.node).or_insert(0.0) += c;
                         *ext.node_c.entry(b.node).or_insert(0.0) += c;
-                        ext.couplings.push((a.node.min(b.node), a.node.max(b.node), c));
+                        ext.couplings
+                            .push((a.node.min(b.node), a.node.max(b.node), c));
                     }
                 }
                 TopSiliconModel::Conductor => {

@@ -187,7 +187,12 @@ mod tests {
         let m4 = stack.by_name("M4").expect("M4").index;
         let m8 = stack.by_name("M8").expect("M8").index;
         let m10 = stack.by_name("M10").expect("M10").index;
-        let p = extract_net(&node, &stack, &[(mb1, 1.0), (m4, 5.0), (m8, 7.0), (m10, 40.0)], 6);
+        let p = extract_net(
+            &node,
+            &stack,
+            &[(mb1, 1.0), (m4, 5.0), (m8, 7.0), (m10, 40.0)],
+            6,
+        );
         assert_eq!(p.class_len_um, [1.0, 5.0, 7.0, 40.0]);
         assert_eq!(p.length_um(), 53.0);
     }

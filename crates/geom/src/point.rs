@@ -11,7 +11,9 @@ use crate::Nm;
 /// let p = Point::new(3, 4) + Point::new(1, -4);
 /// assert_eq!(p, Point::new(4, 0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in nanometres.
     pub x: Nm,

@@ -86,10 +86,7 @@ impl Rect {
     /// Centre point, rounded toward the lower-left grid point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.lo.x + self.width() / 2,
-            self.lo.y + self.height() / 2,
-        )
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
     }
 
     /// Returns `true` when `p` lies inside or on the boundary.
@@ -162,7 +159,10 @@ impl Rect {
     pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
         let mut it = points.into_iter();
         let first = it.next()?;
-        let mut r = Rect { lo: first, hi: first };
+        let mut r = Rect {
+            lo: first,
+            hi: first,
+        };
         for p in it {
             r.lo.x = r.lo.x.min(p.x);
             r.lo.y = r.lo.y.min(p.y);

@@ -149,9 +149,21 @@ mod tests {
 
     fn sample() -> ShapeSet {
         let mut s = ShapeSet::new();
-        s.push(LayerShape::new(0, Rect::from_size(Point::new(0, 0), 10, 10), 1));
-        s.push(LayerShape::new(0, Rect::from_size(Point::new(20, 0), 5, 10), 2));
-        s.push(LayerShape::new(3, Rect::from_size(Point::new(0, 20), 100, 4), 1));
+        s.push(LayerShape::new(
+            0,
+            Rect::from_size(Point::new(0, 0), 10, 10),
+            1,
+        ));
+        s.push(LayerShape::new(
+            0,
+            Rect::from_size(Point::new(20, 0), 5, 10),
+            2,
+        ));
+        s.push(LayerShape::new(
+            3,
+            Rect::from_size(Point::new(0, 20), 100, 4),
+            1,
+        ));
         s
     }
 

@@ -8,8 +8,16 @@ fn main() {
         let t = Instant::now();
         let n = bench.generate(&lib, BenchScale::Paper);
         let s = n.stats(&lib);
-        println!("{:5}: cells {:7} area {:9.0} um2 nets {:7} fanout {:.2} flops {:6}  ({:.2?})",
-            bench.name(), s.cell_count, s.cell_area_um2, s.net_count, s.average_fanout, s.flop_count, t.elapsed());
+        println!(
+            "{:5}: cells {:7} area {:9.0} um2 nets {:7} fanout {:.2} flops {:6}  ({:.2?})",
+            bench.name(),
+            s.cell_count,
+            s.cell_area_um2,
+            s.net_count,
+            s.average_fanout,
+            s.flop_count,
+            t.elapsed()
+        );
     }
     println!("paper: FPU 9694/19123, AES 13891/16756, LDPC 38289/60590, DES 51162/85526, M256 202877/293636");
 }

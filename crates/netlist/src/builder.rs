@@ -82,19 +82,13 @@ impl<'l> NetlistBuilder<'l> {
         let inst = InstId(self.n.instances.len() as u32);
         let mut pins = inputs.to_vec();
         let outs: Vec<NetId> = (0..function.output_count())
-            .map(|o| {
-                self.fresh_net(NetDriver::Cell {
-                    inst,
-                    pin: o as u8,
-                })
-            })
+            .map(|o| self.fresh_net(NetDriver::Cell { inst, pin: o as u8 }))
             .collect();
         pins.extend(&outs);
         for (p, &net) in inputs.iter().enumerate() {
-            self.n.nets[net.0 as usize].sinks.push(PinRef {
-                inst,
-                pin: p as u8,
-            });
+            self.n.nets[net.0 as usize]
+                .sinks
+                .push(PinRef { inst, pin: p as u8 });
         }
         self.n.instances.push(Instance {
             cell,
@@ -121,7 +115,9 @@ impl<'l> NetlistBuilder<'l> {
         let inst = InstId(self.n.instances.len() as u32);
         let q = self.fresh_net(NetDriver::Cell { inst, pin: 0 });
         // DFF pins: D, CK, Q.
-        self.n.nets[d.0 as usize].sinks.push(PinRef { inst, pin: 0 });
+        self.n.nets[d.0 as usize]
+            .sinks
+            .push(PinRef { inst, pin: 0 });
         self.n.nets[clock.0 as usize]
             .sinks
             .push(PinRef { inst, pin: 1 });
@@ -181,7 +177,10 @@ impl<'l> NetlistBuilder<'l> {
     /// Ripple carry-save adder row: adds three equal-width buses, returning
     /// (sum, carry-out shifted left by the caller).
     pub fn csa_row(&mut self, a: &[NetId], b: &[NetId], c: &[NetId]) -> (Vec<NetId>, Vec<NetId>) {
-        assert!(a.len() == b.len() && b.len() == c.len(), "bus widths differ");
+        assert!(
+            a.len() == b.len() && b.len() == c.len(),
+            "bus widths differ"
+        );
         let mut sums = Vec::with_capacity(a.len());
         let mut carries = Vec::with_capacity(a.len());
         for i in 0..a.len() {

@@ -108,11 +108,7 @@ fn mix_column(b: &mut NetlistBuilder<'_>, col: &[Vec<NetId>]) -> Vec<Vec<NetId>>
 
 /// One AES round over `sboxes` bytes of state: SubBytes, ShiftRows
 /// (re-wiring), MixColumns, AddRoundKey.
-fn round(
-    b: &mut NetlistBuilder<'_>,
-    state: &[Vec<NetId>],
-    key: &[Vec<NetId>],
-) -> Vec<Vec<NetId>> {
+fn round(b: &mut NetlistBuilder<'_>, state: &[Vec<NetId>], key: &[Vec<NetId>]) -> Vec<Vec<NetId>> {
     let n = state.len();
     // SubBytes.
     let subbed: Vec<Vec<NetId>> = state.iter().map(|byte| sbox(b, byte)).collect();
@@ -156,11 +152,7 @@ fn key_schedule(b: &mut NetlistBuilder<'_>, key: &[Vec<NetId>]) -> Vec<Vec<NetId
     let mut out: Vec<Vec<NetId>> = Vec::with_capacity(n);
     for w in 0..words {
         for r in 0..4 {
-            let prev: &Vec<NetId> = if w == 0 {
-                &g[r]
-            } else {
-                &out[(w - 1) * 4 + r]
-            };
+            let prev: &Vec<NetId> = if w == 0 { &g[r] } else { &out[(w - 1) * 4 + r] };
             let cur = &key[w * 4 + r];
             let byte: Vec<NetId> = cur
                 .iter()

@@ -53,14 +53,7 @@ const SBOX: [[u8; 64]; 8] = [
 /// Realizes a two-variable boolean function (truth table over (a,b) with
 /// index `a*2 + b`) as at most one gate over `a`, `b` and their shared
 /// complements.
-fn leaf(
-    b: &mut NetlistBuilder<'_>,
-    tt: u8,
-    a: NetId,
-    x: NetId,
-    na: NetId,
-    nx: NetId,
-) -> NetId {
+fn leaf(b: &mut NetlistBuilder<'_>, tt: u8, a: NetId, x: NetId, na: NetId, nx: NetId) -> NetId {
     use CellFunction as F;
     match tt & 0xF {
         0b0000 => b.gate(F::And2, &[a, na]),
@@ -101,9 +94,7 @@ fn des_sbox(b: &mut NetlistBuilder<'_>, s: usize, inputs: &[NetId]) -> Vec<NetId
         let mut level: Vec<NetId> = (0..16)
             .map(|col| {
                 let mut tt = 0u8;
-                for (idx, (r_hi, r_lo)) in
-                    [(0u8, 0u8), (0, 1), (1, 0), (1, 1)].iter().enumerate()
-                {
+                for (idx, (r_hi, r_lo)) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
                     let row = (r_hi * 2 + r_lo) as usize;
                     let v = (table[row * 16 + col] >> bit) & 1;
                     tt |= v << idx;
@@ -144,7 +135,10 @@ fn round(
                 let idx = (base + half - 1 + k) % half;
                 let r = right[idx];
                 // Key mixing.
-                b.gate(CellFunction::Xor2, &[r, round_key[(s * 6 + k) % round_key.len()]])
+                b.gate(
+                    CellFunction::Xor2,
+                    &[r, round_key[(s * 6 + k) % round_key.len()]],
+                )
             })
             .collect();
         let outs = des_sbox(b, s % 8, &expanded);

@@ -39,10 +39,7 @@ fn vnu(b: &mut NetlistBuilder<'_>, channel: NetId, msgs: &[NetId]) -> NetId {
     let parity = b.xor_tree(msgs);
     let combined = b.gate(CellFunction::Xor2, &[channel, parity]);
     // Majority-ish magnitude update using an adder cell.
-    let maj = b.gate_outputs(
-        CellFunction::FullAdder,
-        &[channel, parity, msgs[0]],
-    );
+    let maj = b.gate_outputs(CellFunction::FullAdder, &[channel, parity, msgs[0]]);
     let state = b.dff(maj[1]);
     let sel = b.gate(CellFunction::Mux2, &[combined, maj[0], state]);
     b.dff(sel)

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use m3d_cells::{CellFunction, CellLibrary};
 use m3d_tech::NodeId;
 
-use crate::{Netlist, NetlistBuilder, NetId};
+use crate::{NetId, Netlist, NetlistBuilder};
 
 /// Which benchmark circuit to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -113,7 +113,10 @@ impl std::fmt::Display for Benchmark {
 /// Wallace/Dadda-style carry-save reduction of per-column partial-product
 /// bit lists down to two rows, followed by a prefix adder. Returns the
 /// product bits (LSB first).
-pub(crate) fn wallace_reduce(b: &mut NetlistBuilder<'_>, mut columns: Vec<Vec<NetId>>) -> Vec<NetId> {
+pub(crate) fn wallace_reduce(
+    b: &mut NetlistBuilder<'_>,
+    mut columns: Vec<Vec<NetId>>,
+) -> Vec<NetId> {
     loop {
         let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
         if max_height <= 2 {

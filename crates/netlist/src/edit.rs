@@ -49,8 +49,7 @@ impl Netlist {
         {
             let old = &mut self.nets[net.0 as usize];
             let mut keep = Vec::with_capacity(old.sinks.len());
-            let to_move: std::collections::BTreeSet<usize> =
-                sink_indices.iter().copied().collect();
+            let to_move: std::collections::BTreeSet<usize> = sink_indices.iter().copied().collect();
             for (i, s) in old.sinks.iter().enumerate() {
                 if to_move.contains(&i) {
                     chosen.push(*s);
@@ -83,13 +82,7 @@ impl Netlist {
     pub fn repeater_count(&self, lib: &CellLibrary) -> usize {
         self.instances
             .iter()
-            .filter(|i| {
-                i.is_repeater
-                    || matches!(
-                        lib.cell(i.cell).function,
-                        CellFunction::Buf
-                    )
-            })
+            .filter(|i| i.is_repeater || matches!(lib.cell(i.cell).function, CellFunction::Buf))
             .count()
     }
 }

@@ -37,14 +37,14 @@
 
 mod builder;
 pub mod circuits;
-pub mod io;
 mod edit;
+pub mod io;
 mod netlist;
 mod stats;
 mod topo;
 
 pub use builder::NetlistBuilder;
-pub use circuits::{Benchmark, BenchScale};
+pub use circuits::{BenchScale, Benchmark};
 pub use netlist::{InstId, Instance, Net, NetDriver, NetId, Netlist, PinRef};
 pub use stats::NetlistStats;
 pub use topo::levelize;

@@ -13,7 +13,10 @@ use crate::{InstId, NetDriver, Netlist};
 /// # Errors
 ///
 /// Returns the ids of instances stuck in a combinational cycle.
-pub fn levelize(netlist: &Netlist, lib: &CellLibrary) -> Result<(Vec<u32>, Vec<InstId>), Vec<InstId>> {
+pub fn levelize(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+) -> Result<(Vec<u32>, Vec<InstId>), Vec<InstId>> {
     let n = netlist.instance_count();
     let mut level = vec![0u32; n];
     let mut pending = vec![0u32; n]; // unresolved combinational fanins
@@ -53,40 +56,38 @@ pub fn levelize(netlist: &Netlist, lib: &CellLibrary) -> Result<(Vec<u32>, Vec<I
         let id = ready[head];
         head += 1;
         {
-        order.push(id);
-        let inst = netlist.inst(id);
-        let cell = lib.cell(inst.cell);
-        // A flop's Q is a timing start point: it raises its fanout's level
-        // but was never counted as a combinational dependency.
-        let i_am_seq = cell.function.is_sequential();
-        let my_level = level[id.0 as usize];
-        let n_in = cell.input_count();
-        for &net_id in &inst.pins[n_in..] {
-            for sink in &netlist.net(net_id).sinks {
-                let scell = lib.cell(netlist.inst(sink.inst).cell);
-                if scell.function.is_sequential() {
-                    continue;
-                }
-                let s = sink.inst.0 as usize;
-                level[s] = level[s].max(my_level + 1);
-                if i_am_seq {
-                    continue;
-                }
-                pending[s] -= 1;
-                if pending[s] == 0 {
-                    ready.push(sink.inst);
+            order.push(id);
+            let inst = netlist.inst(id);
+            let cell = lib.cell(inst.cell);
+            // A flop's Q is a timing start point: it raises its fanout's level
+            // but was never counted as a combinational dependency.
+            let i_am_seq = cell.function.is_sequential();
+            let my_level = level[id.0 as usize];
+            let n_in = cell.input_count();
+            for &net_id in &inst.pins[n_in..] {
+                for sink in &netlist.net(net_id).sinks {
+                    let scell = lib.cell(netlist.inst(sink.inst).cell);
+                    if scell.function.is_sequential() {
+                        continue;
+                    }
+                    let s = sink.inst.0 as usize;
+                    level[s] = level[s].max(my_level + 1);
+                    if i_am_seq {
+                        continue;
+                    }
+                    pending[s] -= 1;
+                    if pending[s] == 0 {
+                        ready.push(sink.inst);
+                    }
                 }
             }
-        }
         }
     }
 
     if order.len() < n {
         let stuck: Vec<InstId> = netlist
             .inst_ids()
-            .filter(|id| {
-                pending[id.0 as usize] > 0
-            })
+            .filter(|id| pending[id.0 as usize] > 0)
             .collect();
         return Err(stuck);
     }

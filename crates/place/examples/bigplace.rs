@@ -8,7 +8,9 @@ fn main() {
         let lib = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);
         let n = bench.generate(&lib, BenchScale::Paper);
         let t = Instant::now();
-        let p = Placer::new(&lib).utilization(bench.target_utilization()).place(&n);
+        let p = Placer::new(&lib)
+            .utilization(bench.target_utilization())
+            .place(&n);
         let wl = p.total_hpwl_um(&n);
         println!("{}: {} cells, footprint {:.0} um2 ({:.1} x {:.1} um), HPWL {:.3} m, avg net {:.1} um  [{:.2?}]",
             bench.name(), n.instance_count(), p.footprint_um2(),

@@ -40,9 +40,8 @@ pub(crate) fn legalize_rows(
 
     // Rebalance: push overflow (cells farthest from the row centre in x)
     // to the neighbouring row with more slack. Two sweeps (up then down).
-    let row_load = |row: &[u32], widths: &[Nm]| -> Nm {
-        row.iter().map(|&i| widths[i as usize]).sum()
-    };
+    let row_load =
+        |row: &[u32], widths: &[Nm]| -> Nm { row.iter().map(|&i| widths[i as usize]).sum() };
     for sweep in 0..12 {
         let any_overfull = (0..n_rows).any(|r| row_load(&rows[r], &widths) > width);
         if !any_overfull {

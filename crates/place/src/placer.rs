@@ -214,13 +214,21 @@ impl<'l> Placer<'l> {
         for i in 0..n_inst {
             let r = i / cols;
             let c0 = i % cols;
-            let c = if r.is_multiple_of(2) { c0 } else { cols - 1 - c0 };
+            let c = if r.is_multiple_of(2) {
+                c0
+            } else {
+                cols - 1 - c0
+            };
             let jitter_x: f64 = rng.gen_range(-0.3..0.3);
             let jitter_y: f64 = rng.gen_range(-0.3..0.3);
-            xs.push(((c as f64 + 0.5 + jitter_x) / cols as f64 * width as f64)
-                .clamp(0.0, width as f64 - 1.0));
-            ys.push(((r as f64 + 0.5 + jitter_y) / rows_n as f64 * height as f64)
-                .clamp(0.0, height as f64 - 1.0));
+            xs.push(
+                ((c as f64 + 0.5 + jitter_x) / cols as f64 * width as f64)
+                    .clamp(0.0, width as f64 - 1.0),
+            );
+            ys.push(
+                ((r as f64 + 0.5 + jitter_y) / rows_n as f64 * height as f64)
+                    .clamp(0.0, height as f64 - 1.0),
+            );
         }
 
         // Precompute per-instance net membership, skipping the clock and
@@ -307,14 +315,7 @@ impl<'l> Placer<'l> {
             }
             // Spread every few iterations and at the end.
             if iter % 4 == 3 || iter + 1 == self.iterations {
-                spread(
-                    netlist,
-                    self.lib,
-                    &mut xs,
-                    &mut ys,
-                    core,
-                    self.utilization,
-                );
+                spread(netlist, self.lib, &mut xs, &mut ys, core, self.utilization);
             }
         }
 
@@ -323,12 +324,7 @@ impl<'l> Placer<'l> {
             positions: xs
                 .iter()
                 .zip(&ys)
-                .map(|(&x, &y)| {
-                    Point::new(
-                        (x as Nm).clamp(0, width),
-                        (y as Nm).clamp(0, height),
-                    )
-                })
+                .map(|(&x, &y)| Point::new((x as Nm).clamp(0, width), (y as Nm).clamp(0, height)))
                 .collect(),
             port_positions,
             row_height,

@@ -107,8 +107,7 @@ fn axis_pass(
             let b = ((primary[i as usize] / bin_w) as usize).min(g - 1);
             let strength = (demand[b] / bin_capacity - 1.0).clamp(0.0, 1.0);
             let x0 = primary[i as usize];
-            primary[i as usize] =
-                (x0 + strength * (new_x - x0)).clamp(0.0, primary_extent - 1.0);
+            primary[i as usize] = (x0 + strength * (new_x - x0)).clamp(0.0, primary_extent - 1.0);
             cum += a;
         }
     }

@@ -65,9 +65,7 @@ pub fn propagate_activity(
             continue;
         }
         // Gather input stats (an undriven input keeps the default 0.5/0).
-        let inputs: Vec<Activity> = (0..n_in)
-            .map(|p| act[inst.pins[p].0 as usize])
-            .collect();
+        let inputs: Vec<Activity> = (0..n_in).map(|p| act[inst.pins[p].0 as usize]).collect();
         let combos = 1usize << n_in;
         let n_out = function.output_count();
         let mut p_one = vec![0.0f64; n_out];

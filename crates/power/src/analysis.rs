@@ -271,7 +271,10 @@ mod tests {
         let p_thin = analyze_power(&n, &lib, &thin, &PowerConfig::new(1000.0));
         let p_fat = analyze_power(&n, &lib, &fat, &PowerConfig::new(1000.0));
         assert!((p_fat.wire_mw / p_thin.wire_mw - 10.0).abs() < 1e-9);
-        assert!((p_fat.pin_mw - p_thin.pin_mw).abs() < 1e-12, "pin power unchanged");
+        assert!(
+            (p_fat.pin_mw - p_thin.pin_mw).abs() < 1e-12,
+            "pin power unchanged"
+        );
     }
 
     #[test]
@@ -279,8 +282,18 @@ mod tests {
         let lib = lib();
         let n = toy(&lib);
         let models = vec![NetModel::default(); n.net_count()];
-        let lo = analyze_power(&n, &lib, &models, &PowerConfig::new(1000.0).with_alpha_ff(0.1));
-        let hi = analyze_power(&n, &lib, &models, &PowerConfig::new(1000.0).with_alpha_ff(0.4));
+        let lo = analyze_power(
+            &n,
+            &lib,
+            &models,
+            &PowerConfig::new(1000.0).with_alpha_ff(0.1),
+        );
+        let hi = analyze_power(
+            &n,
+            &lib,
+            &models,
+            &PowerConfig::new(1000.0).with_alpha_ff(0.4),
+        );
         assert!(hi.total_mw() > lo.total_mw());
         assert_eq!(hi.leakage_mw, lo.leakage_mw);
     }

@@ -139,11 +139,7 @@ fn build_recursive(
 /// Builds the clock tree over every flop's CK pin in the placed design.
 ///
 /// Returns an empty tree for purely combinational designs.
-pub fn build_clock_tree(
-    netlist: &Netlist,
-    placement: &Placement,
-    config: &CtsConfig,
-) -> ClockTree {
+pub fn build_clock_tree(netlist: &Netlist, placement: &Placement, config: &CtsConfig) -> ClockTree {
     let Some(clock) = netlist.clock else {
         return ClockTree {
             buffers: Vec::new(),
@@ -223,8 +219,7 @@ mod tests {
         let p = Placer::new(&lib).iterations(12).place(&n);
         let t = build_clock_tree(&n, &p, &CtsConfig::default());
         let clock = n.clock.expect("sequential");
-        let estimate = 1.5
-            * (p.footprint_um2() * n.net(clock).sinks.len() as f64).sqrt();
+        let estimate = 1.5 * (p.footprint_um2() * n.net(clock).sinks.len() as f64).sqrt();
         let ratio = t.total_wirelength_um / estimate;
         assert!(
             (0.2..2.5).contains(&ratio),

@@ -58,11 +58,7 @@ impl CongestionGrid {
             core,
             bin_w,
             bin_h,
-            demand: [
-                vec![0.0; g * g],
-                vec![0.0; g * g],
-                vec![0.0; g * g],
-            ],
+            demand: [vec![0.0; g * g], vec![0.0; g * g], vec![0.0; g * g]],
             capacity,
         }
     }
@@ -167,8 +163,7 @@ impl CongestionGrid {
                     continue;
                 }
                 let v = idx(nx, ny);
-                let overflow =
-                    (self.demand[slot][v] / self.capacity[slot] - 1.0).max(0.0);
+                let overflow = (self.demand[slot][v] / self.capacity[slot] - 1.0).max(0.0);
                 let cost = d + 1.0 + 4.0 * overflow;
                 if cost < dist[v] {
                     dist[v] = cost;
@@ -236,7 +231,6 @@ impl CongestionGrid {
             non_empty.iter().sum::<f64>() / non_empty.len() as f64
         }
     }
-
 }
 
 #[cfg(test)]

@@ -193,11 +193,7 @@ impl<'a> Router<'a> {
     /// Picks a concrete layer pair (H, V) within a class, spreading usage
     /// round-robin by a hash of the net id.
     fn layers_in(&self, class: MetalClass, salt: usize) -> (u16, u16) {
-        let layers: Vec<u16> = self
-            .stack
-            .layers_of(class)
-            .map(|l| l.index)
-            .collect();
+        let layers: Vec<u16> = self.stack.layers_of(class).map(|l| l.index).collect();
         debug_assert!(!layers.is_empty());
         if layers.len() == 1 {
             return (layers[0], layers[0]);
@@ -208,10 +204,7 @@ impl<'a> Router<'a> {
     }
 
     fn m1_index(&self) -> u16 {
-        self.stack
-            .by_name("M1")
-            .expect("every stack has M1")
-            .index
+        self.stack.by_name("M1").expect("every stack has M1").index
     }
 
     fn pin_escape_only(&self, pins: usize) -> RoutedNet {
@@ -370,12 +363,7 @@ impl<'a> Router<'a> {
     /// 1.5·sqrt(A·N)) on the intermediate layers plus per-sink stubs. The
     /// real flow would run CTS; the estimate preserves the clock's power
     /// contribution without a full tree synthesis.
-    fn route_clock(
-        &self,
-        netlist: &Netlist,
-        placement: &Placement,
-        id: NetId,
-    ) -> RoutedNet {
+    fn route_clock(&self, netlist: &Netlist, placement: &Placement, id: NetId) -> RoutedNet {
         let sinks = netlist.net(id).sinks.len();
         if sinks == 0 {
             return RoutedNet::default();
@@ -466,10 +454,7 @@ mod tests {
         ];
         let edges = mst_edges(&pts);
         assert_eq!(edges.len(), 3);
-        let total: i64 = edges
-            .iter()
-            .map(|&(a, b)| pts[a].manhattan(pts[b]))
-            .sum();
+        let total: i64 = edges.iter().map(|&(a, b)| pts[a].manhattan(pts[b])).sum();
         // MST here: 100 + 100 + 500.
         assert_eq!(total, 700);
     }

@@ -92,7 +92,10 @@ impl Circuit {
     ///
     /// Panics if `r` is not positive and finite.
     pub fn resistor(&mut self, a: Node, b: Node, r: f64) {
-        assert!(r.is_finite() && r > 0.0, "resistance must be positive, got {r}");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "resistance must be positive, got {r}"
+        );
         self.resistors.push(Resistor { a, b, r });
     }
 
@@ -103,7 +106,10 @@ impl Circuit {
     ///
     /// Panics if `c` is negative or non-finite.
     pub fn capacitor(&mut self, a: Node, b: Node, c: f64) {
-        assert!(c.is_finite() && c >= 0.0, "capacitance must be >= 0, got {c}");
+        assert!(
+            c.is_finite() && c >= 0.0,
+            "capacitance must be >= 0, got {c}"
+        );
         if c > 0.0 {
             self.capacitors.push(Capacitor { a, b, c });
         }

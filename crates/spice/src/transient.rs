@@ -144,10 +144,7 @@ impl<'c> Transient<'c> {
         let mut energy = vec![0.0; nv];
         let mut src_i_prev = vec![0.0; nv];
 
-        let record = |t: f64,
-                      v: &[f64],
-                      time: &mut Vec<f64>,
-                      volts: &mut Vec<Vec<f64>>| {
+        let record = |t: f64, v: &[f64], time: &mut Vec<f64>, volts: &mut Vec<Vec<f64>>| {
             time.push(t);
             for (node, wave) in volts.iter_mut().enumerate() {
                 wave.push(v[node]);
@@ -413,7 +410,14 @@ impl TransientResult {
     /// Transition time between the `lo_frac` and `hi_frac` fractions of
     /// `vdd` (e.g. 0.3/0.7), extrapolated to the full swing the way
     /// Liberty slews are reported: `(t_hi - t_lo) / (hi - lo)`.
-    pub fn slew(&self, node: Node, vdd: f64, lo_frac: f64, hi_frac: f64, rising: bool) -> Option<f64> {
+    pub fn slew(
+        &self,
+        node: Node,
+        vdd: f64,
+        lo_frac: f64,
+        hi_frac: f64,
+        rising: bool,
+    ) -> Option<f64> {
         let (first, second) = if rising {
             (lo_frac, hi_frac)
         } else {
@@ -444,7 +448,9 @@ mod tests {
         c.resistor(inp, out, 2.0); // 2 kOhm
         c.capacitor(out, Circuit::GND, 3.0); // 3 fF -> tau = 6 ps
         let r = Transient::new(&c).with_dt(0.02).run(60.0);
-        let t63 = r.cross_time(out, 1.0 - (-1.0f64).exp(), true).expect("charges");
+        let t63 = r
+            .cross_time(out, 1.0 - (-1.0f64).exp(), true)
+            .expect("charges");
         assert!((t63 - 5.0 - 6.0).abs() < 0.15, "tau measured {}", t63 - 5.0);
     }
 
@@ -476,7 +482,11 @@ mod tests {
         c.mosfet(out, inp, vdd, MosParams::pmos45(0.630));
         c.capacitor(out, Circuit::GND, 1.0);
         let r = Transient::new(&c).with_dt(0.5).run(100.0);
-        assert!(r.final_voltage(out) > 1.05, "out = {}", r.final_voltage(out));
+        assert!(
+            r.final_voltage(out) > 1.05,
+            "out = {}",
+            r.final_voltage(out)
+        );
     }
 
     #[test]
@@ -499,7 +509,10 @@ mod tests {
         // must be positive and of CV^2 order.
         assert!(r.final_voltage(out) < 0.05);
         let total = r.total_source_energy();
-        assert!(total > 0.1 && total < 20.0, "total source energy {total} fJ");
+        assert!(
+            total > 0.1 && total < 20.0,
+            "total source energy {total} fJ"
+        );
     }
 
     #[test]

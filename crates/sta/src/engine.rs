@@ -173,7 +173,11 @@ pub fn try_analyze(
             let m = models[out_net.0 as usize];
             // Lumped Elmore from driver through the wire into the pins.
             let net_delay = m.r_wire * (0.5 * m.c_wire + netlist.net_pin_cap(out_net, lib));
-            let launch = if seq { arrival[inst.pins[1].0 as usize] } else { arr_in };
+            let launch = if seq {
+                arrival[inst.pins[1].0 as usize]
+            } else {
+                arr_in
+            };
             let a_out = launch + gate_delay + net_delay;
             let out_idx = out_net.0 as usize;
             if a_out > arrival[out_idx] {
@@ -418,7 +422,12 @@ mod tests {
         let models = |n: &Netlist| vec![NetModel::default(); n.net_count()];
         let r_short = analyze(&short, &lib, &models(&short), &cfg);
         let r_long = analyze(&long, &lib, &models(&long), &cfg);
-        assert!(r_short.hold_wns < r_long.hold_wns, "short {} long {}", r_short.hold_wns, r_long.hold_wns);
+        assert!(
+            r_short.hold_wns < r_long.hold_wns,
+            "short {} long {}",
+            r_short.hold_wns,
+            r_long.hold_wns
+        );
     }
 
     #[test]

@@ -79,10 +79,7 @@ pub fn plan_timing_moves(
         if wire_rc > 2.0 * stage {
             let k = repeater_count(m, r_buf, c_buf);
             if k > 0 {
-                moves.push(OptMove::BufferNet {
-                    net,
-                    repeaters: k,
-                });
+                moves.push(OptMove::BufferNet { net, repeaters: k });
                 continue;
             }
         }
@@ -121,9 +118,7 @@ pub fn plan_timing_moves(
             for p in 0..cur.input_count() {
                 let in_net = netlist.input_net(inst, p as u8);
                 let r_up = match netlist.net(in_net).driver {
-                    NetDriver::Cell { inst: up, .. } => {
-                        lib.cell(netlist.inst(up).cell).r_drive
-                    }
+                    NetDriver::Cell { inst: up, .. } => lib.cell(netlist.inst(up).cell).r_drive,
                     _ => 0.0,
                 };
                 let d_cap = next.input_cap(p) - cur.input_cap(p);

@@ -65,9 +65,7 @@ impl TimingReport {
         for _ in 0..netlist.instance_count() + 1 {
             let n = netlist.net(net);
             let driver = match n.driver {
-                NetDriver::Cell { inst, .. } => {
-                    lib.cell(netlist.inst(inst).cell).name.clone()
-                }
+                NetDriver::Cell { inst, .. } => lib.cell(netlist.inst(inst).cell).name.clone(),
                 NetDriver::Port(_) => "<port>".to_string(),
                 NetDriver::None => "<undriven>".to_string(),
             };

@@ -50,10 +50,7 @@ impl WireLoadModel {
                 }
             })
             .collect();
-        let first_valid = lengths
-            .iter()
-            .position(|v| v.is_finite())
-            .unwrap_or(0);
+        let first_valid = lengths.iter().position(|v| v.is_finite()).unwrap_or(0);
         let mut last = if lengths.is_empty() || !lengths[first_valid].is_finite() {
             1.0
         } else {
@@ -98,8 +95,7 @@ impl WireLoadModel {
         if bin <= Self::MAX_FANOUT {
             self.lengths_um[bin]
         } else {
-            self.lengths_um[Self::MAX_FANOUT]
-                + self.slope_um * (bin - Self::MAX_FANOUT) as f64
+            self.lengths_um[Self::MAX_FANOUT] + self.slope_um * (bin - Self::MAX_FANOUT) as f64
         }
     }
 
@@ -150,7 +146,7 @@ mod tests {
     }
 
     #[test]
-    fn tmi_wlm_is_shorter_than_2d(){
+    fn tmi_wlm_is_shorter_than_2d() {
         // The folded library shrinks the die, so the measured WLM shrinks
         // with it -- the input to the paper's Section 3.4.
         let lib2 = CellLibrary::build(&TechNode::n45(), DesignStyle::TwoD);

@@ -99,7 +99,11 @@ impl CellLayer {
         let m1_t = (130.0 * node.dimension_scale()).max(1.0);
         let m1_sheet = WireRc::for_cross_section(node, MetalClass::M1, 1.0, m1_t).r_per_um * 1e-3;
         // Unit caps shrink only mildly with the node; fringe-dominated.
-        let cs = if node.dimension_scale() < 1.0 { 1.4 } else { 1.0 };
+        let cs = if node.dimension_scale() < 1.0 {
+            1.4
+        } else {
+            1.0
+        };
         match self {
             CellLayer::DiffN | CellLayer::DiffP => CellLayerProps {
                 sheet_r: 0.010, // silicided diffusion, ~10 Ohm/sq

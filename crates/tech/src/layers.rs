@@ -18,7 +18,9 @@ pub enum Tier {
 ///
 /// The class determines the wire cross-section (width/spacing/thickness)
 /// and therefore the unit-length RC; see [`crate::WireRc`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum MetalClass {
     /// M1 (and MB1 in T-MI): cell-level pin access metal.
     #[default]

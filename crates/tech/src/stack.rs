@@ -220,8 +220,8 @@ mod tests {
         let s2 = MetalStack::new(&node, StackKind::TwoD);
         let s3 = MetalStack::new(&node, StackKind::Tmi);
         // 5 local layers vs 2 -> 2.5x the local track supply.
-        let ratio = s3.track_supply_per_um(MetalClass::Local)
-            / s2.track_supply_per_um(MetalClass::Local);
+        let ratio =
+            s3.track_supply_per_um(MetalClass::Local) / s2.track_supply_per_um(MetalClass::Local);
         assert!((ratio - 2.5).abs() < 1e-9);
         // Intermediate/global supply is unchanged.
         assert_eq!(

@@ -33,12 +33,22 @@ pub struct WireRc {
 impl WireRc {
     /// Derives the unit RC of `layer` under `node`'s material parameters.
     pub fn for_layer(node: &TechNode, layer: &MetalLayer) -> Self {
-        Self::for_cross_section(node, layer.class, layer.width as f64, layer.thickness as f64)
+        Self::for_cross_section(
+            node,
+            layer.class,
+            layer.width as f64,
+            layer.thickness as f64,
+        )
     }
 
     /// Derives the unit RC for an explicit cross-section (nm). Used by the
     /// cell-internal extractor where wire widths differ from routing tracks.
-    pub fn for_cross_section(node: &TechNode, class: MetalClass, width_nm: f64, thickness_nm: f64) -> Self {
+    pub fn for_cross_section(
+        node: &TechNode,
+        class: MetalClass,
+        width_nm: f64,
+        thickness_nm: f64,
+    ) -> Self {
         // R[Ω/µm] = rho[µΩ·cm] * 1e4 / (w[nm] * t[nm]); convert to kΩ/µm.
         let rho = node.rho_eff.get(class);
         let r_ohm_per_um = rho * 1.0e4 / (width_nm * thickness_nm);
@@ -72,7 +82,9 @@ mod tests {
 
     fn rc(node: &TechNode, kind: StackKind, name: &str) -> WireRc {
         let stack = MetalStack::new(node, kind);
-        let layer = stack.by_name(name).unwrap_or_else(|| panic!("{name} exists"));
+        let layer = stack
+            .by_name(name)
+            .unwrap_or_else(|| panic!("{name} exists"));
         WireRc::for_layer(node, layer)
     }
 
@@ -120,10 +132,10 @@ mod tests {
         // while global R grows only ~14x.
         let n45 = TechNode::n45();
         let n7 = TechNode::n7();
-        let local_growth = rc(&n7, StackKind::TwoD, "M2").r_per_um
-            / rc(&n45, StackKind::TwoD, "M2").r_per_um;
-        let global_growth = rc(&n7, StackKind::TwoD, "M8").r_per_um
-            / rc(&n45, StackKind::TwoD, "M8").r_per_um;
+        let local_growth =
+            rc(&n7, StackKind::TwoD, "M2").r_per_um / rc(&n45, StackKind::TwoD, "M2").r_per_um;
+        let global_growth =
+            rc(&n7, StackKind::TwoD, "M8").r_per_um / rc(&n45, StackKind::TwoD, "M8").r_per_um;
         assert!(local_growth > 150.0, "local growth {local_growth}");
         assert!(global_growth < 20.0, "global growth {global_growth}");
     }

@@ -36,7 +36,12 @@ fn main() {
             geom.miv_count
         );
         // Per-layer drawn metal/poly.
-        for layer in [CellLayer::Poly, CellLayer::PolyBottom, CellLayer::Metal1, CellLayer::MetalB1] {
+        for layer in [
+            CellLayer::Poly,
+            CellLayer::PolyBottom,
+            CellLayer::Metal1,
+            CellLayer::MetalB1,
+        ] {
             let len = geom.shapes.run_length_on_layer(layer.index());
             if len > 0 {
                 println!("    {:12} run length {:5} nm", format!("{layer:?}"), len);

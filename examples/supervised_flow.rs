@@ -8,9 +8,7 @@
 
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId};
-use monolith3d::{
-    Disposition, FaultPlan, FlowConfig, FlowStage, FlowSupervisor, SupervisorPolicy,
-};
+use monolith3d::{Disposition, FaultPlan, FlowConfig, FlowStage, FlowSupervisor, SupervisorPolicy};
 
 fn cfg() -> FlowConfig {
     FlowConfig::new(NodeId::N45).scale(BenchScale::Small)

@@ -252,10 +252,7 @@ mod flow_error_display {
     fn shows(e: FlowError, needles: &[&str]) {
         let text = e.to_string();
         for needle in needles {
-            assert!(
-                text.contains(needle),
-                "{text:?} should mention {needle:?}"
-            );
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
         }
     }
 

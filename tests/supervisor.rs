@@ -1,6 +1,7 @@
-//! Fault-injection tests for the flow supervisor: planted stage failures
-//! must be absorbed by retry, escalated through the degradation ladder,
-//! or reported as a typed `Failed` disposition — never a panic.
+//! Fault-injection tests for the flow supervisor: stage failures planted
+//! by name against the stage graph must be absorbed by retry, escalated
+//! through the degradation ladder, or reported as a typed `Failed`
+//! disposition — never a panic.
 
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId};
@@ -20,11 +21,15 @@ fn supervisor() -> FlowSupervisor {
 #[test]
 fn transient_fault_is_retried_and_the_run_still_closes() {
     let report = supervisor()
-        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .with_faults(FaultPlan::new().fail_stage("postroute", 1))
         .run();
 
     assert!(report.closed(), "disposition: {:?}", report.disposition);
-    assert_eq!(report.disposition, Disposition::Closed, "retry is not degradation");
+    assert_eq!(
+        report.disposition,
+        Disposition::Closed,
+        "retry is not degradation"
+    );
     let result = report.result.as_ref().expect("closed runs carry a result");
     assert!(result.total_power_mw() > 0.0);
 
@@ -44,7 +49,7 @@ fn transient_fault_is_retried_and_the_run_still_closes() {
 
     // ...while the stages before the fault ran exactly once: the retry
     // resumed from the checkpoint instead of restarting the flow.
-    assert_eq!(report.stage_attempts(FlowStage::Synthesis), 1);
+    assert_eq!(report.stage_attempts_named("synth"), 1);
 }
 
 #[test]
@@ -54,7 +59,7 @@ fn persistent_fault_without_degradation_fails_naming_the_stage() {
             allow_degradation: false,
             ..SupervisorPolicy::default()
         })
-        .with_faults(FaultPlan::new().always(FlowStage::Routing))
+        .with_faults(FaultPlan::new().always_stage("route"))
         .run();
 
     assert!(!report.closed());
@@ -67,7 +72,7 @@ fn persistent_fault_without_degradation_fails_naming_the_stage() {
     }
     // The retry budget was spent before giving up.
     assert_eq!(
-        report.stage_attempts(FlowStage::Routing),
+        report.stage_attempts_named("route"),
         SupervisorPolicy::default().max_stage_attempts
     );
     assert!(report.result.is_none());
@@ -80,7 +85,11 @@ fn repeated_faults_walk_the_degradation_ladder_to_a_degraded_close() {
     // routing checkpoint), relaxes utilization, and finally backs the
     // clock off before the fourth invocation closes.
     let baseline = supervisor().run();
-    assert!(baseline.closed(), "baseline must close: {:?}", baseline.disposition);
+    assert!(
+        baseline.closed(),
+        "baseline must close: {:?}",
+        baseline.disposition
+    );
 
     let report = supervisor()
         .policy(SupervisorPolicy {
@@ -89,9 +98,9 @@ fn repeated_faults_walk_the_degradation_ladder_to_a_degraded_close() {
         })
         .with_faults(
             FaultPlan::new()
-                .fail_on(FlowStage::PostRouteOpt, 1)
-                .fail_on(FlowStage::PostRouteOpt, 2)
-                .fail_on(FlowStage::PostRouteOpt, 3),
+                .fail_stage("postroute", 1)
+                .fail_stage("postroute", 2)
+                .fail_stage("postroute", 3),
         )
         .run();
 
@@ -133,7 +142,7 @@ fn extra_passes_rung_resumes_from_the_routing_checkpoint() {
             max_stage_attempts: 1,
             ..SupervisorPolicy::default()
         })
-        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .with_faults(FaultPlan::new().fail_stage("postroute", 1))
         .run();
 
     assert!(report.closed(), "disposition: {:?}", report.disposition);
@@ -183,7 +192,7 @@ fn persistent_fault_exhausts_the_ladder_and_reports_the_final_error() {
             max_stage_attempts: 1,
             ..SupervisorPolicy::default()
         })
-        .with_faults(FaultPlan::new().always(FlowStage::SignOff))
+        .with_faults(FaultPlan::new().always_stage("signoff"))
         .run();
 
     assert!(!report.closed());
