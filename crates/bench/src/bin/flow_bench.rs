@@ -33,8 +33,15 @@ fn run_suite(drivers: &[PaperDriver]) -> f64 {
 
 fn stats_json(s: &CacheStats) -> String {
     format!(
-        "{{\"library_builds\": {}, \"library_hits\": {}, \"flow_stores\": {}, \"flow_hits\": {}, \"flow_misses\": {}}}",
-        s.library_builds, s.library_hits, s.flow_stores, s.flow_hits, s.flow_misses
+        "{{\"library_builds\": {}, \"library_hits\": {}, \"library_evictions\": {}, \
+         \"flow_stores\": {}, \"flow_hits\": {}, \"flow_misses\": {}, \"flow_evictions\": {}}}",
+        s.library_builds,
+        s.library_hits,
+        s.library_evictions,
+        s.flow_stores,
+        s.flow_hits,
+        s.flow_misses,
+        s.flow_evictions
     )
 }
 

@@ -121,46 +121,139 @@ impl FlowKey {
     }
 }
 
-/// A snapshot of the cache's hit/build counters.
+/// A snapshot of the cache's hit/build/eviction counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Cell libraries characterized from scratch.
     pub library_builds: u64,
     /// Library requests served from the cache.
     pub library_hits: u64,
+    /// Cached libraries evicted by the LRU bound.
+    pub library_evictions: u64,
     /// Completed flow results stored.
     pub flow_stores: u64,
     /// Flow lookups served from the cache.
     pub flow_hits: u64,
     /// Flow lookups that missed (and therefore ran the pipeline).
     pub flow_misses: u64,
+    /// Cached flow results evicted by the LRU bound.
+    pub flow_evictions: u64,
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "libraries: {} built, {} served from cache; flows: {} run, {} served from cache",
-            self.library_builds, self.library_hits, self.flow_stores, self.flow_hits
+            "libraries: {} built, {} served from cache, {} evicted; \
+             flows: {} run, {} served from cache, {} evicted",
+            self.library_builds,
+            self.library_hits,
+            self.library_evictions,
+            self.flow_stores,
+            self.flow_hits,
+            self.flow_evictions
         )
     }
 }
 
+/// A capacity-bounded map with least-recently-used eviction.
+///
+/// Recency is a monotonic use counter per entry; eviction scans for the
+/// minimum — O(capacity), which is fine at the tens-to-hundreds of
+/// entries the artifact cache holds (one entry is a whole characterized
+/// library or sign-off result; the map is never large, the *values*
+/// are).
+#[derive(Debug)]
+struct Lru<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Looks up and marks the entry most-recently used.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, used)| {
+            *used = tick;
+            &*v
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when at capacity. Returns how many entries were evicted.
+    fn insert(&mut self, key: K, value: V) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= self.capacity {
+                let Some(oldest) = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(k, _)| *k)
+                else {
+                    break;
+                };
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Default LRU capacities: sized for the full paper reproduction (a
+/// handful of distinct libraries, a few hundred distinct flow points)
+/// with headroom, while still bounding a pathological sweep.
+const DEFAULT_LIBRARY_CAPACITY: usize = 32;
+const DEFAULT_RESULT_CAPACITY: usize = 512;
+
 /// The shared memo layer for cell libraries and completed flow results.
 ///
-/// Thread-safe; lookups clone an `Arc` (libraries) or the stored value
-/// (flow results). Library characterization runs outside the lock, so
-/// two threads racing on the same cold key may both build — the first
-/// insert wins and both observe the same artifact.
-#[derive(Debug, Default)]
+/// Both maps are LRU-bounded ([`ArtifactCache::bounded`] sets the
+/// capacities; [`ArtifactCache::default`] uses generous defaults), so an
+/// unbounded sweep cannot grow the process without limit — evictions are
+/// counted in [`CacheStats`]. Thread-safe; lookups clone an `Arc`
+/// (libraries) or the stored value (flow results). Library
+/// characterization runs outside the lock, so two threads racing on the
+/// same cold key may both build — the first insert wins and both observe
+/// the same artifact.
+#[derive(Debug)]
 pub struct ArtifactCache {
-    libraries: Mutex<HashMap<LibraryKey, Arc<CellLibrary>>>,
-    results: Mutex<HashMap<FlowKey, Arc<FlowResult>>>,
+    libraries: Mutex<Lru<LibraryKey, Arc<CellLibrary>>>,
+    results: Mutex<Lru<FlowKey, Arc<FlowResult>>>,
     library_builds: AtomicU64,
     library_hits: AtomicU64,
+    library_evictions: AtomicU64,
     flow_stores: AtomicU64,
     flow_hits: AtomicU64,
     flow_misses: AtomicU64,
+    flow_evictions: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::bounded(DEFAULT_LIBRARY_CAPACITY, DEFAULT_RESULT_CAPACITY)
+    }
 }
 
 impl ArtifactCache {
@@ -169,6 +262,36 @@ impl ArtifactCache {
     pub fn global() -> Arc<ArtifactCache> {
         static GLOBAL: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
         Arc::clone(GLOBAL.get_or_init(|| Arc::new(ArtifactCache::default())))
+    }
+
+    /// A cache bounded to at most `library_capacity` characterized
+    /// libraries and `result_capacity` sign-off results (each clamped to
+    /// at least 1). Least-recently-used entries are evicted on insert.
+    pub fn bounded(library_capacity: usize, result_capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            libraries: Mutex::new(Lru::new(library_capacity)),
+            results: Mutex::new(Lru::new(result_capacity)),
+            library_builds: AtomicU64::new(0),
+            library_hits: AtomicU64::new(0),
+            library_evictions: AtomicU64::new(0),
+            flow_stores: AtomicU64::new(0),
+            flow_hits: AtomicU64::new(0),
+            flow_misses: AtomicU64::new(0),
+            flow_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Entries currently held: `(libraries, flow results)`.
+    pub fn len(&self) -> (usize, usize) {
+        (
+            self.libraries.lock().expect("cache lock").len(),
+            self.results.lock().expect("cache lock").len(),
+        )
+    }
+
+    /// True when both maps are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
     }
 
     /// The characterized library for the consumed knobs, built at most
@@ -206,13 +329,14 @@ impl ArtifactCache {
         }
         self.library_builds.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(lib);
-        Ok(Arc::clone(
-            self.libraries
-                .lock()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(entry),
-        ))
+        let mut libraries = self.libraries.lock().expect("cache lock");
+        if let Some(winner) = libraries.get(&key) {
+            // A racing thread inserted first; its artifact wins.
+            return Ok(Arc::clone(winner));
+        }
+        let evicted = libraries.insert(key, Arc::clone(&entry));
+        self.library_evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(entry)
     }
 
     /// The stored sign-off result for this flow point, if any.
@@ -240,10 +364,12 @@ impl ArtifactCache {
         result: &FlowResult,
     ) {
         self.flow_stores.fetch_add(1, Ordering::Relaxed);
-        self.results
+        let evicted = self
+            .results
             .lock()
             .expect("cache lock")
             .insert(FlowKey::of(bench, style, cfg), Arc::new(result.clone()));
+        self.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Drops every stored artifact and resets the counters — the cold
@@ -254,9 +380,11 @@ impl ArtifactCache {
         for c in [
             &self.library_builds,
             &self.library_hits,
+            &self.library_evictions,
             &self.flow_stores,
             &self.flow_hits,
             &self.flow_misses,
+            &self.flow_evictions,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -267,9 +395,11 @@ impl ArtifactCache {
         CacheStats {
             library_builds: self.library_builds.load(Ordering::Relaxed),
             library_hits: self.library_hits.load(Ordering::Relaxed),
+            library_evictions: self.library_evictions.load(Ordering::Relaxed),
             flow_stores: self.flow_stores.load(Ordering::Relaxed),
             flow_hits: self.flow_hits.load(Ordering::Relaxed),
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
+            flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -340,5 +470,58 @@ mod tests {
             .expect("library builds");
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.stats().library_builds, 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut lru: Lru<u32, &str> = Lru::new(2);
+        assert_eq!(lru.insert(1, "one"), 0);
+        assert_eq!(lru.insert(2, "two"), 0);
+        // Touch 1 so 2 becomes the coldest entry...
+        assert_eq!(lru.get(&1), Some(&"one"));
+        // ...then a third insert evicts exactly it.
+        assert_eq!(lru.insert(3, "three"), 1);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&"one"));
+        assert_eq!(lru.get(&3), Some(&"three"));
+        assert_eq!(lru.len(), 2);
+        // Replacing a resident key evicts nothing.
+        assert_eq!(lru.insert(3, "III"), 0);
+        assert_eq!(lru.get(&3), Some(&"III"));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let cache = ArtifactCache::bounded(2, 2);
+        for scale in [1.0, 0.9, 0.8] {
+            cache
+                .library(NodeId::N45, DesignStyle::TwoD, false, scale)
+                .expect("library builds");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.library_builds, 3);
+        assert_eq!(stats.library_evictions, 1);
+        assert_eq!(cache.len().0, 2);
+
+        // The evicted (coldest) key was the first one: requesting it
+        // again is a rebuild, not a hit.
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        let stats = cache.stats();
+        assert_eq!(stats.library_builds, 4);
+        assert_eq!(stats.library_hits, 0);
+        assert_eq!(stats.library_evictions, 2);
+
+        // A resident key is still a hit.
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 0.8)
+            .expect("library builds");
+        assert_eq!(cache.stats().library_hits, 1);
+
+        // clear() resets the eviction counters with the rest.
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 }

@@ -1,0 +1,1302 @@
+//! Durable, crash-only checkpoints for the flow supervisor.
+//!
+//! A supervised run with checkpointing enabled writes one self-contained
+//! snapshot file after every completed stage (and at every degradation-
+//! ladder escalation). A snapshot carries everything
+//! `FlowSupervisor::resume_from` needs to restart a killed process at
+//! the first incomplete stage: the run identity (benchmark, style, full
+//! [`FlowConfig`]), the supervisor cursor (rung, round, next stage), the
+//! effective environment knobs after any ladder relaxations, the full
+//! attempt log, and the durable design artifacts (netlist, wire-load
+//! model, placement, extracted RC models).
+//!
+//! # File format
+//!
+//! ```text
+//! ckpt-<seq>.m3d := MAGIC ("M3DCKPT1", 8 bytes)
+//!                   payload_len  (u64 LE)
+//!                   payload_hash (u64 LE, FNV-1a 64 over the payload)
+//!                   payload      (sections)
+//! section        := tag (u8) body_len (u64 LE) body_hash (u64 LE) body
+//! ```
+//!
+//! Every artifact section carries its own FNV-1a 64 content hash in
+//! addition to the whole-file hash, so corruption is attributed to the
+//! artifact it hit. All integers are little-endian; `f64` values are
+//! stored as their IEEE-754 bit patterns, which is what makes a resumed
+//! run *bit-identical* to an uninterrupted one — there is no text
+//! round-trip anywhere.
+//!
+//! Writes go to a temp file in the same directory followed by a rename,
+//! so a crash mid-write leaves either the old set of checkpoints or the
+//! new one, never a half-written file under a checkpoint name. A file
+//! that still fails verification (truncation by the filesystem, bit rot,
+//! or the chaos harness's planted corruption) is moved to the
+//! `quarantine/` subdirectory and surfaced as
+//! [`FlowError::CorruptCheckpoint`]; resume then falls back to the next
+//! older snapshot, which simply re-runs the affected stage.
+//!
+//! The cell library is deliberately *not* serialized: it is a pure,
+//! memoized function of the config (see [`crate::ArtifactCache`]), so
+//! resume re-derives it from its content key instead of storing
+//! megabytes of characterization tables. Likewise the routed design is
+//! dropped from snapshots — no stage consumes a predecessor's
+//! `routed` artifact across a stage boundary (sign-off re-routes the
+//! final netlist), so persisting it would be dead weight.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use m3d_netlist::{BenchScale, Benchmark, Instance, Net, NetDriver, NetId, Netlist, PinRef};
+use m3d_place::Placement;
+use m3d_sta::NetModel;
+use m3d_synth::WireLoadModel;
+use m3d_tech::{DesignStyle, NodeId, StackKind};
+
+use m3d_cells::CellId;
+use m3d_geom::{Point, Rect};
+use m3d_netlist::InstId;
+
+use crate::artifacts::Artifacts;
+use crate::error::{FlowError, FlowStage};
+use crate::flow::FlowConfig;
+use crate::supervisor::{AttemptRecord, Relaxation};
+
+/// File magic of a checkpoint snapshot (version 1).
+const MAGIC: &[u8; 8] = b"M3DCKPT1";
+
+/// FNV-1a 64 content hash — small, dependency-free, and stable across
+/// platforms; collision resistance is not a goal (corruption detection
+/// is).
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Codec primitives
+// ---------------------------------------------------------------------
+
+/// Append-only encoder over a byte buffer.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    /// Bit-exact f64 (NaN payloads included).
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+}
+
+/// Cursor-based decoder with typed failure.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A malformed checkpoint payload: what failed to parse.
+#[derive(Debug)]
+struct DecodeError(String);
+
+type DecResult<T> = Result<T, DecodeError>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> DecResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+    fn u32(&mut self) -> DecResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> DecResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn i64(&mut self) -> DecResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+    fn usize(&mut self) -> DecResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError(format!("length {v} overflows usize")))
+    }
+    fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> DecResult<String> {
+        let n = self.usize()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|e| DecodeError(format!("invalid utf-8: {e}")))
+    }
+    fn opt<T>(&mut self, mut f: impl FnMut(&mut Self) -> DecResult<T>) -> DecResult<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            t => Err(DecodeError(format!("bad Option tag {t}"))),
+        }
+    }
+
+    fn finish(&self) -> DecResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after decode",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enum codecs (stable on-disk discriminants — do not reorder)
+// ---------------------------------------------------------------------
+
+fn enc_benchmark(e: &mut Enc, v: Benchmark) {
+    e.u8(match v {
+        Benchmark::Fpu => 0,
+        Benchmark::Aes => 1,
+        Benchmark::Ldpc => 2,
+        Benchmark::Des => 3,
+        Benchmark::M256 => 4,
+    });
+}
+
+fn dec_benchmark(d: &mut Dec) -> DecResult<Benchmark> {
+    Ok(match d.u8()? {
+        0 => Benchmark::Fpu,
+        1 => Benchmark::Aes,
+        2 => Benchmark::Ldpc,
+        3 => Benchmark::Des,
+        4 => Benchmark::M256,
+        t => return Err(DecodeError(format!("bad Benchmark tag {t}"))),
+    })
+}
+
+fn enc_style(e: &mut Enc, v: DesignStyle) {
+    e.u8(match v {
+        DesignStyle::TwoD => 0,
+        DesignStyle::Tmi => 1,
+    });
+}
+
+fn dec_style(d: &mut Dec) -> DecResult<DesignStyle> {
+    Ok(match d.u8()? {
+        0 => DesignStyle::TwoD,
+        1 => DesignStyle::Tmi,
+        t => return Err(DecodeError(format!("bad DesignStyle tag {t}"))),
+    })
+}
+
+fn enc_node(e: &mut Enc, v: NodeId) {
+    e.u8(match v {
+        NodeId::N45 => 0,
+        NodeId::N7 => 1,
+    });
+}
+
+fn dec_node(d: &mut Dec) -> DecResult<NodeId> {
+    Ok(match d.u8()? {
+        0 => NodeId::N45,
+        1 => NodeId::N7,
+        t => return Err(DecodeError(format!("bad NodeId tag {t}"))),
+    })
+}
+
+fn enc_scale(e: &mut Enc, v: BenchScale) {
+    e.u8(match v {
+        BenchScale::Paper => 0,
+        BenchScale::Small => 1,
+    });
+}
+
+fn dec_scale(d: &mut Dec) -> DecResult<BenchScale> {
+    Ok(match d.u8()? {
+        0 => BenchScale::Paper,
+        1 => BenchScale::Small,
+        t => return Err(DecodeError(format!("bad BenchScale tag {t}"))),
+    })
+}
+
+fn enc_stack_kind(e: &mut Enc, v: StackKind) {
+    e.u8(match v {
+        StackKind::TwoD => 0,
+        StackKind::Tmi => 1,
+        StackKind::TmiPlusM => 2,
+    });
+}
+
+fn dec_stack_kind(d: &mut Dec) -> DecResult<StackKind> {
+    Ok(match d.u8()? {
+        0 => StackKind::TwoD,
+        1 => StackKind::Tmi,
+        2 => StackKind::TmiPlusM,
+        t => return Err(DecodeError(format!("bad StackKind tag {t}"))),
+    })
+}
+
+fn enc_stage(e: &mut Enc, v: FlowStage) {
+    e.u8(v.index() as u8);
+}
+
+fn dec_stage(d: &mut Dec) -> DecResult<FlowStage> {
+    let t = d.u8()?;
+    FlowStage::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| DecodeError(format!("bad FlowStage tag {t}")))
+}
+
+// ---------------------------------------------------------------------
+// Struct codecs
+// ---------------------------------------------------------------------
+
+fn enc_config(e: &mut Enc, c: &FlowConfig) {
+    enc_node(e, c.node_id);
+    enc_scale(e, c.bench_scale);
+    e.opt(&c.stack_kind, |e, s| enc_stack_kind(e, *s));
+    e.opt(&c.clock_ps, |e, v| e.f64(*v));
+    e.opt(&c.utilization, |e, v| e.f64(*v));
+    e.bool(c.tmi_wlm);
+    e.f64(c.pin_cap_scale);
+    e.bool(c.lower_metal_rho);
+    e.f64(c.alpha_ff);
+    e.bool(c.mb1_routing);
+    e.usize(c.opt_passes);
+    e.usize(c.place_iterations);
+    e.f64(c.clock_scale);
+}
+
+fn dec_config(d: &mut Dec) -> DecResult<FlowConfig> {
+    let node_id = dec_node(d)?;
+    let mut cfg = FlowConfig::new(node_id);
+    cfg.bench_scale = dec_scale(d)?;
+    cfg.stack_kind = d.opt(dec_stack_kind)?;
+    cfg.clock_ps = d.opt(|d| d.f64())?;
+    cfg.utilization = d.opt(|d| d.f64())?;
+    cfg.tmi_wlm = d.bool()?;
+    cfg.pin_cap_scale = d.f64()?;
+    cfg.lower_metal_rho = d.bool()?;
+    cfg.alpha_ff = d.f64()?;
+    cfg.mb1_routing = d.bool()?;
+    cfg.opt_passes = d.usize()?;
+    cfg.place_iterations = d.usize()?;
+    cfg.clock_scale = d.f64()?;
+    Ok(cfg)
+}
+
+fn enc_netlist(e: &mut Enc, n: &Netlist) {
+    e.str(&n.name);
+    e.usize(n.instances().len());
+    for i in n.instances() {
+        e.u32(i.cell.0);
+        e.usize(i.pins.len());
+        for p in &i.pins {
+            e.u32(p.0);
+        }
+        e.bool(i.is_repeater);
+    }
+    e.usize(n.nets().len());
+    for net in n.nets() {
+        match net.driver {
+            NetDriver::Port(p) => {
+                e.u8(0);
+                e.u32(p);
+            }
+            NetDriver::Cell { inst, pin } => {
+                e.u8(1);
+                e.u32(inst.0);
+                e.u8(pin);
+            }
+            NetDriver::None => e.u8(2),
+        }
+        e.usize(net.sinks.len());
+        for s in &net.sinks {
+            e.u32(s.inst.0);
+            e.u8(s.pin);
+        }
+        e.bool(net.is_output);
+    }
+    e.usize(n.primary_inputs.len());
+    for p in &n.primary_inputs {
+        e.u32(p.0);
+    }
+    e.usize(n.primary_outputs.len());
+    for p in &n.primary_outputs {
+        e.u32(p.0);
+    }
+    e.opt(&n.clock, |e, c| e.u32(c.0));
+}
+
+fn dec_netlist(d: &mut Dec) -> DecResult<Netlist> {
+    let name = d.str()?;
+    let n_inst = d.usize()?;
+    let mut instances = Vec::with_capacity(n_inst.min(1 << 24));
+    for _ in 0..n_inst {
+        let cell = CellId(d.u32()?);
+        let n_pins = d.usize()?;
+        let mut pins = Vec::with_capacity(n_pins.min(1 << 16));
+        for _ in 0..n_pins {
+            pins.push(NetId(d.u32()?));
+        }
+        let is_repeater = d.bool()?;
+        instances.push(Instance {
+            cell,
+            pins,
+            is_repeater,
+        });
+    }
+    let n_nets = d.usize()?;
+    let mut nets = Vec::with_capacity(n_nets.min(1 << 24));
+    for _ in 0..n_nets {
+        let driver = match d.u8()? {
+            0 => NetDriver::Port(d.u32()?),
+            1 => NetDriver::Cell {
+                inst: InstId(d.u32()?),
+                pin: d.u8()?,
+            },
+            2 => NetDriver::None,
+            t => return Err(DecodeError(format!("bad NetDriver tag {t}"))),
+        };
+        let n_sinks = d.usize()?;
+        let mut sinks = Vec::with_capacity(n_sinks.min(1 << 16));
+        for _ in 0..n_sinks {
+            sinks.push(PinRef {
+                inst: InstId(d.u32()?),
+                pin: d.u8()?,
+            });
+        }
+        let is_output = d.bool()?;
+        nets.push(Net {
+            driver,
+            sinks,
+            is_output,
+        });
+    }
+    let n_pi = d.usize()?;
+    let mut primary_inputs = Vec::with_capacity(n_pi.min(1 << 20));
+    for _ in 0..n_pi {
+        primary_inputs.push(NetId(d.u32()?));
+    }
+    let n_po = d.usize()?;
+    let mut primary_outputs = Vec::with_capacity(n_po.min(1 << 20));
+    for _ in 0..n_po {
+        primary_outputs.push(NetId(d.u32()?));
+    }
+    let clock = d.opt(|d| Ok(NetId(d.u32()?)))?;
+    Ok(Netlist::from_parts(
+        name,
+        instances,
+        nets,
+        primary_inputs,
+        primary_outputs,
+        clock,
+    ))
+}
+
+fn enc_point(e: &mut Enc, p: Point) {
+    e.i64(p.x);
+    e.i64(p.y);
+}
+
+fn dec_point(d: &mut Dec) -> DecResult<Point> {
+    Ok(Point {
+        x: d.i64()?,
+        y: d.i64()?,
+    })
+}
+
+fn enc_placement(e: &mut Enc, p: &Placement) {
+    enc_point(e, p.core.lo());
+    enc_point(e, p.core.hi());
+    e.usize(p.positions.len());
+    for pt in &p.positions {
+        enc_point(e, *pt);
+    }
+    e.usize(p.port_positions.len());
+    for pt in &p.port_positions {
+        enc_point(e, *pt);
+    }
+    e.i64(p.row_height);
+    e.f64(p.utilization);
+}
+
+fn dec_placement(d: &mut Dec) -> DecResult<Placement> {
+    let lo = dec_point(d)?;
+    let hi = dec_point(d)?;
+    let n_pos = d.usize()?;
+    let mut positions = Vec::with_capacity(n_pos.min(1 << 24));
+    for _ in 0..n_pos {
+        positions.push(dec_point(d)?);
+    }
+    let n_port = d.usize()?;
+    let mut port_positions = Vec::with_capacity(n_port.min(1 << 20));
+    for _ in 0..n_port {
+        port_positions.push(dec_point(d)?);
+    }
+    let row_height = d.i64()?;
+    let utilization = d.f64()?;
+    Ok(Placement {
+        core: Rect::new(lo, hi),
+        positions,
+        port_positions,
+        row_height,
+        utilization,
+    })
+}
+
+fn enc_wlm(e: &mut Enc, w: &WireLoadModel) {
+    let curve = w.curve();
+    e.usize(curve.len());
+    for v in curve {
+        e.f64(*v);
+    }
+    e.f64(w.slope_um());
+}
+
+fn dec_wlm(d: &mut Dec) -> DecResult<WireLoadModel> {
+    let n = d.usize()?;
+    let mut curve = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        curve.push(d.f64()?);
+    }
+    let slope = d.f64()?;
+    Ok(WireLoadModel::from_parts(curve, slope))
+}
+
+/// Encodes the durable subset of [`Artifacts`]. The routed design is
+/// dropped by design (module docs): no stage consumes it across a stage
+/// boundary.
+fn enc_artifacts(e: &mut Enc, a: &Artifacts) {
+    e.opt(&a.netlist, enc_netlist);
+    e.opt(&a.wlm, enc_wlm);
+    e.f64(a.tau_ps);
+    e.opt(&a.placement, enc_placement);
+    e.usize(a.models.len());
+    for m in &a.models {
+        e.f64(m.c_wire);
+        e.f64(m.r_wire);
+    }
+    e.f64(a.wns_after_opt);
+}
+
+fn dec_artifacts(d: &mut Dec) -> DecResult<Artifacts> {
+    let netlist = d.opt(dec_netlist)?;
+    let wlm = d.opt(dec_wlm)?;
+    let tau_ps = d.f64()?;
+    let placement = d.opt(dec_placement)?;
+    let n_models = d.usize()?;
+    let mut models = Vec::with_capacity(n_models.min(1 << 24));
+    for _ in 0..n_models {
+        models.push(NetModel {
+            c_wire: d.f64()?,
+            r_wire: d.f64()?,
+        });
+    }
+    let wns_after_opt = d.f64()?;
+    Ok(Artifacts {
+        netlist,
+        wlm,
+        tau_ps,
+        placement,
+        routed: None,
+        models,
+        wns_after_opt,
+    })
+}
+
+fn enc_relaxation(e: &mut Enc, r: &Relaxation) {
+    match r {
+        Relaxation::ExtraOptPasses { added } => {
+            e.u8(0);
+            e.usize(*added);
+        }
+        Relaxation::RelaxedUtilization { from, to } => {
+            e.u8(1);
+            e.f64(*from);
+            e.f64(*to);
+        }
+        Relaxation::ClockBackoff { from_ps, to_ps } => {
+            e.u8(2);
+            e.f64(*from_ps);
+            e.f64(*to_ps);
+        }
+    }
+}
+
+fn dec_relaxation(d: &mut Dec) -> DecResult<Relaxation> {
+    Ok(match d.u8()? {
+        0 => Relaxation::ExtraOptPasses { added: d.usize()? },
+        1 => Relaxation::RelaxedUtilization {
+            from: d.f64()?,
+            to: d.f64()?,
+        },
+        2 => Relaxation::ClockBackoff {
+            from_ps: d.f64()?,
+            to_ps: d.f64()?,
+        },
+        t => return Err(DecodeError(format!("bad Relaxation tag {t}"))),
+    })
+}
+
+fn enc_records(e: &mut Enc, records: &[AttemptRecord]) {
+    e.usize(records.len());
+    for r in records {
+        enc_stage(e, r.stage);
+        e.u32(r.rung);
+        e.u32(r.attempt);
+        // The typed error does not round-trip; its attribution and
+        // rendering do (FlowError::Restored).
+        e.opt(&r.error, |e, err| {
+            e.opt(&err.stage(), |e, s| enc_stage(e, *s));
+            e.str(&err.to_string());
+        });
+    }
+}
+
+fn dec_records(d: &mut Dec) -> DecResult<Vec<AttemptRecord>> {
+    let n = d.usize()?;
+    let mut records = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let stage = dec_stage(d)?;
+        let rung = d.u32()?;
+        let attempt = d.u32()?;
+        let error = d.opt(|d| {
+            let stage = d.opt(|d| dec_stage(d))?;
+            let message = d.str()?;
+            Ok(FlowError::Restored { stage, message })
+        })?;
+        records.push(AttemptRecord {
+            stage,
+            rung,
+            attempt,
+            error,
+        });
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------
+// Persisted supervisor state
+// ---------------------------------------------------------------------
+
+/// Where a resumed run re-enters the current degradation rung: the next
+/// step to execute. `Decide` is the pure floorplan-round decision after
+/// post-route optimization — it re-runs on resume (it is a deterministic
+/// function of the checkpointed artifacts), so only stage executions
+/// consume wall-clock on the resume path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cursor {
+    /// Run synthesis next (start of a non-resumed rung).
+    Synth,
+    /// Run placement next (start of floorplan round `state.round`).
+    Place,
+    /// Run pre-route optimization next.
+    Preroute,
+    /// Run routing next.
+    Route,
+    /// Run post-route optimization next.
+    Postroute,
+    /// Re-run the floorplan-round decision next.
+    Decide,
+    /// Run sign-off next.
+    Signoff,
+}
+
+impl Cursor {
+    fn tag(self) -> u8 {
+        match self {
+            Cursor::Synth => 0,
+            Cursor::Place => 1,
+            Cursor::Preroute => 2,
+            Cursor::Route => 3,
+            Cursor::Postroute => 4,
+            Cursor::Decide => 5,
+            Cursor::Signoff => 6,
+        }
+    }
+
+    fn from_tag(t: u8) -> DecResult<Self> {
+        Ok(match t {
+            0 => Cursor::Synth,
+            1 => Cursor::Place,
+            2 => Cursor::Preroute,
+            3 => Cursor::Route,
+            4 => Cursor::Postroute,
+            5 => Cursor::Decide,
+            6 => Cursor::Signoff,
+            t => return Err(DecodeError(format!("bad Cursor tag {t}"))),
+        })
+    }
+}
+
+/// The effective environment knobs the degradation ladder mutates —
+/// checkpointed bit-exactly so a resumed rung runs under identical
+/// pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EnvKnobs {
+    pub(crate) clock_ps: f64,
+    pub(crate) utilization: f64,
+    pub(crate) opt_passes: usize,
+}
+
+/// One complete supervisor snapshot: everything `resume_from` needs.
+#[derive(Debug, Clone)]
+pub(crate) struct PersistedState {
+    /// Monotonic snapshot number within the run (file name key).
+    pub(crate) seq: u64,
+    pub(crate) bench: Benchmark,
+    pub(crate) style: DesignStyle,
+    pub(crate) config: FlowConfig,
+    /// Degradation rung in progress.
+    pub(crate) rung: u32,
+    /// Floorplan round in progress within the rung.
+    pub(crate) round: u32,
+    /// Whether this rung was entered via the routing-checkpoint resume
+    /// (ladder rung 1): it skips straight to post-route work.
+    pub(crate) resumed_rung: bool,
+    /// The next step to execute.
+    pub(crate) cursor: Cursor,
+    /// Effective knobs after ladder relaxations (`None` until the
+    /// library stage has run).
+    pub(crate) env: Option<EnvKnobs>,
+    pub(crate) relaxations: Vec<Relaxation>,
+    pub(crate) records: Vec<AttemptRecord>,
+    /// Working design state (durable subset).
+    pub(crate) art: Artifacts,
+    /// Round-1 best netlist/placement/WNS, kept across the floorplan
+    /// round boundary.
+    pub(crate) round1_best: Option<(Netlist, Placement, f64)>,
+    /// The post-routing snapshot the ladder's first rung resumes from.
+    pub(crate) routing_ckpt: Option<Artifacts>,
+}
+
+/// Section tags inside a snapshot payload.
+const SEC_IDENTITY: u8 = 1;
+const SEC_SUPERVISOR: u8 = 2;
+const SEC_ARTIFACTS: u8 = 3;
+const SEC_ROUND1_BEST: u8 = 4;
+const SEC_ROUTING_CKPT: u8 = 5;
+
+fn write_section(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&content_hash(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+fn read_section<'a>(d: &mut Dec<'a>, want_tag: u8) -> DecResult<&'a [u8]> {
+    let tag = d.u8()?;
+    if tag != want_tag {
+        return Err(DecodeError(format!(
+            "expected section {want_tag}, found {tag}"
+        )));
+    }
+    let len = d.usize()?;
+    let hash = d.u64()?;
+    let body = d.take(len)?;
+    let actual = content_hash(body);
+    if actual != hash {
+        return Err(DecodeError(format!(
+            "section {want_tag} content hash mismatch: stored {hash:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(body)
+}
+
+impl PersistedState {
+    /// Serializes the snapshot to the full file image (magic + hashes +
+    /// sections).
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut identity = Enc::default();
+        identity.u64(self.seq);
+        enc_benchmark(&mut identity, self.bench);
+        enc_style(&mut identity, self.style);
+        enc_config(&mut identity, &self.config);
+
+        let mut sup = Enc::default();
+        sup.u32(self.rung);
+        sup.u32(self.round);
+        sup.bool(self.resumed_rung);
+        sup.u8(self.cursor.tag());
+        sup.opt(&self.env, |e, k| {
+            e.f64(k.clock_ps);
+            e.f64(k.utilization);
+            e.usize(k.opt_passes);
+        });
+        sup.usize(self.relaxations.len());
+        for r in &self.relaxations {
+            enc_relaxation(&mut sup, r);
+        }
+        enc_records(&mut sup, &self.records);
+
+        let mut art = Enc::default();
+        enc_artifacts(&mut art, &self.art);
+
+        let mut best = Enc::default();
+        best.opt(&self.round1_best, |e, (n, p, w)| {
+            enc_netlist(e, n);
+            enc_placement(e, p);
+            e.f64(*w);
+        });
+
+        let mut rckpt = Enc::default();
+        rckpt.opt(&self.routing_ckpt, enc_artifacts);
+
+        let mut payload = Vec::new();
+        write_section(&mut payload, SEC_IDENTITY, &identity.buf);
+        write_section(&mut payload, SEC_SUPERVISOR, &sup.buf);
+        write_section(&mut payload, SEC_ARTIFACTS, &art.buf);
+        write_section(&mut payload, SEC_ROUND1_BEST, &best.buf);
+        write_section(&mut payload, SEC_ROUTING_CKPT, &rckpt.buf);
+
+        let mut file = Vec::with_capacity(payload.len() + 24);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&content_hash(&payload).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file
+    }
+
+    fn from_bytes(bytes: &[u8]) -> DecResult<Self> {
+        if bytes.len() < 24 {
+            return Err(DecodeError(format!(
+                "file too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(DecodeError("bad magic".to_string()));
+        }
+        let mut head = Dec::new(&bytes[8..24]);
+        let len = head.usize()?;
+        let hash = head.u64()?;
+        let payload = &bytes[24..];
+        if payload.len() != len {
+            return Err(DecodeError(format!(
+                "payload truncated: header says {len} bytes, file carries {}",
+                payload.len()
+            )));
+        }
+        let actual = content_hash(payload);
+        if actual != hash {
+            return Err(DecodeError(format!(
+                "payload hash mismatch: stored {hash:#018x}, computed {actual:#018x}"
+            )));
+        }
+
+        let mut d = Dec::new(payload);
+        let identity = read_section(&mut d, SEC_IDENTITY)?;
+        let sup = read_section(&mut d, SEC_SUPERVISOR)?;
+        let art = read_section(&mut d, SEC_ARTIFACTS)?;
+        let best = read_section(&mut d, SEC_ROUND1_BEST)?;
+        let rckpt = read_section(&mut d, SEC_ROUTING_CKPT)?;
+        d.finish()?;
+
+        let mut di = Dec::new(identity);
+        let seq = di.u64()?;
+        let bench = dec_benchmark(&mut di)?;
+        let style = dec_style(&mut di)?;
+        let config = dec_config(&mut di)?;
+        di.finish()?;
+
+        let mut ds = Dec::new(sup);
+        let rung = ds.u32()?;
+        let round = ds.u32()?;
+        let resumed_rung = ds.bool()?;
+        let cursor = Cursor::from_tag(ds.u8()?)?;
+        let env = ds.opt(|d| {
+            Ok(EnvKnobs {
+                clock_ps: d.f64()?,
+                utilization: d.f64()?,
+                opt_passes: d.usize()?,
+            })
+        })?;
+        let n_relax = ds.usize()?;
+        let mut relaxations = Vec::with_capacity(n_relax.min(16));
+        for _ in 0..n_relax {
+            relaxations.push(dec_relaxation(&mut ds)?);
+        }
+        let records = dec_records(&mut ds)?;
+        ds.finish()?;
+
+        let mut da = Dec::new(art);
+        let art = dec_artifacts(&mut da)?;
+        da.finish()?;
+
+        let mut db = Dec::new(best);
+        let round1_best = db.opt(|d| {
+            let n = dec_netlist(d)?;
+            let p = dec_placement(d)?;
+            let w = d.f64()?;
+            Ok((n, p, w))
+        })?;
+        db.finish()?;
+
+        let mut dr = Dec::new(rckpt);
+        let routing_ckpt = dr.opt(dec_artifacts)?;
+        dr.finish()?;
+
+        Ok(PersistedState {
+            seq,
+            bench,
+            style,
+            config,
+            rung,
+            round,
+            resumed_rung,
+            cursor,
+            env,
+            relaxations,
+            records,
+            art,
+            round1_best,
+            routing_ckpt,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk store
+// ---------------------------------------------------------------------
+
+/// A per-run checkpoint directory: snapshot files, plus a `quarantine/`
+/// subdirectory for files that failed verification.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::CorruptCheckpoint`] when the directory
+    /// cannot be created (the only checkpoint error type; the path names
+    /// the directory).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, FlowError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| FlowError::CorruptCheckpoint {
+            path: dir.display().to_string(),
+            detail: format!("cannot create checkpoint directory: {e}"),
+        })?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where corrupt files are moved.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:08}.m3d"))
+    }
+
+    /// Snapshot files currently present, sorted by ascending sequence
+    /// number.
+    pub fn snapshot_paths(&self) -> Vec<PathBuf> {
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(seq) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".m3d"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                found.push((seq, path));
+            }
+        }
+        found.sort_by_key(|(seq, _)| *seq);
+        found.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Writes one snapshot durably: temp file in the same directory,
+    /// then rename, so no crash leaves a half-written file under a
+    /// checkpoint name.
+    pub(crate) fn save(&self, state: &PersistedState) -> Result<PathBuf, FlowError> {
+        let bytes = state.to_bytes();
+        let final_path = self.path_for(state.seq);
+        let tmp_path = self.dir.join(format!(".ckpt-{:08}.tmp", state.seq));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)?;
+            Ok(())
+        };
+        write().map_err(|e| FlowError::CorruptCheckpoint {
+            path: final_path.display().to_string(),
+            detail: format!("checkpoint write failed: {e}"),
+        })?;
+        Ok(final_path)
+    }
+
+    /// Moves a failed file into `quarantine/` (best-effort: an
+    /// unmovable file is removed instead so it cannot shadow older,
+    /// valid snapshots).
+    fn quarantine(&self, path: &Path) {
+        let qdir = self.quarantine_dir();
+        let _ = fs::create_dir_all(&qdir);
+        let target = qdir.join(
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "unnamed".to_string()),
+        );
+        if fs::rename(path, &target).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Loads the newest snapshot that verifies, quarantining every newer
+    /// file that does not. Returns the state plus one
+    /// [`FlowError::CorruptCheckpoint`] per quarantined file (for the
+    /// caller's report); `Ok(None)` when the directory holds no
+    /// snapshot files at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::CorruptCheckpoint`] when snapshots exist but
+    /// none verifies — the caller should start the run from scratch.
+    pub(crate) fn load_latest(
+        &self,
+    ) -> Result<Option<(PersistedState, Vec<FlowError>)>, FlowError> {
+        let mut paths = self.snapshot_paths();
+        if paths.is_empty() {
+            return Ok(None);
+        }
+        let mut corruptions: Vec<FlowError> = Vec::new();
+        while let Some(path) = paths.pop() {
+            let verdict = match fs::read(&path) {
+                Err(e) => Err(DecodeError(format!("unreadable: {e}"))),
+                Ok(bytes) => PersistedState::from_bytes(&bytes),
+            };
+            match verdict {
+                Ok(state) => return Ok(Some((state, corruptions))),
+                Err(DecodeError(detail)) => {
+                    self.quarantine(&path);
+                    corruptions.push(FlowError::CorruptCheckpoint {
+                        path: path.display().to_string(),
+                        detail,
+                    });
+                }
+            }
+        }
+        // Every snapshot failed; surface the newest failure.
+        Err(corruptions
+            .into_iter()
+            .next()
+            .unwrap_or(FlowError::CorruptCheckpoint {
+                path: self.dir.display().to_string(),
+                detail: "no snapshot survived verification".to_string(),
+            }))
+    }
+
+    /// Flips one payload byte of the newest snapshot in place — the
+    /// chaos harness's checkpoint-corruption fault.
+    pub fn corrupt_newest(&self) {
+        if let Some(path) = self.snapshot_paths().pop() {
+            if let Ok(mut bytes) = fs::read(&path) {
+                if bytes.len() > 24 {
+                    let mid = 24 + (bytes.len() - 24) / 2;
+                    bytes[mid] ^= 0xFF;
+                    let _ = fs::write(&path, &bytes);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> PersistedState {
+        let mut netlist = Netlist::new("t");
+        // A tiny but non-trivial netlist exercising every codec branch.
+        let nets = vec![
+            Net {
+                driver: NetDriver::Port(0),
+                sinks: vec![PinRef {
+                    inst: InstId(0),
+                    pin: 0,
+                }],
+                is_output: false,
+            },
+            Net {
+                driver: NetDriver::Cell {
+                    inst: InstId(0),
+                    pin: 0,
+                },
+                sinks: vec![],
+                is_output: true,
+            },
+            Net {
+                driver: NetDriver::None,
+                sinks: vec![],
+                is_output: false,
+            },
+        ];
+        let instances = vec![Instance {
+            cell: CellId(3),
+            pins: vec![NetId(0), NetId(1)],
+            is_repeater: true,
+        }];
+        netlist = Netlist::from_parts(
+            netlist.name,
+            instances,
+            nets,
+            vec![NetId(0)],
+            vec![NetId(1)],
+            Some(NetId(2)),
+        );
+        let placement = Placement {
+            core: Rect::new(Point::new(0, 0), Point::new(1000, 2000)),
+            positions: vec![Point::new(5, 7)],
+            port_positions: vec![Point::new(0, 9)],
+            row_height: 140,
+            utilization: 0.73,
+        };
+        PersistedState {
+            seq: 4,
+            bench: Benchmark::Aes,
+            style: DesignStyle::Tmi,
+            config: FlowConfig::new(NodeId::N45),
+            rung: 1,
+            round: 1,
+            resumed_rung: true,
+            cursor: Cursor::Postroute,
+            env: Some(EnvKnobs {
+                clock_ps: 1234.5,
+                utilization: 0.6,
+                opt_passes: 6,
+            }),
+            relaxations: vec![
+                Relaxation::ExtraOptPasses { added: 2 },
+                Relaxation::ClockBackoff {
+                    from_ps: 100.0,
+                    to_ps: 125.0,
+                },
+            ],
+            records: vec![
+                AttemptRecord {
+                    stage: FlowStage::Library,
+                    rung: 0,
+                    attempt: 1,
+                    error: None,
+                },
+                AttemptRecord {
+                    stage: FlowStage::Routing,
+                    rung: 0,
+                    attempt: 1,
+                    error: Some(FlowError::Injected {
+                        stage: FlowStage::Routing,
+                        detail: "planted".to_string(),
+                    }),
+                },
+            ],
+            art: Artifacts {
+                netlist: Some(netlist.clone()),
+                wlm: Some(WireLoadModel::uniform(3.0, 0.5)),
+                tau_ps: 42.0,
+                placement: Some(placement.clone()),
+                routed: None,
+                models: vec![
+                    NetModel {
+                        c_wire: 1.5,
+                        r_wire: 0.25,
+                    },
+                    NetModel {
+                        c_wire: 0.0,
+                        r_wire: -0.0,
+                    },
+                ],
+                wns_after_opt: -3.25,
+            },
+            round1_best: Some((netlist, placement, -1.0)),
+            routing_ckpt: Some(Artifacts::default()),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let s = state();
+        let bytes = s.to_bytes();
+        let back = PersistedState::from_bytes(&bytes).expect("decodes");
+        // Spot-check the pieces that carry numerics; Netlist/Placement
+        // derive PartialEq so the comparison is exact.
+        assert_eq!(back.seq, s.seq);
+        assert_eq!(back.bench, s.bench);
+        assert_eq!(back.style, s.style);
+        assert_eq!(back.config, s.config);
+        assert_eq!(back.cursor, s.cursor);
+        assert_eq!(back.env, s.env);
+        assert_eq!(back.relaxations, s.relaxations);
+        assert_eq!(back.art.netlist, s.art.netlist);
+        assert_eq!(back.art.placement, s.art.placement);
+        assert_eq!(
+            back.art.wlm.as_ref().map(|w| w.curve().to_vec()),
+            s.art.wlm.as_ref().map(|w| w.curve().to_vec())
+        );
+        assert_eq!(back.art.models, s.art.models);
+        assert_eq!(back.art.tau_ps.to_bits(), s.art.tau_ps.to_bits());
+        assert_eq!(
+            back.art.wns_after_opt.to_bits(),
+            s.art.wns_after_opt.to_bits()
+        );
+        // -0.0 survives as -0.0 (bit-exact, not value-equal).
+        assert_eq!(back.art.models[1].r_wire.to_bits(), (-0.0f64).to_bits());
+        assert!(back.round1_best.is_some());
+        assert!(back.routing_ckpt.is_some());
+        // Errors degrade to their rendering, attribution intact.
+        match &back.records[1].error {
+            Some(FlowError::Restored { stage, message }) => {
+                assert_eq!(*stage, Some(FlowStage::Routing));
+                assert!(message.contains("planted"), "message: {message}");
+            }
+            other => panic!("expected Restored, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn any_flipped_payload_byte_is_detected() {
+        let bytes = state().to_bytes();
+        // Flip a handful of positions across the file (every byte would
+        // be slow); header, section hash, and artifact bytes included.
+        for pos in [8, 16, 24, 40, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                PersistedState::from_bytes(&bad).is_err(),
+                "flip at {pos} went undetected"
+            );
+        }
+        // Truncation at any boundary is detected too.
+        for cut in [0, 7, 23, bytes.len() / 3, bytes.len() - 1] {
+            assert!(
+                PersistedState::from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn store_quarantines_corrupt_files_and_falls_back() {
+        let dir = std::env::temp_dir().join(format!("m3d-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store opens");
+        let mut s = state();
+        s.seq = 1;
+        store.save(&s).expect("saves");
+        s.seq = 2;
+        s.rung = 3;
+        store.save(&s).expect("saves");
+        assert_eq!(store.snapshot_paths().len(), 2);
+
+        // Corrupt the newest; load must fall back to seq 1 and
+        // quarantine the bad file.
+        store.corrupt_newest();
+        let (loaded, corruptions) = store
+            .load_latest()
+            .expect("load succeeds via fallback")
+            .expect("a snapshot exists");
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(corruptions.len(), 1);
+        assert!(matches!(
+            corruptions[0],
+            FlowError::CorruptCheckpoint { .. }
+        ));
+        assert_eq!(store.snapshot_paths().len(), 1);
+        let quarantined: Vec<_> = fs::read_dir(store.quarantine_dir())
+            .expect("quarantine dir exists")
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+
+        // Corrupt the survivor too: now loading errs.
+        store.corrupt_newest();
+        assert!(matches!(
+            store.load_latest(),
+            Err(FlowError::CorruptCheckpoint { .. })
+        ));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = std::env::temp_dir().join(format!("m3d-ckpt-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store opens");
+        assert!(store.load_latest().expect("ok").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -196,6 +196,49 @@ pub enum FlowError {
         /// Clock period the run targeted, ps.
         clock_ps: f64,
     },
+    /// A stage body panicked; the supervisor caught the unwind and feeds
+    /// the failure into the normal retry/degradation ladder.
+    StagePanicked {
+        /// Stage whose body unwound.
+        stage: FlowStage,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// A stage overran its wall-clock budget and was abandoned by the
+    /// watchdog (the wedged worker thread is detached; its eventual
+    /// result, if any, is discarded).
+    DeadlineExceeded {
+        /// Stage that overran.
+        stage: FlowStage,
+        /// The budget that was exceeded, milliseconds.
+        budget_ms: u64,
+    },
+    /// A durable checkpoint file failed its integrity check (bad magic,
+    /// truncation, or content-hash mismatch). The file is quarantined
+    /// and resume falls back to the previous checkpoint, re-running the
+    /// affected stage instead of crashing.
+    CorruptCheckpoint {
+        /// Path of the quarantined (or unreadable) file.
+        path: String,
+        /// What failed to verify.
+        detail: String,
+    },
+    /// The process died at a stage entry (chaos-harness kill): nothing
+    /// was recorded for the stage and no checkpoint was written, exactly
+    /// like a SIGKILL between two stage completions.
+    Interrupted {
+        /// Stage whose entry the kill landed on.
+        stage: FlowStage,
+    },
+    /// An error restored from a checkpointed attempt log. The typed
+    /// original lived in the crashed process; only its rendering
+    /// survives the round-trip.
+    Restored {
+        /// Stage the original error was attributed to, when recorded.
+        stage: Option<FlowStage>,
+        /// The original error's `Display` rendering.
+        message: String,
+    },
 }
 
 impl FlowError {
@@ -222,6 +265,13 @@ impl FlowError {
             FlowError::MissingArtifact { stage, .. } => Some(*stage),
             FlowError::Injected { stage, .. } => Some(*stage),
             FlowError::TimingNotClosed { .. } => Some(FlowStage::SignOff),
+            FlowError::StagePanicked { stage, .. } => Some(*stage),
+            FlowError::DeadlineExceeded { stage, .. } => Some(*stage),
+            // A checkpoint is stage-agnostic on disk; the resume path
+            // reports which stage re-runs through the attempt records.
+            FlowError::CorruptCheckpoint { .. } => None,
+            FlowError::Interrupted { stage } => Some(*stage),
+            FlowError::Restored { stage, .. } => *stage,
         }
     }
 }
@@ -249,6 +299,22 @@ impl std::fmt::Display for FlowError {
                 f,
                 "timing not closed at sign-off: WNS {wns_ps:.1} ps against a {clock_ps:.1} ps clock"
             ),
+            FlowError::StagePanicked { stage, payload } => {
+                write!(f, "stage {stage} panicked: {payload}")
+            }
+            FlowError::DeadlineExceeded { stage, budget_ms } => {
+                write!(f, "stage {stage} exceeded its {budget_ms} ms deadline")
+            }
+            FlowError::CorruptCheckpoint { path, detail } => {
+                write!(f, "corrupt checkpoint '{path}': {detail}")
+            }
+            FlowError::Interrupted { stage } => {
+                write!(f, "run interrupted at entry to stage {stage}")
+            }
+            FlowError::Restored { stage, message } => match stage {
+                Some(s) => write!(f, "restored from checkpoint (stage {s}): {message}"),
+                None => write!(f, "restored from checkpoint: {message}"),
+            },
         }
     }
 }
@@ -267,7 +333,12 @@ impl std::error::Error for FlowError {
             FlowError::Spice(e) => Some(e),
             FlowError::MissingArtifact { .. }
             | FlowError::Injected { .. }
-            | FlowError::TimingNotClosed { .. } => None,
+            | FlowError::TimingNotClosed { .. }
+            | FlowError::StagePanicked { .. }
+            | FlowError::DeadlineExceeded { .. }
+            | FlowError::CorruptCheckpoint { .. }
+            | FlowError::Interrupted { .. }
+            | FlowError::Restored { .. } => None,
         }
     }
 }

@@ -1,28 +1,68 @@
-//! Deterministic fault injection for the flow supervisor.
+//! Deterministic fault injection for the flow supervisor — the chaos
+//! half of the crash-only flow engine.
 //!
 //! A [`FaultPlan`] lists faults keyed by `(stage, invocation)`: the
-//! injector counts how many times each stage has been entered and fails
-//! the matching invocation with [`FlowError::Injected`]. Because the
-//! flow itself is deterministic, a plan makes an entire
-//! retry/degradation scenario reproducible — "placement fails once, then
-//! recovers" is `FaultPlan::new().fail_stage("place", 1)`.
+//! injector counts how many times each stage has been entered and fires
+//! the matching fault on that entry. Because the flow itself is
+//! deterministic, a plan makes an entire retry/degradation/recovery
+//! scenario reproducible — "placement fails once, then recovers" is
+//! `FaultPlan::new().fail_stage("place", 1)`.
+//!
+//! Beyond the original typed-error faults, a plan can now inject every
+//! failure mode the containment machinery guards against
+//! ([`FaultKind`]):
+//!
+//! * **`Error`** — the stage returns [`FlowError::Injected`] (the
+//!   original behavior);
+//! * **`Panic`** — the stage body panics; the supervisor's
+//!   `catch_unwind` containment must convert it to
+//!   [`FlowError::StagePanicked`];
+//! * **`Delay`** — the stage sleeps before running; long delays drive
+//!   the watchdog's [`FlowError::DeadlineExceeded`] path (a hang is a
+//!   delay longer than the stage budget);
+//! * **`CorruptCheckpoint`** — the stage runs normally, then the newest
+//!   durable checkpoint file is bit-flipped, exercising hash-mismatch
+//!   quarantine on the next resume;
+//! * **`Kill`** — the run stops dead at the stage entry, with no attempt
+//!   record and no checkpoint write — a SIGKILL between two stage
+//!   completions, resumable via `FlowSupervisor::resume_from`.
 //!
 //! Stages are addressed by the stage graph's names (`"route"`,
-//! `"signoff"`, … — see [`FlowStage::key`]) via
-//! [`FaultPlan::fail_stage`] / [`FaultPlan::always_stage`]; the
-//! enum-keyed [`FaultPlan::fail_on`] / [`FaultPlan::always`] remain for
-//! callers that already hold a [`FlowStage`].
+//! `"signoff"`, … — see [`FlowStage::key`]) via [`FaultPlan::fail_stage`]
+//! and friends. The enum-keyed [`FaultPlan::fail_on`] /
+//! [`FaultPlan::always`] are deprecated in favor of the name-keyed API.
+
+use std::time::Duration;
 
 use crate::error::{FlowError, FlowStage};
+
+/// What an injected fault does to the stage it fires on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The stage reports [`FlowError::Injected`] without running.
+    Error,
+    /// The stage body panics (contained by the supervisor).
+    Panic,
+    /// The stage sleeps for the duration, then runs normally. A delay
+    /// longer than the stage's deadline budget models a hang.
+    Delay(Duration),
+    /// The stage runs normally; afterwards the newest checkpoint file is
+    /// corrupted in place (detected by hash mismatch on resume).
+    CorruptCheckpoint,
+    /// The run stops at the stage entry as if the process died there.
+    Kill,
+}
 
 /// One planned fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlannedFault {
-    /// Stage to fail.
+    /// Stage to fire on.
     pub stage: FlowStage,
-    /// Which entry into the stage fails, 1-based. `None` fails every
+    /// Which entry into the stage fires, 1-based. `None` fires on every
     /// entry (a persistent, unrecoverable fault).
     pub on_invocation: Option<u32>,
+    /// What the fault does.
+    pub kind: FaultKind,
     /// Free-form description carried into the error.
     pub detail: String,
 }
@@ -39,25 +79,33 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Fails `stage` on its `invocation`-th entry (1-based); other
-    /// entries run normally.
-    pub fn fail_on(mut self, stage: FlowStage, invocation: u32) -> Self {
+    fn push(mut self, stage: FlowStage, on_invocation: Option<u32>, kind: FaultKind) -> Self {
+        let detail = match (&kind, on_invocation) {
+            (FaultKind::Error, Some(n)) => format!("planned fault on invocation {n}"),
+            (FaultKind::Error, None) => "persistent planned fault".to_string(),
+            (kind, Some(n)) => format!("planned {kind:?} fault on invocation {n}"),
+            (kind, None) => format!("persistent planned {kind:?} fault"),
+        };
         self.faults.push(PlannedFault {
             stage,
-            on_invocation: Some(invocation.max(1)),
-            detail: format!("planned fault on invocation {}", invocation.max(1)),
+            on_invocation,
+            kind,
+            detail,
         });
         self
     }
 
+    /// Fails `stage` on its `invocation`-th entry (1-based); other
+    /// entries run normally.
+    #[deprecated(note = "address stages by name: use `FaultPlan::fail_stage`")]
+    pub fn fail_on(self, stage: FlowStage, invocation: u32) -> Self {
+        self.push(stage, Some(invocation.max(1)), FaultKind::Error)
+    }
+
     /// Fails `stage` on every entry — an unrecoverable fault.
-    pub fn always(mut self, stage: FlowStage) -> Self {
-        self.faults.push(PlannedFault {
-            stage,
-            on_invocation: None,
-            detail: "persistent planned fault".to_string(),
-        });
-        self
+    #[deprecated(note = "address stages by name: use `FaultPlan::always_stage`")]
+    pub fn always(self, stage: FlowStage) -> Self {
+        self.push(stage, None, FaultKind::Error)
     }
 
     /// Fails the stage named `stage` (stage-graph short name or display
@@ -68,7 +116,7 @@ impl FaultPlan {
     /// Panics on a name no stage in the graph answers to — a typo in a
     /// test plan, best caught loudly.
     pub fn fail_stage(self, stage: &str, invocation: u32) -> Self {
-        self.fail_on(resolve(stage), invocation)
+        self.push(resolve(stage), Some(invocation.max(1)), FaultKind::Error)
     }
 
     /// Fails the stage named `stage` on every entry — an unrecoverable
@@ -78,12 +126,69 @@ impl FaultPlan {
     ///
     /// Panics on a name no stage in the graph answers to.
     pub fn always_stage(self, stage: &str) -> Self {
-        self.always(resolve(stage))
+        self.push(resolve(stage), None, FaultKind::Error)
+    }
+
+    /// Panics inside the stage named `stage` on its `invocation`-th
+    /// entry — the containment (`catch_unwind`) test vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn panic_stage(self, stage: &str, invocation: u32) -> Self {
+        self.push(resolve(stage), Some(invocation.max(1)), FaultKind::Panic)
+    }
+
+    /// Delays the stage named `stage` by `delay` on its `invocation`-th
+    /// entry before running it normally. A delay longer than the stage's
+    /// deadline budget models a wedged stage (the watchdog abandons it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn delay_stage(self, stage: &str, invocation: u32, delay: Duration) -> Self {
+        self.push(
+            resolve(stage),
+            Some(invocation.max(1)),
+            FaultKind::Delay(delay),
+        )
+    }
+
+    /// Corrupts the newest durable checkpoint file right after the
+    /// `invocation`-th entry of `stage` completes — the hash-mismatch
+    /// quarantine test vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn corrupt_checkpoint_after(self, stage: &str, invocation: u32) -> Self {
+        self.push(
+            resolve(stage),
+            Some(invocation.max(1)),
+            FaultKind::CorruptCheckpoint,
+        )
+    }
+
+    /// Kills the run at the `invocation`-th entry of `stage`: the
+    /// supervisor returns immediately with `FlowError::Interrupted`,
+    /// no attempt is recorded and no checkpoint is written — exactly the
+    /// on-disk state a SIGKILL at that moment would leave.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn kill_at(self, stage: &str, invocation: u32) -> Self {
+        self.push(resolve(stage), Some(invocation.max(1)), FaultKind::Kill)
     }
 
     /// True when the plan contains no faults.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
     }
 }
 
@@ -92,8 +197,29 @@ fn resolve(name: &str) -> FlowStage {
     FlowStage::from_name(name).unwrap_or_else(|| panic!("no flow stage is named '{name}'"))
 }
 
-/// Executes a [`FaultPlan`]: counts stage entries and reports the error
-/// to inject, if any.
+/// A fault the injector decided to fire on the current stage entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Stage the fault fires in.
+    pub stage: FlowStage,
+    /// What the fault does.
+    pub kind: FaultKind,
+    /// Human-readable fault description.
+    pub detail: String,
+}
+
+impl InjectedFault {
+    /// The typed error an `Error`-kind fault injects.
+    pub fn error(&self) -> FlowError {
+        FlowError::Injected {
+            stage: self.stage,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// Executes a [`FaultPlan`]: counts stage entries and reports the fault
+/// to fire on this invocation, if the plan has one.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
     plan: FaultPlan,
@@ -109,17 +235,19 @@ impl FaultInjector {
         }
     }
 
-    /// Records one entry into `stage` and returns the fault to inject
-    /// for this invocation, if the plan has one.
-    pub fn tick(&mut self, stage: FlowStage) -> Option<FlowError> {
+    /// Records one entry into `stage` and returns the fault to fire for
+    /// this invocation, if the plan has one. When several faults match
+    /// the same entry, the first planned wins.
+    pub fn tick(&mut self, stage: FlowStage) -> Option<InjectedFault> {
         self.counts[stage.index()] += 1;
         let n = self.counts[stage.index()];
         self.plan
             .faults
             .iter()
             .find(|f| f.stage == stage && f.on_invocation.is_none_or(|at| at == n))
-            .map(|f| FlowError::Injected {
+            .map(|f| InjectedFault {
                 stage,
+                kind: f.kind.clone(),
                 detail: f.detail.clone(),
             })
     }
@@ -136,17 +264,20 @@ mod tests {
 
     #[test]
     fn fails_exactly_the_planned_invocation() {
-        let mut inj = FaultInjector::new(FaultPlan::new().fail_on(FlowStage::Routing, 2));
+        let mut inj = FaultInjector::new(FaultPlan::new().fail_stage("route", 2));
         assert!(inj.tick(FlowStage::Routing).is_none());
-        let e = inj.tick(FlowStage::Routing).expect("second entry fails");
-        assert_eq!(e.stage(), Some(FlowStage::Routing));
+        let f = inj.tick(FlowStage::Routing).expect("second entry fails");
+        assert_eq!(f.stage, FlowStage::Routing);
+        assert_eq!(f.kind, FaultKind::Error);
+        assert_eq!(f.error().stage(), Some(FlowStage::Routing));
         assert!(inj.tick(FlowStage::Routing).is_none());
         // Other stages are unaffected.
         assert!(inj.tick(FlowStage::Placement).is_none());
     }
 
     #[test]
-    fn named_plans_resolve_stage_graph_names() {
+    #[allow(deprecated)]
+    fn deprecated_enum_builders_match_the_named_api() {
         let by_name = FaultPlan::new()
             .fail_stage("route", 2)
             .always_stage("signoff");
@@ -157,7 +288,34 @@ mod tests {
         // Display names resolve too.
         assert_eq!(
             FaultPlan::new().fail_stage("post-route optimization", 1),
-            FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1)
+            FaultPlan::new().fail_stage("postroute", 1)
+        );
+    }
+
+    #[test]
+    fn chaos_kinds_carry_through_the_injector() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new()
+                .panic_stage("place", 1)
+                .delay_stage("route", 1, Duration::from_millis(7))
+                .corrupt_checkpoint_after("postroute", 1)
+                .kill_at("signoff", 1),
+        );
+        assert_eq!(
+            inj.tick(FlowStage::Placement).map(|f| f.kind),
+            Some(FaultKind::Panic)
+        );
+        assert_eq!(
+            inj.tick(FlowStage::Routing).map(|f| f.kind),
+            Some(FaultKind::Delay(Duration::from_millis(7)))
+        );
+        assert_eq!(
+            inj.tick(FlowStage::PostRouteOpt).map(|f| f.kind),
+            Some(FaultKind::CorruptCheckpoint)
+        );
+        assert_eq!(
+            inj.tick(FlowStage::SignOff).map(|f| f.kind),
+            Some(FaultKind::Kill)
         );
     }
 
@@ -169,7 +327,7 @@ mod tests {
 
     #[test]
     fn persistent_fault_fails_every_entry() {
-        let mut inj = FaultInjector::new(FaultPlan::new().always(FlowStage::SignOff));
+        let mut inj = FaultInjector::new(FaultPlan::new().always_stage("signoff"));
         for _ in 0..4 {
             assert!(inj.tick(FlowStage::SignOff).is_some());
         }

@@ -59,6 +59,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod checkpoint;
 mod compare;
 pub mod error;
 pub mod experiments;
@@ -70,12 +71,14 @@ pub mod supervisor;
 
 pub use artifacts::FlowContext;
 pub use cache::{ArtifactCache, CacheStats, FlowKey, LibraryKey};
+pub use checkpoint::CheckpointStore;
 pub use compare::Comparison;
 pub use error::{ConfigError, FlowError, FlowStage};
-pub use faultinject::{FaultInjector, FaultPlan, PlannedFault};
+pub use faultinject::{FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
 pub use flow::{estimate_models, extraction_models, try_extraction_models};
 pub use stage::{Stage, StageGraph};
 pub use supervisor::{
-    AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, SupervisorPolicy,
+    AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, StageDeadlines,
+    SupervisorPolicy,
 };

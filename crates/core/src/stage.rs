@@ -522,9 +522,13 @@ impl Stage for SignOffStage {
 }
 
 /// The paper's pipeline as an ordered, name-addressable stage graph.
+///
+/// Stages are held behind [`std::sync::Arc`] so the supervisor's
+/// containment machinery can move a stage onto a watchdogged worker
+/// thread ([`crate::FlowSupervisor`]) while the graph keeps its handle.
 #[derive(Debug)]
 pub struct StageGraph {
-    stages: Vec<Box<dyn Stage>>,
+    stages: Vec<std::sync::Arc<dyn Stage>>,
 }
 
 impl StageGraph {
@@ -532,13 +536,13 @@ impl StageGraph {
     pub fn paper_pipeline() -> Self {
         StageGraph {
             stages: vec![
-                Box::new(LibraryStage),
-                Box::new(SynthesisStage),
-                Box::new(PlacementStage),
-                Box::new(PreRouteOptStage),
-                Box::new(RoutingStage),
-                Box::new(PostRouteOptStage),
-                Box::new(SignOffStage),
+                std::sync::Arc::new(LibraryStage),
+                std::sync::Arc::new(SynthesisStage),
+                std::sync::Arc::new(PlacementStage),
+                std::sync::Arc::new(PreRouteOptStage),
+                std::sync::Arc::new(RoutingStage),
+                std::sync::Arc::new(PostRouteOptStage),
+                std::sync::Arc::new(SignOffStage),
             ],
         }
     }
@@ -555,6 +559,22 @@ impl StageGraph {
             .iter()
             .map(|s| &**s)
             .find(|s| s.id() == id)
+            .unwrap_or_else(|| panic!("stage graph is missing stage '{}'", id.key()))
+    }
+
+    /// An owning handle to the stage implementing a pipeline position —
+    /// what the supervisor moves onto a worker thread for contained,
+    /// deadline-watched execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph is missing the stage, like
+    /// [`StageGraph::stage`].
+    pub fn stage_arc(&self, id: FlowStage) -> std::sync::Arc<dyn Stage> {
+        self.stages
+            .iter()
+            .find(|s| s.id() == id)
+            .cloned()
             .unwrap_or_else(|| panic!("stage graph is missing stage '{}'", id.key()))
     }
 

@@ -1,12 +1,28 @@
-//! The flow supervisor: per-stage retry with checkpointed resume, plus a
-//! bounded degradation ladder when the flow cannot close as configured.
+//! The flow supervisor: crash-only execution of the stage graph, with
+//! per-stage retry, panic containment, wall-clock deadlines, durable
+//! on-disk checkpoints, and a bounded degradation ladder when the flow
+//! cannot close as configured.
 //!
 //! The supervisor drives the [`crate::StageGraph`] — the same stages
-//! `Flow::try_run` executes — but wraps each stage in a retry loop that
-//! restores the last good [`Artifacts`] checkpoint before re-attempting,
-//! and — when a whole run fails or sign-off timing does not close —
-//! escalates through a ladder of recovery knobs that mirrors what a
-//! designer would try by hand:
+//! `Flow::try_run` executes — but wraps each stage attempt in a
+//! containment envelope:
+//!
+//! * the stage body runs on a named worker thread under
+//!   `catch_unwind`, so a panic becomes [`FlowError::StagePanicked`]
+//!   and feeds the ordinary retry/degradation ladder instead of
+//!   unwinding the driver;
+//! * a watchdog bounds each attempt's wall clock
+//!   ([`StageDeadlines`]); an overrun abandons the worker and reports
+//!   [`FlowError::DeadlineExceeded`], restoring the pre-attempt state;
+//! * with [`FlowSupervisor::with_checkpoints`], every completed stage
+//!   writes a durable snapshot ([`crate::checkpoint`]) so a killed
+//!   process resumes at the first incomplete stage via
+//!   [`FlowSupervisor::resume_from`] — re-running no completed stage
+//!   and reproducing the uninterrupted run bit for bit.
+//!
+//! When a whole run fails or sign-off timing does not close, the
+//! supervisor escalates through a ladder of recovery knobs that mirrors
+//! what a designer would try by hand:
 //!
 //! 1. **More optimization passes**, resuming from the routing checkpoint
 //!    when one exists (re-closing post-route without re-synthesizing);
@@ -20,17 +36,74 @@
 //! `ClosedDegraded` with the relaxations that were needed, or `Failed`
 //! naming the stage and its typed error.
 
-use std::sync::Arc;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
 
-use m3d_netlist::Benchmark;
+use m3d_netlist::{Benchmark, Netlist};
+use m3d_place::Placement;
 use m3d_tech::DesignStyle;
 
 use crate::artifacts::{Artifacts, FlowContext};
 use crate::cache::ArtifactCache;
+use crate::checkpoint::{CheckpointStore, Cursor, EnvKnobs, PersistedState};
 use crate::error::{FlowError, FlowStage};
-use crate::faultinject::{FaultInjector, FaultPlan};
+use crate::faultinject::{FaultInjector, FaultKind, FaultPlan};
 use crate::flow::{FlowConfig, FlowResult};
 use crate::stage::{Stage, StageGraph};
+
+/// Per-stage wall-clock budgets for the watchdog.
+///
+/// The defaults are derived from the flow benchmark (`BENCH_flow.json`):
+/// a cold paper-pipeline run measures ~0.2 s at reduced scale in a
+/// release build, with routing and the optimization stages dominating.
+/// Paper-scale designs and debug builds cost two to three orders of
+/// magnitude more, so each stage gets minutes, proportioned by its
+/// measured share — generous enough that only a genuinely wedged stage
+/// trips the watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDeadlines {
+    budget_ms: [u64; FlowStage::ALL.len()],
+}
+
+impl Default for StageDeadlines {
+    fn default() -> Self {
+        StageDeadlines {
+            // library, synth, place, preroute, route, postroute, signoff
+            budget_ms: [60_000, 180_000, 180_000, 120_000, 240_000, 240_000, 180_000],
+        }
+    }
+}
+
+impl StageDeadlines {
+    /// The same budget for every stage.
+    pub fn uniform(budget_ms: u64) -> Self {
+        StageDeadlines {
+            budget_ms: [budget_ms; FlowStage::ALL.len()],
+        }
+    }
+
+    /// Overrides one stage's budget, addressed by name (`"route"`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage answers to — a typo in a policy, best
+    /// caught loudly.
+    pub fn with_stage(mut self, stage: &str, budget_ms: u64) -> Self {
+        let id = FlowStage::from_name(stage)
+            .unwrap_or_else(|| panic!("no flow stage is named '{stage}'"));
+        self.budget_ms[id.index()] = budget_ms;
+        self
+    }
+
+    /// The budget for a stage, milliseconds.
+    pub fn budget_ms(&self, stage: FlowStage) -> u64 {
+        self.budget_ms[stage.index()]
+    }
+}
 
 /// Retry and degradation policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +122,9 @@ pub struct SupervisorPolicy {
     /// `wns_ps >= -wns_tolerance_frac * clock_ps`. `f64::INFINITY`
     /// disables the gate entirely.
     pub wns_tolerance_frac: f64,
+    /// Per-stage wall-clock budgets; `None` disables the watchdog (the
+    /// supervisor waits on each stage forever).
+    pub deadlines: Option<StageDeadlines>,
 }
 
 impl Default for SupervisorPolicy {
@@ -60,6 +136,7 @@ impl Default for SupervisorPolicy {
             utilization_relax: 0.85,
             clock_backoff: 1.25,
             wns_tolerance_frac: 0.05,
+            deadlines: Some(StageDeadlines::default()),
         }
     }
 }
@@ -157,7 +234,9 @@ pub struct FlowReport {
     pub bench: Benchmark,
     /// Design style the run targeted.
     pub style: DesignStyle,
-    /// Every stage attempt, in execution order.
+    /// Every stage attempt, in execution order. A resumed run carries
+    /// the crashed process's records first, restored from the
+    /// checkpoint ([`FlowError::Restored`] for failed attempts).
     pub attempts: Vec<AttemptRecord>,
     /// Outcome.
     pub disposition: Disposition,
@@ -167,6 +246,10 @@ pub struct FlowReport {
     pub clock_ps: f64,
     /// Effective utilization after any relaxation.
     pub utilization: f64,
+    /// Checkpoint-layer incidents the run survived: quarantined corrupt
+    /// snapshots found during resume, and failed snapshot writes. Each
+    /// is a [`FlowError::CorruptCheckpoint`]; none of them fail the run.
+    pub checkpoint_incidents: Vec<FlowError>,
 }
 
 impl FlowReport {
@@ -180,17 +263,14 @@ impl FlowReport {
         matches!(self.disposition, Disposition::ClosedDegraded { .. })
     }
 
-    /// Number of attempts recorded for a stage (across all rungs).
-    pub fn stage_attempts(&self, stage: FlowStage) -> u32 {
-        self.attempts.iter().filter(|a| a.stage == stage).count() as u32
-    }
-
-    /// Number of attempts recorded for a stage addressed by name
-    /// (`"route"`, `"sign-off"`, …). Unknown names count zero.
-    pub fn stage_attempts_named(&self, name: &str) -> u32 {
-        FlowStage::from_name(name)
-            .map(|s| self.stage_attempts(s))
-            .unwrap_or(0)
+    /// Number of attempts recorded for a stage, addressed by name
+    /// (`"route"`, `"signoff"`, or a display name like `"sign-off"`),
+    /// across all rungs. Unknown names count zero.
+    pub fn stage_attempts(&self, stage: &str) -> u32 {
+        match FlowStage::from_name(stage) {
+            Some(id) => self.attempts.iter().filter(|a| a.stage == id).count() as u32,
+            None => 0,
+        }
     }
 
     /// Converts the report into a plain result, discarding the attempt
@@ -210,18 +290,41 @@ impl FlowReport {
     }
 }
 
-/// A whole-rung failure, carrying the routing checkpoint so the next
-/// rung can resume post-route work without re-synthesizing.
-struct RungFailure {
-    stage: FlowStage,
-    error: FlowError,
-    // Boxed: a checkpoint carries the whole working state, and the
-    // failure travels by value through `Result`.
-    routing_ckpt: Option<Box<Artifacts>>,
+/// Renders a panic payload for [`FlowError::StagePanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Prefix of the worker threads stage attempts run on; the process-wide
+/// panic hook stays silent for them (their unwinds are contained and
+/// reported as [`FlowError::StagePanicked`], so the default
+/// stderr backtrace would only be noise).
+const WORKER_PREFIX: &str = "m3d-stage-";
+
+fn silence_contained_panics() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let contained = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !contained {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// Drives the [`StageGraph`] under a [`SupervisorPolicy`], with optional
-/// deterministic fault injection for testing the recovery machinery.
+/// deterministic fault injection for testing the recovery machinery and
+/// optional durable checkpoints for crash recovery.
 ///
 /// The supervisor always *executes* its stages — it never consults the
 /// result cache, so planted faults and degradation scenarios behave
@@ -238,12 +341,15 @@ pub struct FlowSupervisor {
     injector: FaultInjector,
     graph: StageGraph,
     cache: Arc<ArtifactCache>,
+    store: Option<CheckpointStore>,
+    resume: Option<PersistedState>,
+    incidents: Vec<FlowError>,
 }
 
 impl FlowSupervisor {
     /// A supervisor over the paper pipeline for `bench`/`style`/`config`,
-    /// with the default policy, no faults, and the process-wide
-    /// library cache.
+    /// with the default policy, no faults, no checkpointing, and the
+    /// process-wide library cache.
     pub fn new(bench: Benchmark, style: DesignStyle, config: FlowConfig) -> Self {
         FlowSupervisor {
             bench,
@@ -253,6 +359,9 @@ impl FlowSupervisor {
             injector: FaultInjector::new(FaultPlan::new()),
             graph: StageGraph::paper_pipeline(),
             cache: ArtifactCache::global(),
+            store: None,
+            resume: None,
+            incidents: Vec::new(),
         }
     }
 
@@ -275,257 +384,355 @@ impl FlowSupervisor {
         self
     }
 
-    /// Runs the flow to a disposition. Never panics on stage failures:
-    /// every error lands in the report.
+    /// Enables durable checkpoints in `dir`: every completed stage and
+    /// every ladder escalation writes one snapshot, so a killed process
+    /// continues via [`FlowSupervisor::resume_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::CorruptCheckpoint`] when the directory
+    /// cannot be created.
+    pub fn with_checkpoints(mut self, dir: impl AsRef<Path>) -> Result<Self, FlowError> {
+        self.store = Some(CheckpointStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// Rebuilds a supervisor from the newest valid snapshot in a
+    /// checkpoint directory. The returned supervisor targets the
+    /// crashed run's benchmark/style/config and, when run, continues at
+    /// the first incomplete stage: completed stages are *not* re-run
+    /// (their attempt records come back from the snapshot), and the
+    /// resumed run's numerics are bit-identical to an uninterrupted one.
+    ///
+    /// Snapshots that fail verification are quarantined under
+    /// `dir/quarantine/` and surfaced in
+    /// [`FlowReport::checkpoint_incidents`]; resume falls back to the
+    /// next older snapshot, which re-runs just the affected stage.
+    ///
+    /// Policy and fault plan reset to defaults — apply
+    /// [`FlowSupervisor::policy`] / [`FlowSupervisor::with_faults`]
+    /// again if the resumed leg needs them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::CorruptCheckpoint`] when the directory has
+    /// no snapshots at all or none verifies — the caller should start
+    /// the run from scratch.
+    pub fn resume_from(dir: impl AsRef<Path>) -> Result<Self, FlowError> {
+        let store = CheckpointStore::open(&dir)?;
+        let Some((state, incidents)) = store.load_latest()? else {
+            return Err(FlowError::CorruptCheckpoint {
+                path: dir.as_ref().display().to_string(),
+                detail: "no checkpoint snapshots in directory".to_string(),
+            });
+        };
+        Ok(FlowSupervisor {
+            bench: state.bench,
+            style: state.style,
+            config: state.config.clone(),
+            policy: SupervisorPolicy::default(),
+            injector: FaultInjector::new(FaultPlan::new()),
+            graph: StageGraph::paper_pipeline(),
+            cache: ArtifactCache::global(),
+            store: Some(store),
+            resume: Some(state),
+            incidents,
+        })
+    }
+
+    /// The checkpoint directory, when checkpointing is enabled.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(CheckpointStore::dir)
+    }
+
+    /// Runs the flow to a disposition. Never panics on stage failures —
+    /// panics included: every error lands in the report.
     pub fn run(self) -> FlowReport {
+        silence_contained_panics();
         let FlowSupervisor {
             bench,
             style,
             config,
             policy,
-            mut injector,
+            injector,
             graph,
             cache,
+            store,
+            resume,
+            incidents,
         } = self;
-        let mut records: Vec<AttemptRecord> = Vec::new();
         let mut cx = FlowContext::new(bench, style, config, cache);
-        let fail_report = |records: Vec<AttemptRecord>,
-                           stage: FlowStage,
-                           error: FlowError,
-                           clock_ps: f64,
-                           utilization: f64| FlowReport {
-            bench,
-            style,
-            attempts: records,
-            disposition: Disposition::Failed { stage, error },
-            result: None,
-            clock_ps,
-            utilization,
+        let mut engine = Engine {
+            policy,
+            injector,
+            graph,
+            store,
+            incidents,
+            seq: 0,
+            records: Vec::new(),
+            relaxations: Vec::new(),
+            rung: 0,
+            round: 0,
+            resumed_rung: false,
+            cursor: Cursor::Synth,
+            round1_best: None,
+            routing_ckpt: None,
+            corrupt_next_save: false,
         };
 
-        // Library preparation, retried like any stage.
-        if let Err(e) = run_stage(
-            graph.stage(FlowStage::Library),
-            &mut cx,
-            &mut injector,
-            &mut records,
-            policy.max_stage_attempts,
-            0,
-        ) {
-            return fail_report(records, FlowStage::Library, e, 0.0, 0.0);
+        match resume {
+            Some(state) => {
+                // The cell library is a pure, memoized function of the
+                // config; rebuild the environment through the library
+                // stage directly — deterministic, so it earns no new
+                // attempt record — then restore the effective knobs the
+                // ladder had applied.
+                if let Err(e) = engine.graph.stage(FlowStage::Library).run(&mut cx) {
+                    return engine.fail_report(&cx, FlowStage::Library, e);
+                }
+                if let (Some(env), Some(knobs)) = (cx.env.as_mut(), state.env) {
+                    env.clock_ps = knobs.clock_ps;
+                    env.utilization = knobs.utilization;
+                    env.opt_passes = knobs.opt_passes;
+                }
+                cx.art = state.art;
+                engine.seq = state.seq;
+                engine.records = state.records;
+                engine.relaxations = state.relaxations;
+                engine.rung = state.rung;
+                engine.round = state.round;
+                engine.resumed_rung = state.resumed_rung;
+                engine.cursor = state.cursor;
+                engine.round1_best = state.round1_best;
+                engine.routing_ckpt = state.routing_ckpt;
+            }
+            None => {
+                // Library preparation, retried like any stage.
+                if let Err(e) = engine.run_stage(FlowStage::Library, &mut cx) {
+                    return engine.fail_report(&cx, FlowStage::Library, e);
+                }
+                engine.save(&cx);
+            }
         }
+        engine.drive(cx)
+    }
+}
 
-        let mut relaxations: Vec<Relaxation> = Vec::new();
-        let mut resume: Option<Artifacts> = None;
-        let mut rung: u32 = 0;
+/// The running state of one supervised flow: everything `run` threads
+/// through the rung loop, the cursor machine, and the checkpoint saves.
+struct Engine {
+    policy: SupervisorPolicy,
+    injector: FaultInjector,
+    graph: StageGraph,
+    store: Option<CheckpointStore>,
+    incidents: Vec<FlowError>,
+    /// Monotonic snapshot counter (continues across resume).
+    seq: u64,
+    records: Vec<AttemptRecord>,
+    relaxations: Vec<Relaxation>,
+    rung: u32,
+    /// Floorplan round within the current rung (counts completed
+    /// post-route passes).
+    round: u32,
+    /// Whether the current rung resumed from the routing checkpoint
+    /// (ladder rung 1): it re-closes post-route work only.
+    resumed_rung: bool,
+    /// The next step of the cursor machine.
+    cursor: Cursor,
+    /// Round-1 netlist/placement/WNS kept across the floorplan rounds.
+    round1_best: Option<(Netlist, Placement, f64)>,
+    /// Artifacts snapshot taken after routing — what ladder rung 1
+    /// resumes from.
+    routing_ckpt: Option<Artifacts>,
+    /// Armed by a `CorruptCheckpoint` fault: the next snapshot write is
+    /// bit-flipped after landing on disk.
+    corrupt_next_save: bool,
+}
+
+impl Engine {
+    /// The rung loop: execute the cursor machine to a result or walk the
+    /// degradation ladder.
+    fn drive(mut self, mut cx: FlowContext) -> FlowReport {
         loop {
-            match execute_rung(
-                &graph,
-                &mut cx,
-                &policy,
-                &mut injector,
-                &mut records,
-                rung,
-                resume.take(),
-            ) {
+            match self.execute_rung(&mut cx) {
                 Ok(result) => {
-                    let disposition = if relaxations.is_empty() {
+                    let disposition = if self.relaxations.is_empty() {
                         Disposition::Closed
                     } else {
                         Disposition::ClosedDegraded {
-                            relaxations: relaxations.clone(),
+                            relaxations: self.relaxations.clone(),
                         }
                     };
                     let env = cx.env.as_ref().expect("library stage ran");
                     return FlowReport {
-                        bench,
-                        style,
-                        attempts: records,
+                        bench: cx.bench,
+                        style: cx.style,
+                        attempts: self.records,
                         disposition,
                         result: Some(result),
                         clock_ps: env.clock_ps,
                         utilization: env.utilization,
+                        checkpoint_incidents: self.incidents,
                     };
                 }
-                Err(fail) => {
+                Err((stage, error)) => {
+                    // A kill is not a failure to recover from in-process:
+                    // the run stops dead, leaving the checkpoint
+                    // directory exactly as a SIGKILL would.
+                    let killed = matches!(error, FlowError::Interrupted { .. });
                     // Config/library errors are structural: no physical
                     // knob fixes them, so fail fast. Otherwise walk the
                     // ladder until it runs out.
-                    let structural =
-                        matches!(fail.error, FlowError::Config(_) | FlowError::Library(_));
-                    if !policy.allow_degradation || structural || rung >= 3 {
-                        let (clock_ps, utilization) = cx
-                            .env
-                            .as_ref()
-                            .map(|e| (e.clock_ps, e.utilization))
-                            .unwrap_or((0.0, 0.0));
-                        return fail_report(records, fail.stage, fail.error, clock_ps, utilization);
+                    let structural = matches!(error, FlowError::Config(_) | FlowError::Library(_));
+                    if killed || !self.policy.allow_degradation || structural || self.rung >= 3 {
+                        return self.fail_report(&cx, stage, error);
                     }
                     let env = cx.env.as_mut().expect("library stage ran");
-                    match rung {
+                    match self.rung {
                         0 => {
-                            env.opt_passes += policy.extra_opt_passes;
-                            relaxations.push(Relaxation::ExtraOptPasses {
-                                added: policy.extra_opt_passes,
+                            env.opt_passes += self.policy.extra_opt_passes;
+                            self.relaxations.push(Relaxation::ExtraOptPasses {
+                                added: self.policy.extra_opt_passes,
                             });
                             // More passes only change post-route work, so
                             // resume from the routing checkpoint when the
                             // failed rung got that far.
-                            resume = fail.routing_ckpt.map(|b| *b);
+                            match self.routing_ckpt.clone() {
+                                Some(art) => {
+                                    cx.art = art;
+                                    self.cursor = Cursor::Postroute;
+                                    self.resumed_rung = true;
+                                    self.round = 0;
+                                }
+                                None => self.reset_for_fresh_rung(),
+                            }
                         }
                         1 => {
                             let from = env.utilization;
-                            env.utilization *= policy.utilization_relax;
-                            relaxations.push(Relaxation::RelaxedUtilization {
+                            env.utilization *= self.policy.utilization_relax;
+                            self.relaxations.push(Relaxation::RelaxedUtilization {
                                 from,
                                 to: env.utilization,
                             });
+                            self.reset_for_fresh_rung();
                         }
                         _ => {
                             let from = env.clock_ps;
-                            env.clock_ps *= policy.clock_backoff;
-                            relaxations.push(Relaxation::ClockBackoff {
+                            env.clock_ps *= self.policy.clock_backoff;
+                            self.relaxations.push(Relaxation::ClockBackoff {
                                 from_ps: from,
                                 to_ps: env.clock_ps,
                             });
+                            self.reset_for_fresh_rung();
                         }
                     }
-                    rung += 1;
+                    self.rung += 1;
+                    self.save(&cx);
                 }
             }
         }
     }
-}
 
-/// Runs one stage under the retry budget: the artifact store is
-/// checkpointed before the first attempt, every failed attempt is
-/// recorded and the checkpoint restored, so a retry re-enters the stage
-/// from the last good state.
-fn run_stage(
-    stage: &dyn Stage,
-    cx: &mut FlowContext,
-    injector: &mut FaultInjector,
-    records: &mut Vec<AttemptRecord>,
-    max_attempts: u32,
-    rung: u32,
-) -> Result<(), FlowError> {
-    let id = stage.id();
-    let checkpoint = cx.art.clone();
-    let max_attempts = max_attempts.max(1);
-    let mut attempt = 0;
-    loop {
-        attempt += 1;
-        let outcome = match injector.tick(id) {
-            Some(injected) => Err(injected),
-            None => stage.run(cx),
-        };
-        match outcome {
-            Ok(()) => {
-                records.push(AttemptRecord {
-                    stage: id,
-                    rung,
-                    attempt,
-                    error: None,
-                });
-                return Ok(());
-            }
-            Err(e) => {
-                records.push(AttemptRecord {
-                    stage: id,
-                    rung,
-                    attempt,
-                    error: Some(e.clone()),
-                });
-                cx.art = checkpoint.clone();
-                if attempt >= max_attempts {
-                    return Err(e);
+    /// A ladder escalation that restarts the pipeline from synthesis.
+    fn reset_for_fresh_rung(&mut self) {
+        self.cursor = Cursor::Synth;
+        self.resumed_rung = false;
+        self.round = 0;
+        self.round1_best = None;
+        self.routing_ckpt = None;
+    }
+
+    /// Executes the cursor machine until sign-off or a stage gives out.
+    /// Every completed stage advances the cursor and writes a snapshot;
+    /// `Decide` is pure and replays deterministically on resume.
+    fn execute_rung(&mut self, cx: &mut FlowContext) -> Result<FlowResult, (FlowStage, FlowError)> {
+        loop {
+            match self.cursor {
+                Cursor::Synth => {
+                    self.run_stage(FlowStage::Synthesis, cx)
+                        .map_err(|e| (FlowStage::Synthesis, e))?;
+                    self.round = 0;
+                    self.round1_best = None;
+                    self.cursor = Cursor::Place;
+                    self.save(cx);
+                }
+                Cursor::Place => {
+                    self.run_stage(FlowStage::Placement, cx)
+                        .map_err(|e| (FlowStage::Placement, e))?;
+                    self.cursor = Cursor::Preroute;
+                    self.save(cx);
+                }
+                Cursor::Preroute => {
+                    self.run_stage(FlowStage::PreRouteOpt, cx)
+                        .map_err(|e| (FlowStage::PreRouteOpt, e))?;
+                    self.cursor = Cursor::Route;
+                    self.save(cx);
+                }
+                Cursor::Route => {
+                    self.run_stage(FlowStage::Routing, cx)
+                        .map_err(|e| (FlowStage::Routing, e))?;
+                    self.routing_ckpt = Some(cx.art.clone());
+                    self.cursor = Cursor::Postroute;
+                    self.save(cx);
+                }
+                Cursor::Postroute => {
+                    self.run_stage(FlowStage::PostRouteOpt, cx)
+                        .map_err(|e| (FlowStage::PostRouteOpt, e))?;
+                    self.round += 1;
+                    self.cursor = Cursor::Decide;
+                    self.save(cx);
+                }
+                Cursor::Decide => {
+                    // The two-round floorplan loop of the unsupervised
+                    // flow: round 1 sizes the design; a second round
+                    // re-builds the core when the cell area drifted from
+                    // the floorplan basis. A degraded resume re-closes
+                    // post-route work only. Pure decision over
+                    // checkpointed values — resume replays it exactly.
+                    self.cursor = self.decide(cx);
+                }
+                Cursor::Signoff => {
+                    self.run_stage(FlowStage::SignOff, cx)
+                        .map_err(|e| (FlowStage::SignOff, e))?;
+                    let result = cx.result.take().expect("sign-off stage stores a result");
+                    let clock_ps = cx.env.as_ref().expect("library stage ran").clock_ps;
+                    if result.wns_ps < -self.policy.wns_tolerance_frac * clock_ps {
+                        let error = FlowError::TimingNotClosed {
+                            wns_ps: result.wns_ps,
+                            clock_ps,
+                        };
+                        self.records.push(AttemptRecord {
+                            stage: FlowStage::SignOff,
+                            rung: self.rung,
+                            attempt: 0,
+                            error: Some(error.clone()),
+                        });
+                        return Err((FlowStage::SignOff, error));
+                    }
+                    return Ok(result);
                 }
             }
         }
     }
-}
 
-/// Executes one full pass of the pipeline (the two-round floorplan loop
-/// plus sign-off) at the current ladder rung, checkpointing the artifact
-/// store after routing so retries and ladder resumes restart from the
-/// last good state.
-fn execute_rung(
-    graph: &StageGraph,
-    cx: &mut FlowContext,
-    policy: &SupervisorPolicy,
-    injector: &mut FaultInjector,
-    records: &mut Vec<AttemptRecord>,
-    rung: u32,
-    resume: Option<Artifacts>,
-) -> Result<FlowResult, RungFailure> {
-    let att = policy.max_stage_attempts;
-    let resumed = resume.is_some();
-    let mut routing_ckpt: Option<Artifacts> = resume.clone();
-    if let Some(art) = resume {
-        cx.art = art;
-    }
-    let fail = |stage: FlowStage, error: FlowError, ckpt: Option<Artifacts>| RungFailure {
-        stage,
-        error,
-        routing_ckpt: ckpt.map(Box::new),
-    };
-
-    if !resumed {
-        run_stage(
-            graph.stage(FlowStage::Synthesis),
-            cx,
-            injector,
-            records,
-            att,
-            rung,
-        )
-        .map_err(|e| fail(FlowStage::Synthesis, e, None))?;
-    }
-
-    // The two-round floorplan loop of the unsupervised flow: round 1
-    // sizes the design; a second round re-builds the core when the cell
-    // area drifted from the floorplan basis. A degraded resume re-closes
-    // post-route work only.
-    let mut round = 0;
-    let mut round1_best: Option<(m3d_netlist::Netlist, m3d_place::Placement, f64)> = None;
-    loop {
-        if !(resumed && round == 0) {
-            for id in [
-                FlowStage::Placement,
-                FlowStage::PreRouteOpt,
-                FlowStage::Routing,
-            ] {
-                run_stage(graph.stage(id), cx, injector, records, att, rung)
-                    .map_err(|e| fail(id, e, routing_ckpt.clone()))?;
-            }
-            routing_ckpt = Some(cx.art.clone());
-        }
-        run_stage(
-            graph.stage(FlowStage::PostRouteOpt),
-            cx,
-            injector,
-            records,
-            att,
-            rung,
-        )
-        .map_err(|e| fail(FlowStage::PostRouteOpt, e, routing_ckpt.clone()))?;
-
-        round += 1;
-        if resumed {
-            break;
+    /// The floorplan-round decision: sign off, or re-place at the
+    /// corrected floorplan basis.
+    fn decide(&mut self, cx: &mut FlowContext) -> Cursor {
+        if self.resumed_rung {
+            return Cursor::Signoff;
         }
         let wns_now = cx.art.wns_after_opt;
-        if round >= 2 {
+        if self.round >= 2 {
             // Keep whichever round closed better (round 2 can fail on
             // stubborn designs; fall back to the round-1 result).
-            if let Some((n1, p1, w1)) = round1_best.take() {
+            if let Some((n1, p1, w1)) = self.round1_best.take() {
                 if wns_now < w1.min(0.0) {
                     // Sign-off below re-routes and re-extracts.
                     cx.art.netlist = Some(n1);
                     cx.art.placement = Some(p1);
                 }
             }
-            break;
+            return Cursor::Signoff;
         }
         let env = cx.env.as_ref().expect("library stage ran");
         let netlist = cx
@@ -541,35 +748,242 @@ fn execute_rung(
         let area_now: f64 = netlist.total_cell_area(&env.lib);
         let basis = area_now / placement.footprint_um2();
         if (basis / env.utilization - 1.0).abs() <= 0.10 {
-            break;
+            return Cursor::Signoff;
         }
-        round1_best = Some((netlist.clone(), placement.clone(), wns_now));
+        self.round1_best = Some((netlist.clone(), placement.clone(), wns_now));
+        Cursor::Place
     }
 
-    run_stage(
-        graph.stage(FlowStage::SignOff),
-        cx,
-        injector,
-        records,
-        att,
-        rung,
-    )
-    .map_err(|e| fail(FlowStage::SignOff, e, routing_ckpt.clone()))?;
-    let result = cx.result.take().expect("sign-off stage stores a result");
+    /// Runs one stage under the retry budget, each attempt contained on
+    /// a watchdogged worker thread. The artifact store is checkpointed
+    /// before the first attempt; every failed attempt — typed error,
+    /// panic, or deadline overrun — is recorded and the checkpoint
+    /// restored, so a retry re-enters the stage from the last good
+    /// state. A planted `Kill` fault stops the run dead with
+    /// [`FlowError::Interrupted`]: no record, no snapshot.
+    fn run_stage(&mut self, id: FlowStage, cx: &mut FlowContext) -> Result<(), FlowError> {
+        let stage = self.graph.stage_arc(id);
+        let checkpoint = cx.art.clone();
+        let max_attempts = self.policy.max_stage_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let fault = self.injector.tick(id);
+            if let Some(f) = &fault {
+                match &f.kind {
+                    FaultKind::Kill => return Err(FlowError::Interrupted { stage: id }),
+                    FaultKind::CorruptCheckpoint => self.corrupt_next_save = true,
+                    _ => {}
+                }
+            }
+            let outcome = match &fault {
+                Some(f) if f.kind == FaultKind::Error => Err(f.error()),
+                _ => {
+                    let delay = match &fault {
+                        Some(f) => match f.kind {
+                            FaultKind::Delay(d) => Some(d),
+                            _ => None,
+                        },
+                        None => None,
+                    };
+                    let panic_with = fault
+                        .as_ref()
+                        .filter(|f| f.kind == FaultKind::Panic)
+                        .map(|f| f.detail.clone());
+                    self.run_contained(Arc::clone(&stage), cx, &checkpoint, delay, panic_with)
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    self.records.push(AttemptRecord {
+                        stage: id,
+                        rung: self.rung,
+                        attempt,
+                        error: None,
+                    });
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.records.push(AttemptRecord {
+                        stage: id,
+                        rung: self.rung,
+                        attempt,
+                        error: Some(e.clone()),
+                    });
+                    cx.art = checkpoint.clone();
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
 
-    let clock_ps = cx.env.as_ref().expect("library stage ran").clock_ps;
-    if result.wns_ps < -policy.wns_tolerance_frac * clock_ps {
-        let error = FlowError::TimingNotClosed {
-            wns_ps: result.wns_ps,
-            clock_ps,
+    /// One contained stage attempt: the context moves onto a named
+    /// worker thread, the stage body runs under `catch_unwind`, and the
+    /// supervisor waits at most the stage's deadline budget for the
+    /// context to come back.
+    ///
+    /// On a panic the context died with the worker's unwind; on a
+    /// deadline overrun the worker is *abandoned* (detached, its
+    /// eventual result discarded — safe Rust offers no sound way to kill
+    /// a compute-bound thread). In both cases the context is rebuilt
+    /// from the pre-attempt environment and artifact checkpoint, so the
+    /// caller's retry semantics are identical across all failure modes.
+    fn run_contained(
+        &mut self,
+        stage: Arc<dyn Stage>,
+        cx: &mut FlowContext,
+        checkpoint: &Artifacts,
+        delay: Option<Duration>,
+        panic_with: Option<String>,
+    ) -> Result<(), FlowError> {
+        let id = stage.id();
+        let env_snapshot = cx.env.clone();
+        let rebuild = |cx: &mut FlowContext| {
+            cx.env = env_snapshot.clone();
+            cx.art = checkpoint.clone();
+            cx.result = None;
         };
-        records.push(AttemptRecord {
-            stage: FlowStage::SignOff,
-            rung,
-            attempt: 0,
-            error: Some(error.clone()),
-        });
-        return Err(fail(FlowStage::SignOff, error, routing_ckpt));
+        // Move the context into the worker; leave a hollow shell (same
+        // run identity, no artifacts) to be overwritten on return.
+        let shell = FlowContext::new(cx.bench, cx.style, cx.config.clone(), Arc::clone(&cx.cache));
+        let owned = std::mem::replace(cx, shell);
+        let (tx, rx) = mpsc::channel();
+        let builder = thread::Builder::new().name(format!("{WORKER_PREFIX}{}", id.key()));
+        let handle = builder
+            .spawn(move || {
+                if let Some(d) = delay {
+                    thread::sleep(d);
+                }
+                let verdict = panic::catch_unwind(AssertUnwindSafe(move || {
+                    if let Some(message) = panic_with {
+                        panic!("{message}");
+                    }
+                    let mut cx = owned;
+                    let outcome = stage.run(&mut cx);
+                    (cx, outcome)
+                }));
+                // The receiver may have given up (deadline overrun); a
+                // failed send just drops the late result.
+                let _ = tx.send(verdict);
+            })
+            .expect("spawning a stage worker thread");
+        let received = match self.policy.deadlines.as_ref() {
+            Some(deadlines) => {
+                let budget_ms = deadlines.budget_ms(id);
+                match rx.recv_timeout(Duration::from_millis(budget_ms)) {
+                    Ok(v) => v,
+                    Err(RecvTimeoutError::Timeout) => {
+                        drop(handle); // detach the wedged worker
+                        rebuild(cx);
+                        return Err(FlowError::DeadlineExceeded {
+                            stage: id,
+                            budget_ms,
+                        });
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        let _ = handle.join();
+                        rebuild(cx);
+                        return Err(FlowError::StagePanicked {
+                            stage: id,
+                            payload: "stage worker vanished without a result".to_string(),
+                        });
+                    }
+                }
+            }
+            None => match rx.recv() {
+                Ok(v) => v,
+                Err(_) => {
+                    let _ = handle.join();
+                    rebuild(cx);
+                    return Err(FlowError::StagePanicked {
+                        stage: id,
+                        payload: "stage worker vanished without a result".to_string(),
+                    });
+                }
+            },
+        };
+        let _ = handle.join();
+        match received {
+            Ok((returned, outcome)) => {
+                *cx = returned;
+                outcome
+            }
+            Err(payload) => {
+                rebuild(cx);
+                Err(FlowError::StagePanicked {
+                    stage: id,
+                    payload: panic_message(payload.as_ref()),
+                })
+            }
+        }
     }
-    Ok(result)
+
+    /// Writes one durable snapshot of the current supervisor state, when
+    /// checkpointing is enabled. Write failures are surfaced in
+    /// [`FlowReport::checkpoint_incidents`], never fail the run. A
+    /// planted `CorruptCheckpoint` fault flips a byte of the file after
+    /// it lands.
+    fn save(&mut self, cx: &FlowContext) {
+        let corrupt = std::mem::take(&mut self.corrupt_next_save);
+        let Some(store) = &self.store else {
+            return;
+        };
+        self.seq += 1;
+        // The routed design is never consumed across a stage boundary
+        // (sign-off re-routes), so snapshots drop it.
+        fn durable(a: &Artifacts) -> Artifacts {
+            let mut a = a.clone();
+            a.routed = None;
+            a
+        }
+        let state = PersistedState {
+            seq: self.seq,
+            bench: cx.bench,
+            style: cx.style,
+            config: cx.config.clone(),
+            rung: self.rung,
+            round: self.round,
+            resumed_rung: self.resumed_rung,
+            cursor: self.cursor,
+            env: cx.env.as_ref().map(|e| EnvKnobs {
+                clock_ps: e.clock_ps,
+                utilization: e.utilization,
+                opt_passes: e.opt_passes,
+            }),
+            relaxations: self.relaxations.clone(),
+            records: self.records.clone(),
+            art: durable(&cx.art),
+            round1_best: self.round1_best.clone(),
+            routing_ckpt: self.routing_ckpt.as_ref().map(durable),
+        };
+        match store.save(&state) {
+            Ok(_) => {
+                if corrupt {
+                    store.corrupt_newest();
+                }
+            }
+            Err(e) => self.incidents.push(e),
+        }
+    }
+
+    /// Assembles a `Failed` report.
+    fn fail_report(self, cx: &FlowContext, stage: FlowStage, error: FlowError) -> FlowReport {
+        let (clock_ps, utilization) = cx
+            .env
+            .as_ref()
+            .map(|e| (e.clock_ps, e.utilization))
+            .unwrap_or((0.0, 0.0));
+        FlowReport {
+            bench: cx.bench,
+            style: cx.style,
+            attempts: self.records,
+            disposition: Disposition::Failed { stage, error },
+            result: None,
+            clock_ps,
+            utilization,
+            checkpoint_incidents: self.incidents,
+        }
+    }
 }

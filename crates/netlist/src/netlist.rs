@@ -86,6 +86,39 @@ impl Netlist {
         }
     }
 
+    /// Reassembles a netlist from the parts [`Netlist::instances`] /
+    /// [`Netlist::nets`] expose — the durable-checkpoint decode path.
+    /// The parts are trusted as-is; callers that construct them by hand
+    /// (rather than round-tripping a real netlist) should follow up with
+    /// [`Netlist::check_consistency`].
+    pub fn from_parts(
+        name: String,
+        instances: Vec<Instance>,
+        nets: Vec<Net>,
+        primary_inputs: Vec<NetId>,
+        primary_outputs: Vec<NetId>,
+        clock: Option<NetId>,
+    ) -> Self {
+        Netlist {
+            name,
+            instances,
+            nets,
+            primary_inputs,
+            primary_outputs,
+            clock,
+        }
+    }
+
+    /// All instances in id order (the durable-checkpoint encode path).
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// All nets in id order (the durable-checkpoint encode path).
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
     /// Number of instances.
     pub fn instance_count(&self) -> usize {
         self.instances.len()

@@ -8,7 +8,7 @@
 
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId};
-use monolith3d::{Disposition, FaultPlan, FlowConfig, FlowStage, FlowSupervisor, SupervisorPolicy};
+use monolith3d::{Disposition, FaultPlan, FlowConfig, FlowSupervisor, SupervisorPolicy};
 
 fn cfg() -> FlowConfig {
     FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
@@ -60,7 +60,7 @@ fn main() {
     // 2. A transient fault in post-route optimization: absorbed by one
     //    retry from the routing checkpoint.
     let retried = FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
-        .with_faults(FaultPlan::new().fail_on(FlowStage::PostRouteOpt, 1))
+        .with_faults(FaultPlan::new().fail_stage("postroute", 1))
         .run();
     report("transient post-route fault", &retried);
 
@@ -73,9 +73,9 @@ fn main() {
         })
         .with_faults(
             FaultPlan::new()
-                .fail_on(FlowStage::PostRouteOpt, 1)
-                .fail_on(FlowStage::PostRouteOpt, 2)
-                .fail_on(FlowStage::PostRouteOpt, 3),
+                .fail_stage("postroute", 1)
+                .fail_stage("postroute", 2)
+                .fail_stage("postroute", 3),
         )
         .run();
     report("degradation ladder", &degraded);
@@ -87,7 +87,7 @@ fn main() {
             allow_degradation: false,
             ..SupervisorPolicy::default()
         })
-        .with_faults(FaultPlan::new().always(FlowStage::Routing))
+        .with_faults(FaultPlan::new().always_stage("route"))
         .run();
     report("persistent routing fault", &failed);
 

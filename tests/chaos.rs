@@ -1,0 +1,206 @@
+//! Chaos harness for the flow supervisor: randomly generated fault
+//! plans — injected errors, panics, delays, checkpoint corruption and
+//! process kills at random stages/invocations — driven through a
+//! checkpointed supervised run plus (when killed) a resume leg.
+//!
+//! Invariants asserted for every generated plan:
+//!
+//! * the supervisor always terminates with a valid [`Disposition`]
+//!   (closed runs carry a result, failed runs don't) and never panics;
+//! * a kill is always recoverable: `resume_from` either continues the
+//!   run or reports a typed `CorruptCheckpoint` (nothing durable yet),
+//!   in which case a fresh run finishes the job;
+//! * resume never loses or double-runs a completed stage — the
+//!   successful attempt records of the final run match the fault-free
+//!   history whenever closure needed no degradation;
+//! * any run that closes as `Closed` (undegraded) is bit-identical to
+//!   the fault-free run.
+//!
+//! Case count defaults low for the local test suite; CI's seeded chaos
+//! job raises it via `CHAOS_CASES` (the vendored proptest draws cases
+//! deterministically from the test path, so a count is a full replay).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{
+    Disposition, FaultPlan, FlowConfig, FlowError, FlowReport, FlowStage, FlowSupervisor,
+};
+use proptest::prelude::*;
+
+fn cfg() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+fn supervisor() -> FlowSupervisor {
+    FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+}
+
+/// Number of chaos cases: `CHAOS_CASES` (CI sets 256+), default 24.
+fn chaos_cases() -> u32 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn ckpt_dir() -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let n = SERIAL.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("m3d-chaos-{}-{n}", std::process::id()))
+}
+
+/// The fault-free reference run, computed once.
+fn reference() -> &'static FlowReport {
+    static REF: OnceLock<FlowReport> = OnceLock::new();
+    REF.get_or_init(|| {
+        let r = supervisor().run();
+        assert!(r.closed(), "reference run must close: {:?}", r.disposition);
+        r
+    })
+}
+
+/// Exact bit patterns of the run's numerics.
+fn fingerprint(r: &FlowReport) -> Vec<u64> {
+    let res = r.result.as_ref().expect("closed runs carry a result");
+    vec![
+        r.clock_ps.to_bits(),
+        r.utilization.to_bits(),
+        res.wns_ps.to_bits(),
+        res.footprint_um2.to_bits(),
+        res.wirelength_um.to_bits(),
+        res.total_power_mw().to_bits(),
+        res.cell_count as u64,
+    ]
+}
+
+/// The (stage, rung) sequence of successful attempts — the run's
+/// effective execution history.
+fn successes(r: &FlowReport) -> Vec<(FlowStage, u32)> {
+    r.attempts
+        .iter()
+        .filter(|a| a.error.is_none())
+        .map(|a| (a.stage, a.rung))
+        .collect()
+}
+
+const STAGES: [&str; 7] = [
+    "library",
+    "synth",
+    "place",
+    "preroute",
+    "route",
+    "postroute",
+    "signoff",
+];
+
+/// Derives a random fault plan from one 64-bit seed (SplitMix64).
+fn plan_from_seed(mut state: u64) -> FaultPlan {
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut plan = FaultPlan::new();
+    let faults = 1 + (next() % 4) as usize;
+    for _ in 0..faults {
+        let stage = STAGES[(next() % STAGES.len() as u64) as usize];
+        let invocation = 1 + (next() % 3) as u32;
+        plan = match next() % 5 {
+            0 => plan.fail_stage(stage, invocation),
+            1 => plan.panic_stage(stage, invocation),
+            2 => plan.delay_stage(stage, invocation, Duration::from_millis(5)),
+            3 => plan.corrupt_checkpoint_after(stage, invocation),
+            _ => plan.kill_at(stage, invocation),
+        };
+    }
+    plan
+}
+
+/// The disposition is self-consistent: closed dispositions carry a
+/// result, failures don't, and failure errors name a real cause.
+fn assert_valid(r: &FlowReport) -> Result<(), TestCaseError> {
+    match &r.disposition {
+        Disposition::Closed => {
+            prop_assert!(r.result.is_some(), "Closed without a result");
+        }
+        Disposition::ClosedDegraded { relaxations } => {
+            prop_assert!(r.result.is_some(), "ClosedDegraded without a result");
+            prop_assert!(!relaxations.is_empty(), "degraded with no relaxations");
+        }
+        Disposition::Failed { error, .. } => {
+            prop_assert!(r.result.is_none(), "Failed with a result");
+            prop_assert!(!error.to_string().is_empty());
+        }
+    }
+    if let Some(res) = &r.result {
+        prop_assert!(res.total_power_mw() > 0.0, "closed run has no power");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    #[test]
+    fn any_fault_plan_terminates_validly_and_kills_are_recoverable(
+        seed in 0u64..1_000_000_000,
+    ) {
+        let dir = ckpt_dir();
+        let first = supervisor()
+            .with_checkpoints(&dir)
+            .expect("checkpoint dir opens")
+            .with_faults(plan_from_seed(seed))
+            .run();
+        assert_valid(&first)?;
+
+        // A kill shows up as an Interrupted failure; everything else
+        // ends the run for good (absorbed, degraded, or failed).
+        let killed = matches!(
+            &first.disposition,
+            Disposition::Failed { error: FlowError::Interrupted { .. }, .. }
+        );
+        let last = if killed {
+            // Resume the killed run; when nothing durable was written
+            // yet (killed before the first snapshot, or every snapshot
+            // corrupt), the documented recovery is a fresh start.
+            let resumed = match FlowSupervisor::resume_from(&dir) {
+                Ok(sup) => sup.run(),
+                Err(FlowError::CorruptCheckpoint { .. }) => supervisor().run(),
+                Err(other) => {
+                    prop_assert!(false, "resume failed untyped: {other}");
+                    unreachable!()
+                }
+            };
+            assert_valid(&resumed)?;
+            // The fault plan died with the killed process: the resumed
+            // leg must close.
+            prop_assert!(
+                resumed.closed(),
+                "fault-free resume leg failed: {:?} (seed {seed})",
+                resumed.disposition
+            );
+            resumed
+        } else {
+            first
+        };
+
+        if last.closed() {
+            // No lost and no double-run stages: an undegraded close has
+            // exactly the fault-free success history and bit-identical
+            // numerics. (Degraded closes legitimately re-run stages on
+            // higher rungs, so only the result invariant applies there.)
+            if matches!(last.disposition, Disposition::Closed) {
+                prop_assert_eq!(successes(&last), successes(reference()));
+                prop_assert_eq!(fingerprint(&last), fingerprint(reference()));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,197 @@
+//! Crash-recovery integration tests: a supervised flow killed mid-run
+//! must resume from its durable checkpoints at the first incomplete
+//! stage — re-running no completed stage — and close with numerics
+//! bit-identical to an uninterrupted run. Corrupt snapshots are
+//! quarantined and resume falls back to the next older one.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{
+    CheckpointStore, Disposition, FaultPlan, FlowConfig, FlowError, FlowReport, FlowStage,
+    FlowSupervisor,
+};
+
+fn cfg() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+fn supervisor() -> FlowSupervisor {
+    FlowSupervisor::new(Benchmark::Aes, DesignStyle::TwoD, cfg())
+}
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let n = SERIAL.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("m3d-ckpt-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The run's numerics as exact bit patterns — equality here means
+/// bit-identical results, not approximately-equal floats.
+fn fingerprint(r: &FlowReport) -> Vec<u64> {
+    let res = r.result.as_ref().expect("closed runs carry a result");
+    vec![
+        r.clock_ps.to_bits(),
+        r.utilization.to_bits(),
+        res.clock_ps.to_bits(),
+        res.wns_ps.to_bits(),
+        res.hold_wns_ps.to_bits(),
+        res.footprint_um2.to_bits(),
+        res.wirelength_um.to_bits(),
+        res.total_power_mw().to_bits(),
+        res.cell_count as u64,
+        res.buffer_count as u64,
+    ]
+}
+
+#[test]
+fn killed_run_resumes_without_rerunning_completed_stages() {
+    let baseline = supervisor().run();
+    assert!(baseline.closed(), "baseline: {:?}", baseline.disposition);
+
+    // Kill the process (as far as the engine can tell) at routing entry.
+    let dir = ckpt_dir("kill");
+    let interrupted = supervisor()
+        .with_checkpoints(&dir)
+        .expect("checkpoint dir opens")
+        .with_faults(FaultPlan::new().kill_at("route", 1))
+        .run();
+    match &interrupted.disposition {
+        Disposition::Failed { stage, error } => {
+            assert_eq!(*stage, FlowStage::Routing);
+            assert!(
+                matches!(error, FlowError::Interrupted { .. }),
+                "a kill is an interruption, got {error}"
+            );
+        }
+        other => panic!("expected Failed/Interrupted, got {other:?}"),
+    }
+    // The kill left no routing record and durable snapshots on disk.
+    assert_eq!(interrupted.stage_attempts("route"), 0);
+    assert!(interrupted.stage_attempts("synth") >= 1);
+    let store = CheckpointStore::open(&dir).expect("store reopens");
+    assert!(
+        !store.snapshot_paths().is_empty(),
+        "completed stages left snapshots"
+    );
+
+    let resumed = FlowSupervisor::resume_from(&dir)
+        .expect("a killed run resumes")
+        .run();
+    assert_eq!(resumed.disposition, Disposition::Closed);
+
+    // No completed stage re-ran: the resumed report opens with exactly
+    // the crashed run's records (restored from the snapshot)...
+    assert_eq!(
+        resumed.attempts[..interrupted.attempts.len()],
+        interrupted.attempts[..],
+        "restored records must match the crashed run's prefix"
+    );
+    // ...and the stitched-together history is the uninterrupted one: no
+    // stage lost, none double-run.
+    assert_eq!(resumed.attempts, baseline.attempts);
+
+    // Bit-identical numerics.
+    assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_newest_snapshot_is_quarantined_and_resume_falls_back() {
+    let baseline = supervisor().run();
+    assert!(baseline.closed(), "baseline: {:?}", baseline.disposition);
+
+    // Corrupt the snapshot written after routing completes, then kill at
+    // post-route: the newest snapshot on disk is now damaged.
+    let dir = ckpt_dir("corrupt");
+    let interrupted = supervisor()
+        .with_checkpoints(&dir)
+        .expect("checkpoint dir opens")
+        .with_faults(
+            FaultPlan::new()
+                .corrupt_checkpoint_after("route", 1)
+                .kill_at("postroute", 1),
+        )
+        .run();
+    assert!(!interrupted.closed());
+
+    // Resume detects the damage, quarantines the file, and falls back to
+    // the next older snapshot — re-running just the affected stage.
+    let resumed = FlowSupervisor::resume_from(&dir)
+        .expect("an older snapshot still verifies")
+        .run();
+    assert!(resumed.closed(), "resumed: {:?}", resumed.disposition);
+    assert!(
+        resumed
+            .checkpoint_incidents
+            .iter()
+            .any(|e| matches!(e, FlowError::CorruptCheckpoint { .. })),
+        "the quarantined snapshot is surfaced: {:?}",
+        resumed.checkpoint_incidents
+    );
+    let store = CheckpointStore::open(&dir).expect("store reopens");
+    let quarantined = std::fs::read_dir(store.quarantine_dir())
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(quarantined, 1, "exactly the damaged file is quarantined");
+
+    // The re-run of the rolled-back stage is deterministic, so the full
+    // history and the numerics still match an uninterrupted run exactly.
+    assert_eq!(resumed.attempts, baseline.attempts);
+    assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointing_does_not_change_the_result() {
+    let plain = supervisor().run();
+    let dir = ckpt_dir("noop");
+    let checkpointed = supervisor()
+        .with_checkpoints(&dir)
+        .expect("checkpoint dir opens")
+        .run();
+    assert_eq!(checkpointed.disposition, plain.disposition);
+    assert_eq!(checkpointed.attempts, plain.attempts);
+    assert_eq!(fingerprint(&checkpointed), fingerprint(&plain));
+    assert!(checkpointed.checkpoint_incidents.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_an_empty_directory_is_a_typed_error() {
+    let dir = ckpt_dir("empty");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    match FlowSupervisor::resume_from(&dir) {
+        Err(FlowError::CorruptCheckpoint { .. }) => {}
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_every_snapshot_corrupt_is_a_typed_error() {
+    let dir = ckpt_dir("allbad");
+    let interrupted = supervisor()
+        .with_checkpoints(&dir)
+        .expect("checkpoint dir opens")
+        .with_faults(FaultPlan::new().kill_at("place", 1))
+        .run();
+    assert!(!interrupted.closed());
+
+    // Damage every snapshot the crashed run left behind.
+    let store = CheckpointStore::open(&dir).expect("store reopens");
+    assert!(!store.snapshot_paths().is_empty());
+    for path in store.snapshot_paths() {
+        std::fs::write(&path, b"not a checkpoint").expect("overwrite snapshot");
+    }
+    match FlowSupervisor::resume_from(&dir) {
+        Err(FlowError::CorruptCheckpoint { .. }) => {}
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,11 +3,13 @@
 //! through the degradation ladder, or reported as a typed `Failed`
 //! disposition — never a panic.
 
+use std::time::Duration;
+
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId};
 use monolith3d::{
     Disposition, FaultPlan, FlowConfig, FlowError, FlowStage, FlowSupervisor, Relaxation,
-    SupervisorPolicy,
+    StageDeadlines, SupervisorPolicy,
 };
 
 fn cfg() -> FlowConfig {
@@ -49,7 +51,7 @@ fn transient_fault_is_retried_and_the_run_still_closes() {
 
     // ...while the stages before the fault ran exactly once: the retry
     // resumed from the checkpoint instead of restarting the flow.
-    assert_eq!(report.stage_attempts_named("synth"), 1);
+    assert_eq!(report.stage_attempts("synth"), 1);
 }
 
 #[test]
@@ -72,7 +74,7 @@ fn persistent_fault_without_degradation_fails_naming_the_stage() {
     }
     // The retry budget was spent before giving up.
     assert_eq!(
-        report.stage_attempts_named("route"),
+        report.stage_attempts("route"),
         SupervisorPolicy::default().max_stage_attempts
     );
     assert!(report.result.is_none());
@@ -146,7 +148,7 @@ fn extra_passes_rung_resumes_from_the_routing_checkpoint() {
         .run();
 
     assert!(report.closed(), "disposition: {:?}", report.disposition);
-    assert_eq!(report.stage_attempts(FlowStage::Synthesis), 1);
+    assert_eq!(report.stage_attempts("synth"), 1);
     let routing_rungs: Vec<u32> = report
         .attempts
         .iter()
@@ -211,4 +213,104 @@ fn persistent_fault_exhausts_the_ladder_and_reports_the_final_error() {
         .map(|a| a.rung)
         .collect();
     assert_eq!(signoff_rungs, vec![0, 1, 2, 3]);
+}
+
+/// The rung's identity, for pinning the ladder order by name.
+fn relaxation_kind(r: &Relaxation) -> &'static str {
+    match r {
+        Relaxation::ExtraOptPasses { .. } => "extra-passes",
+        Relaxation::RelaxedUtilization { .. } => "relaxed-utilization",
+        Relaxation::ClockBackoff { .. } => "clock-backoff",
+    }
+}
+
+#[test]
+fn degradation_ladder_order_is_pinned() {
+    // One planted post-route failure per rung escalation, no retry
+    // budget: N failures climb exactly N rungs, in exactly this order.
+    let table: &[(u32, &[&str])] = &[
+        (0, &[]),
+        (1, &["extra-passes"]),
+        (2, &["extra-passes", "relaxed-utilization"]),
+        (3, &["extra-passes", "relaxed-utilization", "clock-backoff"]),
+    ];
+    for (failures, expected) in table {
+        let mut plan = FaultPlan::new();
+        for invocation in 1..=*failures {
+            plan = plan.fail_stage("postroute", invocation);
+        }
+        let report = supervisor()
+            .policy(SupervisorPolicy {
+                max_stage_attempts: 1,
+                ..SupervisorPolicy::default()
+            })
+            .with_faults(plan)
+            .run();
+
+        assert!(
+            report.closed(),
+            "{failures} failures must still close: {:?}",
+            report.disposition
+        );
+        let recorded: Vec<&str> = match &report.disposition {
+            Disposition::Closed => Vec::new(),
+            Disposition::ClosedDegraded { relaxations } => {
+                relaxations.iter().map(relaxation_kind).collect()
+            }
+            other => panic!("{failures} failures: unexpected {other:?}"),
+        };
+        assert_eq!(
+            recorded, *expected,
+            "{failures} failures pin this exact relaxation order"
+        );
+    }
+}
+
+#[test]
+fn planted_panic_is_contained_and_retried() {
+    let report = supervisor()
+        .with_faults(FaultPlan::new().panic_stage("postroute", 1))
+        .run();
+
+    assert_eq!(report.disposition, Disposition::Closed);
+    let post: Vec<_> = report
+        .attempts
+        .iter()
+        .filter(|a| a.stage == FlowStage::PostRouteOpt)
+        .collect();
+    assert!(
+        matches!(post[0].error, Some(FlowError::StagePanicked { .. })),
+        "the unwound attempt is on the record: {:?}",
+        post[0]
+    );
+    assert!(post[1].error.is_none(), "the retry succeeds");
+}
+
+#[test]
+fn blown_deadline_is_reported_and_retried() {
+    // Squeeze placement's budget to 40 ms and plant a 300 ms hang in its
+    // first invocation: the watchdog must cut it off, record a typed
+    // DeadlineExceeded, and the retry (no hang) must close the run.
+    let report = supervisor()
+        .policy(SupervisorPolicy {
+            deadlines: Some(StageDeadlines::default().with_stage("place", 40)),
+            ..SupervisorPolicy::default()
+        })
+        .with_faults(FaultPlan::new().delay_stage("place", 1, Duration::from_millis(300)))
+        .run();
+
+    assert_eq!(report.disposition, Disposition::Closed);
+    let place: Vec<_> = report
+        .attempts
+        .iter()
+        .filter(|a| a.stage == FlowStage::Placement)
+        .collect();
+    match &place[0].error {
+        Some(FlowError::DeadlineExceeded { stage, budget_ms }) => {
+            assert_eq!(*stage, FlowStage::Placement);
+            assert_eq!(*budget_ms, 40);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(place[1].error.is_none(), "the retry succeeds");
 }
