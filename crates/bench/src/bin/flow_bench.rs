@@ -1,21 +1,39 @@
-//! Cold/warm wall-clock smoke benchmark of the flow engine's memo layer.
+//! Wall-clock smoke benchmark of the flow engine's memo layer and of
+//! the work-stealing parallel executor.
 //!
 //! ```text
-//! flow_bench [output.json]
+//! flow_bench [output.json] [--jobs N]
 //! ```
 //!
-//! Runs the `paper_tables` smoke subset (see `SMOKE_SUBSET`) twice at
-//! reduced benchmark scale: once against a cleared `ArtifactCache`
-//! (cold — every library build and flow executes) and once against the
-//! now-primed cache (warm — completed results are shared). Writes the
-//! two suite times, their ratio and the cache counters to
-//! `BENCH_flow.json` (or the path given as the first argument).
+//! Three legs, all on the `paper_tables` smoke subset (`SMOKE_SUBSET`)
+//! at reduced benchmark scale:
+//!
+//! 1. **cold serial** — cleared `ArtifactCache`, drivers run serially;
+//!    every library build and flow executes.
+//! 2. **warm serial** — the same drivers against the now-primed cache;
+//!    completed results are shared.
+//! 3. **cold parallel** — cache cleared again; the subset's flow matrix
+//!    fans out across `--jobs` workers (default: the host's available
+//!    parallelism) through the `ParallelExecutor`, then the drivers
+//!    format from the warmed cache.
+//!
+//! Cache counters are reported **per leg** via `CacheStats::delta` —
+//! the raw counters are cumulative over the process, so labelling them
+//! as a phase's own (as an earlier version did for its warm leg)
+//! misreports every phase after the first. The warm-over-cold speedup
+//! is reported as `null` when the warm time is below `TIMER_FLOOR_S`:
+//! a ratio against a denominator of a few dozen microseconds is timer
+//! noise, not a measurement.
 
 use std::time::Instant;
 
 use m3d_bench::{paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
-use monolith3d::{ArtifactCache, CacheStats};
+use monolith3d::{experiments, ArtifactCache, CacheStats, ExperimentPlan, ParallelExecutor};
+
+/// Durations below this are dominated by timer resolution and
+/// scheduling jitter; ratios against them are meaningless.
+const TIMER_FLOOR_S: f64 = 1e-3;
 
 /// Runs the smoke subset once, returning the wall-clock seconds.
 fn run_suite(drivers: &[PaperDriver]) -> f64 {
@@ -45,37 +63,114 @@ fn stats_json(s: &CacheStats) -> String {
     )
 }
 
+fn f64_list(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| format!("{x:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_flow.json".to_string());
+    let mut out_path = "BENCH_flow.json".to_string();
+    let mut jobs = ParallelExecutor::default_workers();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().expect("--jobs needs a worker count");
+            jobs = v.parse().expect("numeric --jobs value");
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().expect("numeric --jobs value");
+        } else {
+            out_path = a;
+        }
+    }
+    let jobs = jobs.max(1);
     let drivers = paper_drivers();
     let cache = ArtifactCache::global();
 
+    // Leg 1: cold serial.
     cache.clear();
-    let cold_s = run_suite(&drivers);
-    let cold_stats = cache.stats();
-    eprintln!("[cold suite: {cold_s:.3} s; {cold_stats}]");
+    let serial_cold_s = run_suite(&drivers);
+    let cold_stats = cache.stats(); // delta from zero: clear() reset it
+    eprintln!("[cold serial suite: {serial_cold_s:.3} s; {cold_stats}]");
 
+    // Leg 2: warm serial — report the *delta* this leg contributed, not
+    // the cumulative process counters.
+    let before_warm = cache.stats();
     let warm_s = run_suite(&drivers);
-    let warm_stats = cache.stats();
-    eprintln!("[warm suite: {warm_s:.3} s; {warm_stats}]");
+    let warm_stats = cache.stats().delta(&before_warm);
+    eprintln!("[warm serial suite: {warm_s:.3} s; {warm_stats}]");
+    assert_eq!(
+        warm_stats.flow_misses, 0,
+        "a fully-warm suite must not miss the flow cache"
+    );
 
-    let speedup = cold_s / warm_s.max(1e-9);
+    // Leg 3: cold parallel — executor fan-out plus the drivers'
+    // formatting pass, timed together for a fair serial comparison.
+    cache.clear();
+    let mut plan = ExperimentPlan::new();
+    for name in SMOKE_SUBSET {
+        plan.merge(experiments::plan_for(name, BenchScale::Small));
+    }
+    let t = Instant::now();
+    let report = ParallelExecutor::new(jobs).run(&plan);
+    if let Some(e) = report.first_error() {
+        panic!("parallel flow point failed: {e}");
+    }
+    run_suite(&drivers);
+    let parallel_cold_s = t.elapsed().as_secs_f64();
+    let parallel_stats = cache.stats();
+    let utilization = report.utilization();
+    eprintln!(
+        "[cold parallel suite ({jobs} jobs): {parallel_cold_s:.3} s; {parallel_stats}; \
+         worker utilization [{}]]",
+        f64_list(&utilization)
+    );
+
+    let warm_speedup = if warm_s >= TIMER_FLOOR_S {
+        Some(serial_cold_s / warm_s)
+    } else {
+        None
+    };
+    let warm_speedup_json = warm_speedup
+        .map(|s| format!("{s:.1}"))
+        .unwrap_or_else(|| "null".to_string());
+    let parallel_speedup = serial_cold_s / parallel_cold_s.max(TIMER_FLOOR_S);
+
     let suite = SMOKE_SUBSET
         .iter()
         .map(|n| format!("\"{n}\""))
         .collect::<Vec<_>>()
         .join(", ");
+    let busy: Vec<f64> = report.workers.iter().map(|w| w.busy_s).collect();
     let json = format!(
-        "{{\n  \"suite\": [{suite}],\n  \"scale\": \"small\",\n  \"cold_s\": {cold_s:.4},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.1},\n  \"cold_cache\": {},\n  \"warm_cache\": {}\n}}\n",
-        stats_json(&cold_stats),
-        stats_json(&warm_stats)
+        "{{\n  \"suite\": [{suite}],\n  \"scale\": \"small\",\n  \"jobs\": {jobs},\n  \
+         \"host_cores\": {cores},\n  \"timer_floor_s\": {TIMER_FLOOR_S},\n  \
+         \"serial_cold_s\": {serial_cold_s:.4},\n  \"warm_s\": {warm_s:.6},\n  \
+         \"warm_speedup\": {warm_speedup_json},\n  \
+         \"parallel_cold_s\": {parallel_cold_s:.4},\n  \
+         \"parallel_speedup\": {parallel_speedup:.2},\n  \
+         \"worker_busy_s\": [{busy_s}],\n  \"worker_utilization\": [{util}],\n  \
+         \"cold_cache\": {cold},\n  \"warm_cache\": {warm},\n  \"parallel_cache\": {par}\n}}\n",
+        cores = ParallelExecutor::default_workers(),
+        busy_s = f64_list(&busy),
+        util = f64_list(&utilization),
+        cold = stats_json(&cold_stats),
+        warm = stats_json(&warm_stats),
+        par = stats_json(&parallel_stats),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("wrote {out_path}: cold {cold_s:.3} s, warm {warm_s:.3} s ({speedup:.1}x)");
-    assert!(
-        speedup >= 2.0,
-        "warm suite must be at least 2x faster than cold (got {speedup:.1}x)"
+    println!(
+        "wrote {out_path}: cold {serial_cold_s:.3} s, warm {warm_s:.3} s ({}), \
+         parallel {parallel_cold_s:.3} s ({parallel_speedup:.2}x, {jobs} jobs)",
+        warm_speedup
+            .map(|s| format!("{s:.1}x"))
+            .unwrap_or_else(|| "below timer floor".to_string()),
     );
+    if let Some(s) = warm_speedup {
+        assert!(
+            s >= 2.0,
+            "warm suite must be at least 2x faster than cold (got {s:.1}x)"
+        );
+    }
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper_tables [--small] [--subset] <experiment | all>
+//! paper_tables [--small] [--subset] [--jobs N] <experiment | all>
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6 table7 table8
@@ -12,54 +12,78 @@
 //! paper scale regenerates the full study (minutes). `--subset` selects
 //! the flow-heavy smoke subset the `flow_bench` binary times.
 //!
-//! Every flow and cell library routes through the process-wide
-//! `ArtifactCache`, so a full run builds each distinct library exactly
-//! once and repeated flow points are shared across tables. Cache
-//! statistics go to stderr; stdout carries only the tables.
+//! `--jobs N` (default: the host's available parallelism) fans the
+//! selected drivers' flow matrix out across N workers *before* the
+//! drivers run: the workers pre-warm the process-wide `ArtifactCache`
+//! through the work-stealing `ParallelExecutor`, then each driver
+//! formats its table from bit-identical cache hits. stdout is therefore
+//! **byte-identical** for every `--jobs` value (`--jobs 1` skips the
+//! fan-out entirely); all diagnostics — per-driver timings, executor
+//! utilization, cache statistics — go to stderr.
 
 use std::time::Instant;
 
-use m3d_bench::{paper_drivers, SMOKE_SUBSET};
+use m3d_bench::{paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
-use monolith3d::ArtifactCache;
+use monolith3d::{experiments, ArtifactCache, ExperimentPlan, ParallelExecutor};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] <experiment | all>");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
-    let subset = args.iter().any(|a| a == "--subset");
+    let mut small = false;
+    let mut subset = false;
+    let mut jobs = ParallelExecutor::default_workers();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--subset" => subset = true,
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--jobs needs a worker count"));
+                jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit(&format!("bad --jobs value '{v}'")));
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit(&format!("bad --jobs value '{v}'")));
+                } else if other.starts_with("--") {
+                    usage_exit(&format!("unknown flag '{other}'"));
+                } else {
+                    wanted.push(other.to_string());
+                }
+            }
+        }
+    }
+    let jobs = jobs.max(1);
     let scale = if small {
         BenchScale::Small
     } else {
         BenchScale::Paper
     };
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
     if subset {
-        wanted.extend(SMOKE_SUBSET);
+        wanted.extend(SMOKE_SUBSET.iter().map(|s| s.to_string()));
     }
-    let wanted = if wanted.is_empty() {
-        vec!["all"]
-    } else {
-        wanted
-    };
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
 
     let drivers = paper_drivers();
-    let run_all = wanted.contains(&"all");
-    let mut ran = 0;
-    for (name, driver) in &drivers {
-        if !run_all && !wanted.contains(name) {
-            continue;
-        }
-        let t = Instant::now();
-        println!("==================== {name} ====================");
-        println!("{}", driver(scale));
-        println!("[{name} took {:.1?}]\n", t.elapsed());
-        ran += 1;
-    }
-    if ran == 0 {
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<&PaperDriver> = drivers
+        .iter()
+        .filter(|(name, _)| run_all || wanted.iter().any(|w| w == name))
+        .collect();
+    if selected.is_empty() {
         eprintln!(
             "unknown experiment(s): {wanted:?}\nknown: {}",
             drivers
@@ -69,6 +93,47 @@ fn main() {
                 .join(" ")
         );
         std::process::exit(2);
+    }
+
+    // Fan the selected drivers' flow matrix out first, so the serial
+    // formatting pass below hits a warm cache. `--jobs 1` skips this:
+    // the plan would run the exact same flows the drivers are about to
+    // run, in the same order, for no gain.
+    if jobs > 1 {
+        let mut plan = ExperimentPlan::new();
+        for (name, _) in &selected {
+            plan.merge(experiments::plan_for(name, scale));
+        }
+        if !plan.is_empty() {
+            eprintln!(
+                "[fanning {} flow points out across {jobs} workers]",
+                plan.len()
+            );
+            let t = Instant::now();
+            let report = ParallelExecutor::new(jobs).run(&plan);
+            let util = report.utilization();
+            eprintln!(
+                "[executor: {} points in {:.1} s; worker utilization {}]",
+                report.ok_count(),
+                t.elapsed().as_secs_f64(),
+                util.iter()
+                    .map(|u| format!("{:.0}%", u * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            if let Some(e) = report.first_error() {
+                // The responsible driver will hit the same failure
+                // serially and panic with full context.
+                eprintln!("[executor: a flow point failed: {e}]");
+            }
+        }
+    }
+
+    for (name, driver) in &selected {
+        let t = Instant::now();
+        println!("==================== {name} ====================");
+        println!("{}", driver(scale));
+        eprintln!("[{name} took {:.1?}]", t.elapsed());
     }
     eprintln!("[artifact cache: {}]", ArtifactCache::global().stats());
 }

@@ -28,8 +28,9 @@
 //! isolate tests and benchmarks that must measure cold runs.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark};
@@ -140,17 +141,44 @@ pub struct CacheStats {
     pub flow_evictions: u64,
 }
 
+impl CacheStats {
+    /// The change since an `earlier` snapshot: every counter reduced by
+    /// its earlier value (saturating, so a `clear()` between snapshots
+    /// reads as zero rather than wrapping). This is what per-phase
+    /// reporting must use — the raw counters are cumulative over the
+    /// process, so attributing them to the most recent phase (as
+    /// `flow_bench` once did for its warm leg) misreports every phase
+    /// after the first.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            library_builds: self.library_builds.saturating_sub(earlier.library_builds),
+            library_hits: self.library_hits.saturating_sub(earlier.library_hits),
+            library_evictions: self
+                .library_evictions
+                .saturating_sub(earlier.library_evictions),
+            flow_stores: self.flow_stores.saturating_sub(earlier.flow_stores),
+            flow_hits: self.flow_hits.saturating_sub(earlier.flow_hits),
+            flow_misses: self.flow_misses.saturating_sub(earlier.flow_misses),
+            flow_evictions: self.flow_evictions.saturating_sub(earlier.flow_evictions),
+        }
+    }
+}
+
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Every counter of the struct, in declaration order, so the
+        // logged summary always agrees with the JSON snapshot
+        // (`cache::tests::display_prints_every_counter` pins this).
         write!(
             f,
-            "libraries: {} built, {} served from cache, {} evicted; \
-             flows: {} run, {} served from cache, {} evicted",
+            "libraries: {} built, {} hits, {} evicted; \
+             flows: {} stored, {} hits, {} misses, {} evicted",
             self.library_builds,
             self.library_hits,
             self.library_evictions,
             self.flow_stores,
             self.flow_hits,
+            self.flow_misses,
             self.flow_evictions
         )
     }
@@ -221,6 +249,106 @@ impl<K: std::hash::Hash + Eq + Copy, V> Lru<K, V> {
     }
 }
 
+/// A lock-sharded [`Lru`]: keys hash to one of several independently
+/// locked shards, so concurrent lookups on different keys proceed
+/// without contending on one map-wide mutex.
+///
+/// The shard count grows with the capacity (one shard per eight
+/// entries, at most [`MAX_SHARDS`]), so small bounded caches — the unit
+/// tests' two-entry ones included — stay single-sharded and keep exact
+/// global LRU order, while the defaults spread across several shards.
+/// A sharded cache's eviction order is exact only *per shard*; the
+/// capacity bound still holds globally (each shard holds at most
+/// `ceil(capacity / shards)` entries).
+#[derive(Debug)]
+struct Sharded<K, V> {
+    shards: Vec<Mutex<Lru<K, V>>>,
+}
+
+const MAX_SHARDS: usize = 16;
+
+impl<K: Hash + Eq + Copy, V> Sharded<K, V> {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let count = (capacity / 8).clamp(1, MAX_SHARDS);
+        let per_shard = capacity.div_ceil(count);
+        Sharded {
+            shards: (0..count)
+                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// The shard a key lives in. `DefaultHasher` is deterministic
+    /// within a process, which is all shard routing needs.
+    fn shard(&self, key: &K) -> &Mutex<Lru<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key)
+            .lock()
+            .expect("cache lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts, returning how many entries the owning shard evicted.
+    fn insert(&self, key: K, value: V) -> u64 {
+        self.shard(&key)
+            .lock()
+            .expect("cache lock")
+            .insert(key, value)
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache lock").clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").len())
+            .sum()
+    }
+}
+
+/// The coalescing slot for one [`LibraryKey`]: a hand-rolled once-cell
+/// whose initializer can fail. The first thread to find the slot `Idle`
+/// claims the build and runs characterization *outside every lock*;
+/// threads arriving meanwhile wait on the condvar instead of
+/// duplicating the (hundreds-of-milliseconds) build. On success the
+/// slot becomes `Ready` forever; on failure it reverts to `Idle` and a
+/// waiter takes over the attempt, so an error never wedges the key.
+#[derive(Debug)]
+struct BuildCell {
+    state: Mutex<BuildState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum BuildState {
+    Idle,
+    Building,
+    Ready(Arc<CellLibrary>),
+}
+
+impl BuildCell {
+    fn new() -> Self {
+        BuildCell {
+            state: Mutex::new(BuildState::Idle),
+            ready: Condvar::new(),
+        }
+    }
+}
+
 /// Default LRU capacities: sized for the full paper reproduction (a
 /// handful of distinct libraries, a few hundred distinct flow points)
 /// with headroom, while still bounding a pathological sweep.
@@ -232,15 +360,20 @@ const DEFAULT_RESULT_CAPACITY: usize = 512;
 /// Both maps are LRU-bounded ([`ArtifactCache::bounded`] sets the
 /// capacities; [`ArtifactCache::default`] uses generous defaults), so an
 /// unbounded sweep cannot grow the process without limit — evictions are
-/// counted in [`CacheStats`]. Thread-safe; lookups clone an `Arc`
-/// (libraries) or the stored value (flow results). Library
-/// characterization runs outside the lock, so two threads racing on the
-/// same cold key may both build — the first insert wins and both observe
-/// the same artifact.
+/// counted in [`CacheStats`]. Thread-safe and built for the parallel
+/// executor's fan-out: both maps are lock-**sharded** ([`Sharded`]), and
+/// each library entry is a per-key once-cell ([`BuildCell`]), so N
+/// workers hitting the same cold [`LibraryKey`] perform exactly **one**
+/// characterization — the first claims the build, the rest block on the
+/// key's condvar and are served the shared artifact (counted as hits).
+/// Flow results are *not* coalesced: concurrent misses on one
+/// [`FlowKey`] each run the (deterministic) flow and store bit-identical
+/// values — the [`crate::ExperimentPlan`] dedups by `FlowKey` precisely
+/// so the executor never schedules that race.
 #[derive(Debug)]
 pub struct ArtifactCache {
-    libraries: Mutex<Lru<LibraryKey, Arc<CellLibrary>>>,
-    results: Mutex<Lru<FlowKey, Arc<FlowResult>>>,
+    libraries: Sharded<LibraryKey, Arc<BuildCell>>,
+    results: Sharded<FlowKey, Arc<FlowResult>>,
     library_builds: AtomicU64,
     library_hits: AtomicU64,
     library_evictions: AtomicU64,
@@ -269,8 +402,8 @@ impl ArtifactCache {
     /// at least 1). Least-recently-used entries are evicted on insert.
     pub fn bounded(library_capacity: usize, result_capacity: usize) -> ArtifactCache {
         ArtifactCache {
-            libraries: Mutex::new(Lru::new(library_capacity)),
-            results: Mutex::new(Lru::new(result_capacity)),
+            libraries: Sharded::new(library_capacity),
+            results: Sharded::new(result_capacity),
             library_builds: AtomicU64::new(0),
             library_hits: AtomicU64::new(0),
             library_evictions: AtomicU64::new(0),
@@ -281,12 +414,11 @@ impl ArtifactCache {
         }
     }
 
-    /// Entries currently held: `(libraries, flow results)`.
+    /// Entries currently held: `(libraries, flow results)`. A library
+    /// entry whose build is still in flight counts — the slot is
+    /// resident even before its artifact is.
     pub fn len(&self) -> (usize, usize) {
-        (
-            self.libraries.lock().expect("cache lock").len(),
-            self.results.lock().expect("cache lock").len(),
-        )
+        (self.libraries.len(), self.results.len())
     }
 
     /// True when both maps are empty.
@@ -295,12 +427,19 @@ impl ArtifactCache {
     }
 
     /// The characterized library for the consumed knobs, built at most
-    /// once per distinct [`LibraryKey`].
+    /// once per distinct [`LibraryKey`] — *including under concurrency*:
+    /// racing requests on one cold key coalesce on the key's
+    /// [`BuildCell`], so exactly one thread characterizes while the rest
+    /// wait for (and share) its artifact. `library_builds` counts actual
+    /// characterizations; every request served without building — warm
+    /// or coalesced — counts as a `library_hits` increment, so
+    /// `builds + hits` equals the number of successful requests.
     ///
     /// # Errors
     ///
     /// Returns [`FlowError::Library`] when characterization or the
-    /// pin-cap scaling fails.
+    /// pin-cap scaling fails. A failed build releases the key (waiters
+    /// retry the build themselves); nothing is cached.
     pub fn library(
         &self,
         node_id: NodeId,
@@ -309,12 +448,64 @@ impl ArtifactCache {
         pin_cap_scale: f64,
     ) -> Result<Arc<CellLibrary>, FlowError> {
         let key = LibraryKey::new(node_id, style, lower_metal_rho, pin_cap_scale);
-        if let Some(hit) = self.libraries.lock().expect("cache lock").get(&key) {
-            self.library_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        // Fetch-or-insert the key's coalescing slot under the shard
+        // lock; the build itself never runs under it. An LRU eviction
+        // can drop a slot mid-build — waiters hold their own `Arc` to
+        // it, so they still coalesce; only future requests rebuild.
+        let cell = {
+            let mut shard = self.libraries.shard(&key).lock().expect("cache lock");
+            match shard.get(&key) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(BuildCell::new());
+                    let evicted = shard.insert(key, Arc::clone(&c));
+                    self.library_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    c
+                }
+            }
+        };
+        let mut state = cell.state.lock().expect("build cell lock");
+        loop {
+            match &*state {
+                BuildState::Ready(lib) => {
+                    self.library_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(lib));
+                }
+                BuildState::Building => {
+                    state = cell.ready.wait(state).expect("build cell lock");
+                }
+                BuildState::Idle => {
+                    *state = BuildState::Building;
+                    drop(state);
+                    let built = Self::build_library(node_id, style, lower_metal_rho, pin_cap_scale);
+                    let mut done = cell.state.lock().expect("build cell lock");
+                    match built {
+                        Ok(lib) => {
+                            self.library_builds.fetch_add(1, Ordering::Relaxed);
+                            let lib = Arc::new(lib);
+                            *done = BuildState::Ready(Arc::clone(&lib));
+                            cell.ready.notify_all();
+                            return Ok(lib);
+                        }
+                        Err(e) => {
+                            *done = BuildState::Idle;
+                            cell.ready.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
         }
-        // Build outside the lock: characterization dominates any
-        // duplicate-build race, and the first insert wins below.
+    }
+
+    /// One actual characterization — the work the coalescing protocol
+    /// exists to not duplicate.
+    fn build_library(
+        node_id: NodeId,
+        style: DesignStyle,
+        lower_metal_rho: bool,
+        pin_cap_scale: f64,
+    ) -> Result<CellLibrary, FlowError> {
         let node = {
             let n = TechNode::for_id(node_id);
             if lower_metal_rho {
@@ -327,16 +518,7 @@ impl ArtifactCache {
         if pin_cap_scale != 1.0 {
             lib = lib.try_with_pin_cap_scaled(pin_cap_scale)?;
         }
-        self.library_builds.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(lib);
-        let mut libraries = self.libraries.lock().expect("cache lock");
-        if let Some(winner) = libraries.get(&key) {
-            // A racing thread inserted first; its artifact wins.
-            return Ok(Arc::clone(winner));
-        }
-        let evicted = libraries.insert(key, Arc::clone(&entry));
-        self.library_evictions.fetch_add(evicted, Ordering::Relaxed);
-        Ok(entry)
+        Ok(lib)
     }
 
     /// The stored sign-off result for this flow point, if any.
@@ -347,7 +529,7 @@ impl ArtifactCache {
         cfg: &FlowConfig,
     ) -> Option<FlowResult> {
         let key = FlowKey::of(bench, style, cfg);
-        let hit = self.results.lock().expect("cache lock").get(&key).cloned();
+        let hit = self.results.get(&key);
         match &hit {
             Some(_) => self.flow_hits.fetch_add(1, Ordering::Relaxed),
             None => self.flow_misses.fetch_add(1, Ordering::Relaxed),
@@ -366,8 +548,6 @@ impl ArtifactCache {
         self.flow_stores.fetch_add(1, Ordering::Relaxed);
         let evicted = self
             .results
-            .lock()
-            .expect("cache lock")
             .insert(FlowKey::of(bench, style, cfg), Arc::new(result.clone()));
         self.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
     }
@@ -375,8 +555,8 @@ impl ArtifactCache {
     /// Drops every stored artifact and resets the counters — the cold
     /// half of a cold/warm benchmark.
     pub fn clear(&self) {
-        self.libraries.lock().expect("cache lock").clear();
-        self.results.lock().expect("cache lock").clear();
+        self.libraries.clear();
+        self.results.clear();
         for c in [
             &self.library_builds,
             &self.library_hits,
@@ -470,6 +650,78 @@ mod tests {
             .expect("library builds");
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.stats().library_builds, 2);
+    }
+
+    #[test]
+    fn display_prints_every_counter() {
+        // The logged summary must agree with the JSON snapshot: every
+        // CacheStats field, in declaration order. This pins the exact
+        // format (the old one dropped flow_misses).
+        let s = CacheStats {
+            library_builds: 1,
+            library_hits: 2,
+            library_evictions: 3,
+            flow_stores: 4,
+            flow_hits: 5,
+            flow_misses: 6,
+            flow_evictions: 7,
+        };
+        assert_eq!(
+            s.to_string(),
+            "libraries: 1 built, 2 hits, 3 evicted; \
+             flows: 4 stored, 5 hits, 6 misses, 7 evicted"
+        );
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise_and_saturates() {
+        let earlier = CacheStats {
+            library_builds: 2,
+            library_hits: 8,
+            library_evictions: 0,
+            flow_stores: 10,
+            flow_hits: 8,
+            flow_misses: 10,
+            flow_evictions: 0,
+        };
+        let later = CacheStats {
+            library_builds: 2,
+            library_hits: 16,
+            library_evictions: 1,
+            flow_stores: 10,
+            flow_hits: 26,
+            flow_misses: 10,
+            flow_evictions: 2,
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.library_builds, 0);
+        assert_eq!(d.library_hits, 8);
+        assert_eq!(d.library_evictions, 1);
+        assert_eq!(d.flow_stores, 0);
+        assert_eq!(d.flow_hits, 18);
+        assert_eq!(d.flow_misses, 0, "a fully-warm phase shows zero misses");
+        assert_eq!(d.flow_evictions, 2);
+        // A clear() between snapshots drops counters below the earlier
+        // snapshot; the delta saturates at zero instead of wrapping.
+        assert_eq!(CacheStats::default().delta(&earlier), CacheStats::default());
+    }
+
+    #[test]
+    fn sharded_map_keeps_its_capacity_bound() {
+        let map: Sharded<u64, u64> = Sharded::new(64);
+        assert!(map.shards.len() > 1, "a 64-entry map should shard");
+        for k in 0..1000u64 {
+            map.insert(k, k);
+        }
+        let bound = map.shards.len() * 64usize.div_ceil(map.shards.len());
+        assert!(
+            map.len() <= bound,
+            "{} entries resident, bound {bound}",
+            map.len()
+        );
+        // A resident key is still retrievable after the churn.
+        let present = (0..1000u64).filter(|k| map.get(k).is_some()).count();
+        assert_eq!(present, map.len());
     }
 
     #[test]

@@ -8,7 +8,58 @@ use m3d_synth::WireLoadModel;
 use m3d_tech::{DesignStyle, NodeId};
 
 use crate::cache::ArtifactCache;
-use crate::{Comparison, FlowConfig, FlowResult};
+use crate::{Comparison, ExperimentPlan, FlowConfig, FlowResult};
+
+/// The LDPC-vs-DES wiring-character contrast pair (Fig. 3, Table 16).
+const CONTRAST_BENCHES: [Benchmark; 2] = [Benchmark::Ldpc, Benchmark::Des];
+
+/// The circuits Table 5 compares against prior published work.
+const TABLE5_BENCHES: [Benchmark; 3] = [Benchmark::Aes, Benchmark::Ldpc, Benchmark::Des];
+
+/// Enumerates the flow points the named driver of this module runs, so
+/// the parallel executor can pre-warm the shared cache; returns whether
+/// the name belongs to this module. Drivers and plans iterate the same
+/// constants — `tests/parallel.rs` asserts a warmed driver performs
+/// zero flow misses.
+pub(crate) fn add_plan(name: &str, scale: BenchScale, plan: &mut ExperimentPlan) -> bool {
+    match name {
+        "table4" => {
+            let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+            for bench in Benchmark::ALL {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        "table7" => {
+            let cfg = FlowConfig::new(NodeId::N7).scale(scale);
+            for bench in Benchmark::ALL {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        "table5" => {
+            let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+            for bench in TABLE5_BENCHES {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        "fig3" => {
+            let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+            for bench in CONTRAST_BENCHES {
+                plan.push(bench, DesignStyle::TwoD, cfg.clone());
+            }
+        }
+        "table16" => {
+            let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+            for bench in CONTRAST_BENCHES {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        // table12 and fig6 build libraries and placements but run no
+        // full flows — nothing to pre-warm.
+        "table12" | "fig6" => {}
+        _ => return false,
+    }
+    true
+}
 
 fn detail_row(r: &FlowResult) -> String {
     format!(
@@ -97,7 +148,7 @@ pub fn table5_prior_work(scale: BenchScale) -> String {
         out,
         "Table 5 - comparison with prior works (wirelength m / power mW / reduction)"
     );
-    for bench in [Benchmark::Aes, Benchmark::Ldpc, Benchmark::Des] {
+    for bench in TABLE5_BENCHES {
         let cmp = Comparison::run(bench, &cfg);
         let _ = writeln!(
             out,
@@ -134,7 +185,7 @@ pub fn fig3_circuit_character(scale: BenchScale) -> String {
         out,
         "Fig. 3 - LDPC vs DES layout character (2D designs, 45 nm)"
     );
-    for bench in [Benchmark::Ldpc, Benchmark::Des] {
+    for bench in CONTRAST_BENCHES {
         let r = crate::Flow::new(bench, DesignStyle::TwoD, cfg.clone()).run();
         let avg_net = r.wirelength_um / (r.cell_count as f64).max(1.0);
         let _ = writeln!(
@@ -210,7 +261,7 @@ pub fn table16_net_breakdown(scale: BenchScale) -> String {
         "Table 16 - wire vs pin capacitance and power (whole circuit)\n\
          design     wire cap(pF)  pin cap(pF)  wire P(mW)  pin P(mW)"
     );
-    for bench in [Benchmark::Ldpc, Benchmark::Des] {
+    for bench in CONTRAST_BENCHES {
         for style in [DesignStyle::TwoD, DesignStyle::Tmi] {
             let r = crate::Flow::new(bench, style, cfg.clone()).run();
             let _ = writeln!(

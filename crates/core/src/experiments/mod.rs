@@ -34,6 +34,75 @@ mod cells_exp;
 mod layout_exp;
 mod sweeps;
 
+use m3d_netlist::BenchScale;
+
+use crate::ExperimentPlan;
+
+/// Enumerates the full-flow points the named driver will run, so the
+/// [`crate::ParallelExecutor`] can pre-warm the shared
+/// [`crate::ArtifactCache`] before the driver formats its table from
+/// (bit-identical) cache hits. Drivers that run no full flows — the
+/// cell-level experiments — return an empty plan, as does an unknown
+/// name (the `paper_tables` registry owns name validation).
+///
+/// Merge the per-driver plans of a whole run into one
+/// [`ExperimentPlan`]: the `FlowKey` dedup collapses the many points
+/// the tables share (e.g. Table 4's baselines reappear in Table 5, the
+/// scorecard and the G-MI study).
+pub fn plan_for(name: &str, scale: BenchScale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new();
+    let _ = layout_exp::add_plan(name, scale, &mut plan)
+        || sweeps::add_plan(name, scale, &mut plan)
+        || crate::gmi::add_plan(name, scale, &mut plan);
+    plan
+}
+
+#[cfg(test)]
+mod plan_tests {
+    use super::*;
+
+    #[test]
+    fn flow_drivers_have_nonempty_plans() {
+        for name in [
+            "table4", "table5", "table7", "table8", "table9", "table15", "table16", "table17",
+            "fig3", "fig4", "fig10", "fig11", "s5", "summary", "gmi",
+        ] {
+            assert!(
+                !plan_for(name, BenchScale::Small).is_empty(),
+                "driver '{name}' should enumerate flow points"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_drivers_and_unknown_names_plan_nothing() {
+        for name in [
+            "table1", "table2", "table3", "table6", "table11", "table12", "fig5", "fig6", "nope",
+        ] {
+            assert!(
+                plan_for(name, BenchScale::Small).is_empty(),
+                "'{name}' plans no flows"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_plans_dedup_shared_points() {
+        let mut merged = ExperimentPlan::new();
+        merged.merge(plan_for("table4", BenchScale::Small));
+        let table4 = merged.len();
+        // Table 5, the scorecard and the G-MI study only re-run Table 4
+        // baselines: merging them must add nothing.
+        merged.merge(plan_for("table5", BenchScale::Small));
+        merged.merge(plan_for("summary", BenchScale::Small));
+        merged.merge(plan_for("gmi", BenchScale::Small));
+        assert_eq!(merged.len(), table4);
+        // A sensitivity sweep shares its base point but adds the rest.
+        merged.merge(plan_for("fig11", BenchScale::Small));
+        assert!(merged.len() > table4);
+    }
+}
+
 pub use cells_exp::{
     fig5_cell_inventory, table11_7nm_cells, table1_cell_rc, table2_cell_timing_power,
     table3_metal_layers, table6_node_setup,

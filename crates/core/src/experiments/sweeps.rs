@@ -6,7 +6,122 @@ use std::fmt::Write as _;
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId, StackKind};
 
-use crate::{Comparison, Flow, FlowConfig};
+use crate::{Comparison, ExperimentPlan, Flow, FlowConfig};
+
+/// Fig. 4 clock sweep points, chosen so both styles close at this
+/// toolkit's library speed (the paper's absolute values are rescaled;
+/// see `FlowConfig::clock_scale`).
+const FIG4_SWEEPS: [(Benchmark, [f64; 3]); 2] = [
+    (Benchmark::Aes, [900.0, 850.0, 800.0]),
+    (Benchmark::M256, [2500.0, 2400.0, 2300.0]),
+];
+
+/// Table 8 pin-capacitance scales (paper: 1.0 / 0.8 / 0.6 / 0.4).
+const TABLE8_PIN_SCALES: [f64; 4] = [1.0, 0.8, 0.6, 0.4];
+
+/// Table 9 resistivity variants: `(label, halve local+intermediate ρ)`.
+const TABLE9_VARIANTS: [(&str, bool); 2] = [("base", false), ("-m (rho/2)", true)];
+
+/// Table 15 WLM variants: `(row suffix, synthesize with the T-MI WLM)`.
+const TABLE15_WLM: [(&str, bool); 2] = [("", true), ("-n", false)];
+
+/// Table 17 circuits and metal-stack variants.
+const TABLE17_BENCHES: [Benchmark; 2] = [Benchmark::Ldpc, Benchmark::M256];
+const TABLE17_STACKS: [(&str, Option<StackKind>); 2] =
+    [("3D", None), ("3D+M", Some(StackKind::TmiPlusM))];
+
+/// Fig. 10 metal-usage circuits.
+const FIG10_BENCHES: [Benchmark; 2] = [Benchmark::Ldpc, Benchmark::M256];
+
+/// Fig. 11 activity-sweep circuits and α values.
+const FIG11_BENCHES: [Benchmark; 2] = [Benchmark::Aes, Benchmark::M256];
+const FIG11_ALPHAS: [f64; 3] = [0.1, 0.2, 0.4];
+
+/// S5 blockage variants: `(label, allow MB1/MIV routing escapes)`.
+const S5_VARIANTS: [(&str, bool); 2] = [("with MB1/MIV", true), ("without", false)];
+
+/// Enumerates the flow points the named driver of this module runs
+/// (mirrors each driver's loops over the same constants); returns
+/// whether the name belongs to this module.
+pub(crate) fn add_plan(name: &str, scale: BenchScale, plan: &mut ExperimentPlan) -> bool {
+    match name {
+        "fig4" => {
+            for (bench, clocks) in FIG4_SWEEPS {
+                for clock in clocks {
+                    plan.push_comparison(
+                        bench,
+                        &FlowConfig::new(NodeId::N45).scale(scale).clock(clock),
+                    );
+                }
+            }
+        }
+        "table8" => {
+            for pin_scale in TABLE8_PIN_SCALES {
+                let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
+                cfg.pin_cap_scale = pin_scale;
+                plan.push_comparison(Benchmark::Des, &cfg);
+            }
+        }
+        "table9" => {
+            for (_, lower) in TABLE9_VARIANTS {
+                let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
+                cfg.lower_metal_rho = lower;
+                plan.push_comparison(Benchmark::M256, &cfg);
+            }
+        }
+        "table15" => {
+            for bench in Benchmark::ALL {
+                for (_, tmi_wlm) in TABLE15_WLM {
+                    let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
+                    cfg.tmi_wlm = tmi_wlm;
+                    plan.push(bench, DesignStyle::Tmi, cfg);
+                }
+            }
+        }
+        "table17" => {
+            for bench in TABLE17_BENCHES {
+                for (_, stack) in TABLE17_STACKS {
+                    let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
+                    cfg.stack_kind = stack;
+                    plan.push(bench, DesignStyle::Tmi, cfg);
+                }
+            }
+        }
+        "fig10" => {
+            for bench in FIG10_BENCHES {
+                plan.push(
+                    bench,
+                    DesignStyle::Tmi,
+                    FlowConfig::new(NodeId::N45).scale(scale),
+                );
+            }
+        }
+        "fig11" => {
+            for bench in FIG11_BENCHES {
+                for alpha in FIG11_ALPHAS {
+                    let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
+                    cfg.alpha_ff = alpha;
+                    plan.push_comparison(bench, &cfg);
+                }
+            }
+        }
+        "s5" => {
+            for (_, mb1) in S5_VARIANTS {
+                let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
+                cfg.mb1_routing = mb1;
+                plan.push(Benchmark::Aes, DesignStyle::Tmi, cfg);
+            }
+        }
+        "summary" => {
+            let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+            for bench in Benchmark::ALL {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
 
 /// Fig. 4: the power benefit of T-MI versus target clock period for AES
 /// (1.0 / 0.8 / 0.72 ns) and M256 (2.6 / 2.4 / 2.0 ns). The paper's
@@ -18,15 +133,9 @@ pub fn fig4_clock_sweep(scale: BenchScale) -> String {
         "Fig. 4 - power reduction rate vs target clock (T-MI over 2D)\n\
          circuit  clock(ns)  total     cell      net     leakage"
     );
-    // Sweep points chosen so both styles close at this toolkit's library
-    // speed (the paper's absolute values are rescaled; see
-    // FlowConfig::clock_scale). Rows where a side misses its clock are
-    // flagged and not part of the trend.
-    let sweeps: [(Benchmark, [f64; 3]); 2] = [
-        (Benchmark::Aes, [900.0, 850.0, 800.0]),
-        (Benchmark::M256, [2500.0, 2400.0, 2300.0]),
-    ];
-    for (bench, clocks) in sweeps {
+    // Rows where a side misses its clock are flagged and not part of
+    // the trend.
+    for (bench, clocks) in FIG4_SWEEPS {
         for clock in clocks {
             let cfg = FlowConfig::new(NodeId::N45).scale(scale).clock(clock);
             let cmp = Comparison::run(bench, &cfg);
@@ -67,7 +176,7 @@ pub fn table8_pin_cap(scale: BenchScale) -> String {
         "Table 8 - impact of lower cell pin cap (DES, 7 nm)\n\
          pin-cap   WL-2D(m)  WL-3D(m)   P-2D(mW)  P-3D(mW)  reduction"
     );
-    for pin_scale in [1.0, 0.8, 0.6, 0.4] {
+    for pin_scale in TABLE8_PIN_SCALES {
         let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
         cfg.pin_cap_scale = pin_scale;
         let cmp = Comparison::run(Benchmark::Des, &cfg);
@@ -98,7 +207,7 @@ pub fn table9_resistivity(scale: BenchScale) -> String {
         "Table 9 - impact of lower metal resistivity (M256, 7 nm)\n\
          variant   WL-2D(m)  WL-3D(m)   P-2D(mW)  P-3D(mW)  reduction"
     );
-    for (label, lower) in [("base", false), ("-m (rho/2)", true)] {
+    for (label, lower) in TABLE9_VARIANTS {
         let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
         cfg.lower_metal_rho = lower;
         let cmp = Comparison::run(Benchmark::M256, &cfg);
@@ -130,7 +239,7 @@ pub fn table15_wlm_impact(scale: BenchScale) -> String {
          design      WL(m)     WNS(ps)   total P(mW)"
     );
     for bench in Benchmark::ALL {
-        for (suffix, tmi_wlm) in [("", true), ("-n", false)] {
+        for (suffix, tmi_wlm) in TABLE15_WLM {
             let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
             cfg.tmi_wlm = tmi_wlm;
             let r = Flow::new(bench, DesignStyle::Tmi, cfg).run();
@@ -161,8 +270,8 @@ pub fn table17_metal_stack(scale: BenchScale) -> String {
         "Table 17 - impact of the metal layer setup (7 nm, T-MI vs T-MI+M)\n\
          design        WL(m)    total P(mW)  cell     net     leak"
     );
-    for bench in [Benchmark::Ldpc, Benchmark::M256] {
-        for (label, stack) in [("3D", None), ("3D+M", Some(StackKind::TmiPlusM))] {
+    for bench in TABLE17_BENCHES {
+        for (label, stack) in TABLE17_STACKS {
             let mut cfg = FlowConfig::new(NodeId::N7).scale(scale);
             cfg.stack_kind = stack;
             let r = Flow::new(bench, DesignStyle::Tmi, cfg).run();
@@ -187,7 +296,7 @@ pub fn table17_metal_stack(scale: BenchScale) -> String {
 pub fn fig10_layer_usage(scale: BenchScale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 10 - metal layer usage (T-MI designs)");
-    for bench in [Benchmark::Ldpc, Benchmark::M256] {
+    for bench in FIG10_BENCHES {
         let cfg = FlowConfig::new(NodeId::N45).scale(scale);
         let r = Flow::new(bench, DesignStyle::Tmi, cfg).run();
         let u = &r.layer_usage;
@@ -208,8 +317,8 @@ pub fn fig11_activity_sweep(scale: BenchScale) -> String {
         "Fig. 11 - switching activity sweep (45 nm)\n\
          circuit  alpha   P-2D(mW)   P-3D(mW)  reduction"
     );
-    for bench in [Benchmark::Aes, Benchmark::M256] {
-        for alpha in [0.1, 0.2, 0.4] {
+    for bench in FIG11_BENCHES {
+        for alpha in FIG11_ALPHAS {
             let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
             cfg.alpha_ff = alpha;
             let cmp = Comparison::run(bench, &cfg);
@@ -240,7 +349,7 @@ pub fn fig_s5_blockage(scale: BenchScale) -> String {
         "S5 - MIV/MB1 blockage impact (AES, T-MI, 45 nm)\n\
          variant        WL(m)    WNS(ps)   total P(mW)"
     );
-    for (label, mb1) in [("with MB1/MIV", true), ("without", false)] {
+    for (label, mb1) in S5_VARIANTS {
         let mut cfg = FlowConfig::new(NodeId::N45).scale(scale);
         cfg.mb1_routing = mb1;
         let r = Flow::new(Benchmark::Aes, DesignStyle::Tmi, cfg).run();

@@ -29,7 +29,25 @@ use m3d_tech::{DesignStyle, MetalStack, NodeId, StackKind};
 
 use crate::cache::ArtifactCache;
 use crate::flow::{default_clock_scale_at, estimate_models, extraction_models};
-use crate::{Flow, FlowConfig};
+use crate::{ExperimentPlan, Flow, FlowConfig};
+
+/// The circuits the G-MI comparison study runs.
+const GMI_BENCHES: [Benchmark; 2] = [Benchmark::Aes, Benchmark::Ldpc];
+
+/// Enumerates the cacheable flow points of [`gmi_comparison`] — its 2D
+/// and T-MI reference flows. The G-MI implementation itself
+/// ([`run_gmi`]) is not a `Flow` and is not memoized, so it stays in
+/// the driver. Returns whether the name belongs to this module.
+pub(crate) fn add_plan(name: &str, scale: BenchScale, plan: &mut ExperimentPlan) -> bool {
+    if name != "gmi" {
+        return false;
+    }
+    let cfg = FlowConfig::new(NodeId::N45).scale(scale);
+    for bench in GMI_BENCHES {
+        plan.push_comparison(bench, &cfg);
+    }
+    true
+}
 
 /// Result of a Fiduccia-Mattheyses bipartition.
 #[derive(Debug, Clone)]
@@ -293,7 +311,7 @@ pub fn gmi_comparison(scale: BenchScale) -> String {
         "Extension - integration granularity: 2D vs gate-level (G-MI) vs transistor-level (T-MI)\n\
          design      footprint(um2)  WL(m)     power(mW)  MIV nets"
     );
-    for bench in [Benchmark::Aes, Benchmark::Ldpc] {
+    for bench in GMI_BENCHES {
         let cfg = FlowConfig::new(NodeId::N45).scale(scale);
         let two_d = Flow::new(bench, DesignStyle::TwoD, cfg.clone()).run();
         let tmi = Flow::new(bench, DesignStyle::Tmi, cfg.clone()).run();

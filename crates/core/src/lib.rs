@@ -62,6 +62,7 @@ pub mod cache;
 pub mod checkpoint;
 mod compare;
 pub mod error;
+pub mod executor;
 pub mod experiments;
 pub mod faultinject;
 mod flow;
@@ -74,6 +75,7 @@ pub use cache::{ArtifactCache, CacheStats, FlowKey, LibraryKey};
 pub use checkpoint::CheckpointStore;
 pub use compare::Comparison;
 pub use error::{ConfigError, FlowError, FlowStage};
+pub use executor::{ExecutorReport, ExperimentPlan, ParallelExecutor, PlanPoint, WorkerReport};
 pub use faultinject::{FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
 pub use flow::{estimate_models, extraction_models, try_extraction_models};

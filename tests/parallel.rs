@@ -1,0 +1,188 @@
+//! Concurrency tests for the shared `ArtifactCache` and the
+//! work-stealing `ParallelExecutor` (DESIGN.md §10).
+//!
+//! Loom-style stress rather than model checking (the workspace vendors
+//! no loom): threads line up on a `Barrier` so they genuinely race, and
+//! the assertions are the protocol's invariants — one build per key,
+//! no lost counter increments, bit-identical results versus serial.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId};
+use monolith3d::{experiments, ArtifactCache, ExperimentPlan, Flow, FlowConfig, ParallelExecutor};
+
+fn small_cfg() -> FlowConfig {
+    FlowConfig::new(NodeId::N45).scale(BenchScale::Small)
+}
+
+/// N threads racing on one cold `LibraryKey` must coalesce into exactly
+/// one characterization, every thread receiving the same artifact.
+#[test]
+fn racing_library_requests_build_exactly_once() {
+    const THREADS: usize = 8;
+    let cache = Arc::new(ArtifactCache::default());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                cache
+                    .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+                    .expect("library builds")
+            })
+        })
+        .collect();
+    let libs: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+    for lib in &libs[1..] {
+        assert!(
+            Arc::ptr_eq(&libs[0], lib),
+            "every thread must share the one built artifact"
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.library_builds, 1, "cold key characterized once");
+    assert_eq!(
+        stats.library_hits,
+        (THREADS - 1) as u64,
+        "every other request served from the coalesced build"
+    );
+}
+
+/// Counter increments survive contention: over a mixed-key stress run,
+/// `builds + hits` must equal the number of successful requests and
+/// `builds` the number of distinct keys.
+#[test]
+fn library_stats_lose_no_increments_under_contention() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 5;
+    let keys = [1.0, 0.9, 0.8];
+    let cache = Arc::new(ArtifactCache::default());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for r in 0..ROUNDS {
+                    let scale = keys[(t + r) % keys.len()];
+                    cache
+                        .library(NodeId::N45, DesignStyle::TwoD, false, scale)
+                        .expect("library builds");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panic");
+    }
+    let stats = cache.stats();
+    let requests = (THREADS * ROUNDS) as u64;
+    assert_eq!(
+        stats.library_builds + stats.library_hits,
+        requests,
+        "every request accounted for exactly once"
+    );
+    assert_eq!(
+        stats.library_builds,
+        keys.len() as u64,
+        "one build per distinct key"
+    );
+    assert_eq!(cache.len().0, keys.len());
+}
+
+/// Racing full flows on one `FlowKey` return equal results and leave
+/// the cache with a single coherent entry.
+#[test]
+fn racing_flow_runs_agree_bitwise() {
+    const THREADS: usize = 4;
+    let cache = Arc::new(ArtifactCache::default());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                Flow::new(Benchmark::Des, DesignStyle::TwoD, small_cfg())
+                    .try_run_with_cache(&cache)
+                    .expect("flow closes")
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+    for r in &results[1..] {
+        // FlowResult's PartialEq compares every f64 exactly, so this is
+        // a bit-identity check.
+        assert_eq!(&results[0], r, "racing identical flows must agree");
+    }
+    assert_eq!(cache.len().1, 1, "one coherent entry for the shared key");
+}
+
+/// The executor's parallel fan-out must be indistinguishable from a
+/// serial walk of the same plan: same results, bit for bit, in plan
+/// order.
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let mut plan = ExperimentPlan::new();
+    plan.push_comparison(Benchmark::Des, &small_cfg());
+    plan.push(Benchmark::Aes, DesignStyle::TwoD, small_cfg());
+
+    let serial: Vec<_> = plan
+        .points()
+        .iter()
+        .map(|p| {
+            Flow::new(p.bench, p.style, p.config.clone())
+                .try_run_with_cache(&Arc::new(ArtifactCache::default()))
+                .expect("flow closes")
+        })
+        .collect();
+
+    let report = ParallelExecutor::new(4)
+        .with_cache(Arc::new(ArtifactCache::default()))
+        .run(&plan);
+    assert_eq!(report.results.len(), serial.len());
+    for (i, (par, ser)) in report.results.iter().zip(&serial).enumerate() {
+        let par = par.as_ref().expect("parallel point closes");
+        assert_eq!(par, &serial[i], "plan point {i} diverged from serial");
+        assert_eq!(par.bench, ser.bench);
+        assert_eq!(par.style, ser.style);
+    }
+}
+
+/// The per-driver plans must cover their drivers: after the executor
+/// warms the global cache from `plan_for`, the driver itself performs
+/// zero flow misses — proving plan enumeration and driver loops walk
+/// the same matrix. (Sole test in this binary touching the global
+/// cache, so clearing it races nothing.)
+#[test]
+fn plans_cover_their_drivers() {
+    let cache = ArtifactCache::global();
+    cache.clear();
+    let mut plan = ExperimentPlan::new();
+    plan.merge(experiments::plan_for("fig3", BenchScale::Small));
+    plan.merge(experiments::plan_for("s5", BenchScale::Small));
+    let report = ParallelExecutor::new(2).run(&plan);
+    assert_eq!(report.ok_count(), plan.len(), "prewarm closes every point");
+
+    let before = cache.stats();
+    let fig3 = experiments::fig3_circuit_character(BenchScale::Small);
+    let s5 = experiments::fig_s5_blockage(BenchScale::Small);
+    assert!(!fig3.is_empty() && !s5.is_empty());
+    let delta = cache.stats().delta(&before);
+    assert_eq!(
+        delta.flow_misses, 0,
+        "a planned-and-prewarmed driver must only hit the cache"
+    );
+    assert_eq!(delta.library_builds, 0);
+}
