@@ -2,7 +2,7 @@
 //! the work-stealing parallel executor.
 //!
 //! ```text
-//! flow_bench [output.json] [--jobs N]
+//! flow_bench [output.json] [--jobs N] [--report FILE]
 //! ```
 //!
 //! Three legs, all on the `paper_tables` smoke subset (`SMOKE_SUBSET`)
@@ -24,12 +24,24 @@
 //! is reported as `null` when the warm time is below `TIMER_FLOOR_S`:
 //! a ratio against a denominator of a few dozen microseconds is timer
 //! noise, not a measurement.
+//!
+//! A fourth, **untimed** leg replays the cold-parallel workload with a
+//! `MetricsRegistry` attached and writes the resulting `RunReport`
+//! next to the benchmark JSON (default `BENCH_flow_report.json`,
+//! override with `--report FILE`). Keeping it outside the timed window
+//! means the three benchmark legs above run on the `NullRecorder` fast
+//! path, so the numbers stay comparable against uninstrumented
+//! baselines, while the report still describes a real cold run.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use m3d_bench::{paper_drivers, PaperDriver, SMOKE_SUBSET};
+use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
-use monolith3d::{experiments, ArtifactCache, CacheStats, ExperimentPlan, ParallelExecutor};
+use monolith3d::{
+    experiments, observe, ArtifactCache, CacheStats, ExperimentPlan, MetricsRegistry,
+    ParallelExecutor,
+};
 
 /// Durations below this are dominated by timer resolution and
 /// scheduling jitter; ratios against them are meaningless.
@@ -70,21 +82,45 @@ fn f64_list(xs: &[f64]) -> String {
         .join(", ")
 }
 
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: flow_bench [output.json] [--jobs N] [--report FILE]");
+    std::process::exit(2);
+}
+
+/// `BENCH_flow.json` -> `BENCH_flow_report.json`; non-`.json` paths
+/// get `.report.json` appended.
+fn default_report_path(out_path: &str) -> String {
+    match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_report.json"),
+        None => format!("{out_path}.report.json"),
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_flow.json".to_string();
+    let mut report_path: Option<String> = None;
     let mut jobs = ParallelExecutor::default_workers();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--jobs" {
-            let v = it.next().expect("--jobs needs a worker count");
-            jobs = v.parse().expect("numeric --jobs value");
+            jobs = cli::parse_jobs(it.next().as_deref())
+                .unwrap_or_else(|e| usage_exit(&e.to_string()));
         } else if let Some(v) = a.strip_prefix("--jobs=") {
-            jobs = v.parse().expect("numeric --jobs value");
+            jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
+        } else if a == "--report" {
+            report_path = Some(
+                it.next()
+                    .unwrap_or_else(|| usage_exit("--report needs a file path")),
+            );
+        } else if let Some(v) = a.strip_prefix("--report=") {
+            report_path = Some(v.to_string());
+        } else if a.starts_with("--") {
+            usage_exit(&format!("unknown flag '{a}'"));
         } else {
             out_path = a;
         }
     }
-    let jobs = jobs.max(1);
+    let report_path = report_path.unwrap_or_else(|| default_report_path(&out_path));
     let drivers = paper_drivers();
     let cache = ArtifactCache::global();
 
@@ -160,6 +196,29 @@ fn main() {
         par = stats_json(&parallel_stats),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    // Leg 4 (untimed): replay the cold-parallel workload with metrics
+    // attached, then detach so the instrumentation cannot leak into any
+    // later use of the process-wide cache.
+    let metrics = Arc::new(MetricsRegistry::new());
+    cache.set_recorder(Arc::clone(&metrics) as Arc<dyn monolith3d::Recorder>);
+    cache.clear();
+    let replay = ParallelExecutor::new(jobs).run(&plan);
+    if let Some(e) = replay.first_error() {
+        panic!("instrumented flow point failed: {e}");
+    }
+    run_suite(&drivers);
+    cache.set_recorder(observe::null());
+    let run_report = metrics.report();
+    eprintln!(
+        "[instrumented replay: {} stages started, {} cache hits]",
+        run_report.counter("stage_started"),
+        run_report.counter("cache_hit_library") + run_report.counter("cache_hit_flow"),
+    );
+    std::fs::write(&report_path, run_report.to_json())
+        .unwrap_or_else(|e| panic!("write {report_path}: {e}"));
+    eprintln!("[wrote run report to {report_path}]");
+
     println!(
         "wrote {out_path}: cold {serial_cold_s:.3} s, warm {warm_s:.3} s ({}), \
          parallel {parallel_cold_s:.3} s ({parallel_speedup:.2}x, {jobs} jobs)",

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper_tables [--small] [--subset] [--jobs N] <experiment | all>
+//! paper_tables [--small] [--subset] [--jobs N] [--trace FILE] [--report FILE] <experiment | all>
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6 table7 table8
@@ -20,15 +20,30 @@
 //! **byte-identical** for every `--jobs` value (`--jobs 1` skips the
 //! fan-out entirely); all diagnostics — per-driver timings, executor
 //! utilization, cache statistics — go to stderr.
+//!
+//! `--trace FILE` attaches a [`JsonlRecorder`] to the run: every flow
+//! event (stage spans, retries, checkpoints, cache traffic, steals) is
+//! appended to FILE as one JSON object per line. `--report FILE`
+//! aggregates the same events through a [`MetricsRegistry`] and writes
+//! the resulting `RunReport` JSON. Both are diagnostics: stdout stays
+//! byte-identical whether or not they are given.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
-use m3d_bench::{paper_drivers, PaperDriver, SMOKE_SUBSET};
+use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
-use monolith3d::{experiments, ArtifactCache, ExperimentPlan, ParallelExecutor};
+use monolith3d::{
+    experiments, ArtifactCache, ExperimentPlan, JsonlRecorder, MetricsRegistry, ParallelExecutor,
+    Recorder, Tee,
+};
 
 fn usage_exit(msg: &str) -> ! {
-    eprintln!("{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] <experiment | all>");
+    eprintln!(
+        "{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] \
+         [--trace FILE] [--report FILE] <experiment | all>"
+    );
     std::process::exit(2);
 }
 
@@ -37,6 +52,8 @@ fn main() {
     let mut small = false;
     let mut subset = false;
     let mut jobs = ParallelExecutor::default_workers();
+    let mut trace_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -44,18 +61,30 @@ fn main() {
             "--small" => small = true,
             "--subset" => subset = true,
             "--jobs" => {
-                let v = it
-                    .next()
-                    .unwrap_or_else(|| usage_exit("--jobs needs a worker count"));
-                jobs = v
-                    .parse()
-                    .unwrap_or_else(|_| usage_exit(&format!("bad --jobs value '{v}'")));
+                jobs = cli::parse_jobs(it.next().map(String::as_str))
+                    .unwrap_or_else(|e| usage_exit(&e.to_string()));
+            }
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--trace needs a file path"))
+                        .clone(),
+                );
+            }
+            "--report" => {
+                report_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--report needs a file path"))
+                        .clone(),
+                );
             }
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
-                    jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| usage_exit(&format!("bad --jobs value '{v}'")));
+                    jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
+                } else if let Some(v) = other.strip_prefix("--trace=") {
+                    trace_path = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--report=") {
+                    report_path = Some(v.to_string());
                 } else if other.starts_with("--") {
                     usage_exit(&format!("unknown flag '{other}'"));
                 } else {
@@ -64,7 +93,32 @@ fn main() {
             }
         }
     }
-    let jobs = jobs.max(1);
+
+    // Attach the requested sinks before any flow runs so the trace and
+    // report see the whole process, fan-out included. The executor and
+    // every supervisor inherit the cache's recorder.
+    let jsonl = trace_path.as_deref().map(|p| {
+        Arc::new(
+            JsonlRecorder::create(Path::new(p))
+                .unwrap_or_else(|e| usage_exit(&format!("cannot create trace file '{p}': {e}"))),
+        )
+    });
+    let metrics = report_path
+        .as_deref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let recorder: Option<Arc<dyn Recorder>> = match (&jsonl, &metrics) {
+        (Some(j), Some(m)) => Some(Arc::new(Tee::new(
+            Arc::clone(j) as Arc<dyn Recorder>,
+            Arc::clone(m) as Arc<dyn Recorder>,
+        ))),
+        (Some(j), None) => Some(Arc::clone(j) as Arc<dyn Recorder>),
+        (None, Some(m)) => Some(Arc::clone(m) as Arc<dyn Recorder>),
+        (None, None) => None,
+    };
+    if let Some(r) = recorder {
+        ArtifactCache::global().set_recorder(r);
+    }
+
     let scale = if small {
         BenchScale::Small
     } else {
@@ -136,4 +190,18 @@ fn main() {
         eprintln!("[{name} took {:.1?}]", t.elapsed());
     }
     eprintln!("[artifact cache: {}]", ArtifactCache::global().stats());
+
+    if let (Some(j), Some(p)) = (&jsonl, &trace_path) {
+        match j.flush() {
+            Ok(()) => eprintln!("[wrote event trace to {p}]"),
+            Err(e) => eprintln!("[trace flush to {p} failed: {e}]"),
+        }
+    }
+    if let (Some(m), Some(p)) = (&metrics, &report_path) {
+        let json = m.report().to_json();
+        match std::fs::write(p, &json) {
+            Ok(()) => eprintln!("[wrote run report to {p}]"),
+            Err(e) => eprintln!("[run report write to {p} failed: {e}]"),
+        }
+    }
 }

@@ -21,6 +21,54 @@ use m3d_netlist::{BenchScale, Benchmark, Netlist};
 use m3d_tech::{DesignStyle, TechNode};
 use monolith3d::experiments as exp;
 
+/// Shared command-line parsing for the bench binaries.
+pub mod cli {
+    use std::fmt;
+
+    /// Typed error from parsing a `--jobs` worker count.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum JobsError {
+        /// `--jobs` was the last argument: no value followed it.
+        MissingValue,
+        /// The value was not an unsigned integer.
+        NotANumber(String),
+        /// `--jobs 0` asks for an executor with no workers.
+        Zero,
+    }
+
+    impl fmt::Display for JobsError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                JobsError::MissingValue => write!(f, "--jobs needs a worker count"),
+                JobsError::NotANumber(v) => write!(f, "bad --jobs value '{v}': not a number"),
+                JobsError::Zero => {
+                    write!(
+                        f,
+                        "--jobs 0 rejected: the executor needs at least one worker"
+                    )
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for JobsError {}
+
+    /// Parses a `--jobs` operand (`None` models a missing one).
+    ///
+    /// Zero is rejected rather than clamped: an explicit `--jobs 0` is
+    /// a user error, and silently running one worker instead hides it.
+    pub fn parse_jobs(value: Option<&str>) -> Result<usize, JobsError> {
+        let v = value.ok_or(JobsError::MissingValue)?;
+        let n: usize = v
+            .parse()
+            .map_err(|_| JobsError::NotANumber(v.to_string()))?;
+        if n == 0 {
+            return Err(JobsError::Zero);
+        }
+        Ok(n)
+    }
+}
+
 /// Builds the (library, netlist) pair the pipeline benches share.
 pub fn bench_design(bench: Benchmark) -> (CellLibrary, Netlist) {
     let node = TechNode::n45();
@@ -95,6 +143,33 @@ mod tests {
         let (lib, n) = bench_design(Benchmark::Aes);
         assert!(n.instance_count() > 100);
         n.check_consistency(&lib);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_counts() {
+        assert_eq!(cli::parse_jobs(Some("1")), Ok(1));
+        assert_eq!(cli::parse_jobs(Some("4")), Ok(4));
+        assert_eq!(cli::parse_jobs(Some("64")), Ok(64));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_missing_and_junk() {
+        assert_eq!(cli::parse_jobs(Some("0")), Err(cli::JobsError::Zero));
+        assert_eq!(cli::parse_jobs(None), Err(cli::JobsError::MissingValue));
+        assert!(matches!(
+            cli::parse_jobs(Some("four")),
+            Err(cli::JobsError::NotANumber(_))
+        ));
+        assert!(matches!(
+            cli::parse_jobs(Some("-2")),
+            Err(cli::JobsError::NotANumber(_))
+        ));
+        // The message names the offending value so the usage line that
+        // wraps it is actionable.
+        let msg = cli::parse_jobs(Some("four")).expect_err("junk").to_string();
+        assert!(msg.contains("four"), "got: {msg}");
+        let msg = cli::parse_jobs(Some("0")).expect_err("zero").to_string();
+        assert!(msg.contains("at least one worker"), "got: {msg}");
     }
 
     #[test]

@@ -28,9 +28,9 @@
 //! isolate tests and benchmarks that must measure cold runs.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark};
@@ -38,6 +38,8 @@ use m3d_tech::{DesignStyle, MetalClass, NodeId, StackKind, TechNode};
 
 use crate::error::FlowError;
 use crate::flow::{default_clock_scale_at, FlowConfig, FlowResult};
+use crate::observe::{self, CacheKind, EventKind, Recorder};
+use crate::sharded::Sharded;
 
 /// Cache key of one characterized cell library: every [`FlowConfig`]
 /// field the library build consumes.
@@ -250,8 +252,9 @@ impl<K: std::hash::Hash + Eq + Copy, V> Lru<K, V> {
 }
 
 /// A lock-sharded [`Lru`]: keys hash to one of several independently
-/// locked shards, so concurrent lookups on different keys proceed
-/// without contending on one map-wide mutex.
+/// locked shards (the generic [`Sharded`] striping, here over per-shard
+/// LRU maps), so concurrent lookups on different keys proceed without
+/// contending on one map-wide mutex.
 ///
 /// The shard count grows with the capacity (one shard per eight
 /// entries, at most [`MAX_SHARDS`]), so small bounded caches — the unit
@@ -261,30 +264,30 @@ impl<K: std::hash::Hash + Eq + Copy, V> Lru<K, V> {
 /// capacity bound still holds globally (each shard holds at most
 /// `ceil(capacity / shards)` entries).
 #[derive(Debug)]
-struct Sharded<K, V> {
-    shards: Vec<Mutex<Lru<K, V>>>,
+struct ShardedLru<K, V> {
+    shards: Sharded<Lru<K, V>>,
 }
 
 const MAX_SHARDS: usize = 16;
 
-impl<K: Hash + Eq + Copy, V> Sharded<K, V> {
+impl<K: Hash + Eq + Copy, V> ShardedLru<K, V> {
     fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let count = (capacity / 8).clamp(1, MAX_SHARDS);
         let per_shard = capacity.div_ceil(count);
-        Sharded {
-            shards: (0..count)
-                .map(|_| Mutex::new(Lru::new(per_shard)))
-                .collect(),
+        ShardedLru {
+            shards: Sharded::new(count, || Lru::new(per_shard)),
         }
     }
 
-    /// The shard a key lives in. `DefaultHasher` is deterministic
-    /// within a process, which is all shard routing needs.
+    #[cfg(test)]
+    fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// The shard a key lives in.
     fn shard(&self, key: &K) -> &Mutex<Lru<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        self.shards.shard(key)
     }
 
     fn get(&self, key: &K) -> Option<V>
@@ -307,7 +310,7 @@ impl<K: Hash + Eq + Copy, V> Sharded<K, V> {
     }
 
     fn clear(&self) {
-        for s in &self.shards {
+        for s in self.shards.iter() {
             s.lock().expect("cache lock").clear();
         }
     }
@@ -372,8 +375,13 @@ const DEFAULT_RESULT_CAPACITY: usize = 512;
 /// so the executor never schedules that race.
 #[derive(Debug)]
 pub struct ArtifactCache {
-    libraries: Sharded<LibraryKey, Arc<BuildCell>>,
-    results: Sharded<FlowKey, Arc<FlowResult>>,
+    libraries: ShardedLru<LibraryKey, Arc<BuildCell>>,
+    results: ShardedLru<FlowKey, Arc<FlowResult>>,
+    /// The event sink for this cache's traffic — and, by inheritance,
+    /// for every supervisor and executor built over this cache (they
+    /// resolve their recorder here unless explicitly overridden).
+    /// Defaults to the disabled [`observe::NullRecorder`].
+    recorder: RwLock<Arc<dyn Recorder>>,
     library_builds: AtomicU64,
     library_hits: AtomicU64,
     library_evictions: AtomicU64,
@@ -402,8 +410,9 @@ impl ArtifactCache {
     /// at least 1). Least-recently-used entries are evicted on insert.
     pub fn bounded(library_capacity: usize, result_capacity: usize) -> ArtifactCache {
         ArtifactCache {
-            libraries: Sharded::new(library_capacity),
-            results: Sharded::new(result_capacity),
+            libraries: ShardedLru::new(library_capacity),
+            results: ShardedLru::new(result_capacity),
+            recorder: RwLock::new(observe::null()),
             library_builds: AtomicU64::new(0),
             library_hits: AtomicU64::new(0),
             library_evictions: AtomicU64::new(0),
@@ -411,6 +420,29 @@ impl ArtifactCache {
             flow_hits: AtomicU64::new(0),
             flow_misses: AtomicU64::new(0),
             flow_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches the event sink for this cache's traffic. Supervisors
+    /// and executors built over this cache inherit it (unless they
+    /// override with their own), so attaching here instruments a whole
+    /// run. Pass [`observe::null()`] to detach.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        *self.recorder.write().expect("recorder slot") = recorder;
+    }
+
+    /// The currently attached recorder.
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder.read().expect("recorder slot"))
+    }
+
+    /// Records one event iff a live recorder is attached — the hot-path
+    /// guard: with the default [`observe::NullRecorder`] this is one
+    /// read-lock and one virtual call, no event construction.
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        let rec = self.recorder.read().expect("recorder slot");
+        if rec.enabled() {
+            rec.record(kind());
         }
     }
 
@@ -460,18 +492,38 @@ impl ArtifactCache {
                     let c = Arc::new(BuildCell::new());
                     let evicted = shard.insert(key, Arc::clone(&c));
                     self.library_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    if evicted > 0 {
+                        self.emit(|| EventKind::CacheEvicted {
+                            kind: CacheKind::Library,
+                            count: evicted,
+                        });
+                    }
                     c
                 }
             }
         };
+        // Whether this request blocked on another thread's in-flight
+        // build — a coalesced hit, traced distinctly from a warm one.
+        let mut waited = false;
         let mut state = cell.state.lock().expect("build cell lock");
         loop {
             match &*state {
                 BuildState::Ready(lib) => {
                     self.library_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(lib));
+                    let lib = Arc::clone(lib);
+                    drop(state);
+                    self.emit(|| EventKind::CacheHit {
+                        kind: CacheKind::Library,
+                    });
+                    if waited {
+                        self.emit(|| EventKind::CacheCoalesced {
+                            kind: CacheKind::Library,
+                        });
+                    }
+                    return Ok(lib);
                 }
                 BuildState::Building => {
+                    waited = true;
                     state = cell.ready.wait(state).expect("build cell lock");
                 }
                 BuildState::Idle => {
@@ -485,6 +537,10 @@ impl ArtifactCache {
                             let lib = Arc::new(lib);
                             *done = BuildState::Ready(Arc::clone(&lib));
                             cell.ready.notify_all();
+                            drop(done);
+                            self.emit(|| EventKind::CacheMiss {
+                                kind: CacheKind::Library,
+                            });
                             return Ok(lib);
                         }
                         Err(e) => {
@@ -531,8 +587,18 @@ impl ArtifactCache {
         let key = FlowKey::of(bench, style, cfg);
         let hit = self.results.get(&key);
         match &hit {
-            Some(_) => self.flow_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.flow_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.flow_hits.fetch_add(1, Ordering::Relaxed);
+                self.emit(|| EventKind::CacheHit {
+                    kind: CacheKind::Flow,
+                });
+            }
+            None => {
+                self.flow_misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(|| EventKind::CacheMiss {
+                    kind: CacheKind::Flow,
+                });
+            }
         };
         hit.map(|r| (*r).clone())
     }
@@ -550,6 +616,12 @@ impl ArtifactCache {
             .results
             .insert(FlowKey::of(bench, style, cfg), Arc::new(result.clone()));
         self.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
+        if evicted > 0 {
+            self.emit(|| EventKind::CacheEvicted {
+                kind: CacheKind::Flow,
+                count: evicted,
+            });
+        }
     }
 
     /// Drops every stored artifact and resets the counters — the cold
@@ -707,13 +779,129 @@ mod tests {
     }
 
     #[test]
+    fn delta_with_zero_elapsed_work_is_all_zero() {
+        let cache = ArtifactCache::default();
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        let snap = cache.stats();
+        // No work between the snapshots: the delta must be exactly the
+        // default (all-zero) stats, not merely "small".
+        assert_eq!(cache.stats().delta(&snap), CacheStats::default());
+        // And a snapshot's delta against itself likewise.
+        assert_eq!(snap.delta(&snap), CacheStats::default());
+    }
+
+    #[test]
+    fn delta_across_a_clear_saturates_per_counter() {
+        let cache = ArtifactCache::default();
+        for scale in [1.0, 0.9] {
+            cache
+                .library(NodeId::N45, DesignStyle::TwoD, false, scale)
+                .expect("library builds");
+        }
+        let before = cache.stats();
+        assert_eq!(before.library_builds, 2);
+        // clear() resets the live counters below the snapshot; the
+        // post-clear work is smaller than the pre-clear tally, so a
+        // naive subtraction would wrap. Each counter saturates
+        // independently instead.
+        cache.clear();
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        let d = cache.stats().delta(&before);
+        assert_eq!(
+            d.library_builds, 0,
+            "1 post-clear build < 2 pre-clear: saturates"
+        );
+        assert_eq!(
+            d.library_hits, 1,
+            "1 post-clear hit > 0 pre-clear: survives"
+        );
+    }
+
+    #[test]
+    fn display_round_trips_all_seven_counters() {
+        let s = CacheStats {
+            library_builds: 11,
+            library_hits: 22,
+            library_evictions: 33,
+            flow_stores: 44,
+            flow_hits: 55,
+            flow_misses: 66,
+            flow_evictions: 77,
+        };
+        // Parse the rendering back: the numbers must appear in
+        // declaration order and reconstruct the struct exactly, so no
+        // counter can be dropped or reordered without failing here.
+        let text = s.to_string();
+        let nums: Vec<u64> = text
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("counter parses"))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![11, 22, 33, 44, 55, 66, 77],
+            "display must carry all 7 counters in declaration order: {text}"
+        );
+        let round_tripped = CacheStats {
+            library_builds: nums[0],
+            library_hits: nums[1],
+            library_evictions: nums[2],
+            flow_stores: nums[3],
+            flow_hits: nums[4],
+            flow_misses: nums[5],
+            flow_evictions: nums[6],
+        };
+        assert_eq!(round_tripped, s);
+    }
+
+    #[test]
+    fn cache_events_mirror_the_counters() {
+        use crate::observe::MetricsRegistry;
+        let cache = ArtifactCache::bounded(2, 2);
+        let metrics = Arc::new(MetricsRegistry::new());
+        cache.set_recorder(Arc::clone(&metrics) as Arc<dyn Recorder>);
+        for scale in [1.0, 0.9, 0.8, 1.0] {
+            cache
+                .library(NodeId::N45, DesignStyle::TwoD, false, scale)
+                .expect("library builds");
+        }
+        let stats = cache.stats();
+        let report = metrics.report();
+        assert_eq!(report.counter("cache_miss_library"), stats.library_builds);
+        assert_eq!(report.counter("cache_hit_library"), stats.library_hits);
+        assert_eq!(
+            report.counter("cache_evicted_library"),
+            stats.library_evictions
+        );
+        // Detaching restores the null recorder: traffic keeps counting
+        // in stats but stops reaching the old sink.
+        cache.set_recorder(observe::null());
+        cache
+            .library(NodeId::N45, DesignStyle::TwoD, false, 0.8)
+            .expect("library builds");
+        assert_eq!(
+            metrics.report().counter("cache_hit_library")
+                + metrics.report().counter("cache_miss_library"),
+            report.counter("cache_hit_library") + report.counter("cache_miss_library"),
+            "detached recorder sees no further events"
+        );
+    }
+
+    #[test]
     fn sharded_map_keeps_its_capacity_bound() {
-        let map: Sharded<u64, u64> = Sharded::new(64);
-        assert!(map.shards.len() > 1, "a 64-entry map should shard");
+        let map: ShardedLru<u64, u64> = ShardedLru::new(64);
+        assert!(map.shard_count() > 1, "a 64-entry map should shard");
         for k in 0..1000u64 {
             map.insert(k, k);
         }
-        let bound = map.shards.len() * 64usize.div_ceil(map.shards.len());
+        let bound = map.shard_count() * 64usize.div_ceil(map.shard_count());
         assert!(
             map.len() <= bound,
             "{} entries resident, bound {bound}",

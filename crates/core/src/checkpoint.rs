@@ -662,6 +662,20 @@ pub(crate) enum Cursor {
 }
 
 impl Cursor {
+    /// Stable short name for event traces (the stage the resumed run
+    /// executes next; `"decide"` is the pure floorplan-round decision).
+    pub(crate) fn key(self) -> &'static str {
+        match self {
+            Cursor::Synth => "synth",
+            Cursor::Place => "place",
+            Cursor::Preroute => "preroute",
+            Cursor::Route => "route",
+            Cursor::Postroute => "postroute",
+            Cursor::Decide => "decide",
+            Cursor::Signoff => "signoff",
+        }
+    }
+
     fn tag(self) -> u8 {
         match self {
             Cursor::Synth => 0,
@@ -982,8 +996,9 @@ impl CheckpointStore {
 
     /// Writes one snapshot durably: temp file in the same directory,
     /// then rename, so no crash leaves a half-written file under a
-    /// checkpoint name.
-    pub(crate) fn save(&self, state: &PersistedState) -> Result<PathBuf, FlowError> {
+    /// checkpoint name. Returns the final path and the encoded size
+    /// (what a `checkpoint_written` trace event reports).
+    pub(crate) fn save(&self, state: &PersistedState) -> Result<(PathBuf, u64), FlowError> {
         let bytes = state.to_bytes();
         let final_path = self.path_for(state.seq);
         let tmp_path = self.dir.join(format!(".ckpt-{:08}.tmp", state.seq));
@@ -998,7 +1013,7 @@ impl CheckpointStore {
             path: final_path.display().to_string(),
             detail: format!("checkpoint write failed: {e}"),
         })?;
-        Ok(final_path)
+        Ok((final_path, bytes.len() as u64))
     }
 
     /// Moves a failed file into `quarantine/` (best-effort: an

@@ -37,6 +37,7 @@ use m3d_tech::DesignStyle;
 use crate::cache::{ArtifactCache, FlowKey};
 use crate::error::FlowError;
 use crate::flow::{Flow, FlowConfig, FlowResult};
+use crate::observe::EventKind;
 
 /// One point of the experiment matrix: a full flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,12 +220,17 @@ impl ParallelExecutor {
             (0..n).map(|_| Mutex::new(None)).collect();
 
         let t0 = Instant::now();
+        // The fan-out inherits the cache's event sink: flows executed
+        // here emit their stage and cache events through it already, so
+        // the executor only adds its own scheduling events.
+        let recorder = self.cache.recorder();
         let reports: Vec<WorkerReport> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queues = &queues;
                     let slots = &slots;
                     let cache = &self.cache;
+                    let recorder = &recorder;
                     s.spawn(move || {
                         let mut rep = WorkerReport::default();
                         loop {
@@ -232,26 +238,35 @@ impl ParallelExecutor {
                             // victim's back — opposite ends, so a busy
                             // owner and its thief rarely want the same
                             // index.
-                            let mut stolen = false;
+                            let mut stolen_from = None;
                             let mut next = queues[w].lock().expect("queue lock").pop_front();
                             if next.is_none() {
                                 for v in 1..workers {
                                     let victim = (w + v) % workers;
                                     next = queues[victim].lock().expect("queue lock").pop_back();
                                     if next.is_some() {
-                                        stolen = true;
+                                        stolen_from = Some(victim);
                                         break;
                                     }
                                 }
                             }
                             let Some(i) = next else { break };
+                            if let Some(victim) = stolen_from {
+                                if recorder.enabled() {
+                                    recorder.record(EventKind::WorkerStolen {
+                                        worker: w,
+                                        victim,
+                                        point: i,
+                                    });
+                                }
+                            }
                             let p = &plan.points()[i];
                             let t = Instant::now();
                             let r = Flow::new(p.bench, p.style, p.config.clone())
                                 .try_run_with_cache(cache);
                             rep.busy_s += t.elapsed().as_secs_f64();
                             rep.items += 1;
-                            rep.steals += usize::from(stolen);
+                            rep.steals += usize::from(stolen_from.is_some());
                             *slots[i].lock().expect("slot lock") = Some(r);
                         }
                         rep

@@ -40,6 +40,15 @@
 //! degradation ladder, and [`faultinject`] plants deterministic faults —
 //! addressed to stages by name — to test that machinery.
 //!
+//! Observability: the supervisor, cache and executor emit typed events
+//! (stage spans with wall/busy durations, retries, degradation rungs,
+//! checkpoint writes/resumes, cache traffic, work stealing) into a
+//! pluggable [`observe::Recorder`] — JSONL traces, in-memory capture
+//! for tests, or a [`observe::MetricsRegistry`] summarizing a run as a
+//! [`observe::RunReport`]. Attach one with
+//! [`ArtifactCache::set_recorder`]; the default null recorder costs
+//! nothing.
+//!
 //! # Example: a small iso-performance comparison
 //!
 //! ```no_run
@@ -67,6 +76,8 @@ pub mod experiments;
 pub mod faultinject;
 mod flow;
 pub mod gmi;
+pub mod observe;
+mod sharded;
 pub mod stage;
 pub mod supervisor;
 
@@ -79,6 +90,10 @@ pub use executor::{ExecutorReport, ExperimentPlan, ParallelExecutor, PlanPoint, 
 pub use faultinject::{FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
 pub use flow::{estimate_models, extraction_models, try_extraction_models};
+pub use observe::{
+    CacheKind, Event, EventKind, JsonlRecorder, MetricsRegistry, NullRecorder, Recorder, RunReport,
+    StageOutcome, Tee, TraceSummary, VecRecorder,
+};
 pub use stage::{Stage, StageGraph};
 pub use supervisor::{
     AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, StageDeadlines,

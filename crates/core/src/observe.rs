@@ -1,0 +1,1239 @@
+//! Structured observability for the flow engine: spans, metrics, JSONL
+//! run reports (DESIGN.md §11).
+//!
+//! The supervisor, cache and executor emit typed [`EventKind`]s at every
+//! decision point — stage spans, retries, degradation rungs, checkpoint
+//! writes and resumes, cache traffic, work stealing — into whatever
+//! [`Recorder`] the run attached. Recorders are deliberately dumb sinks:
+//!
+//! * [`NullRecorder`] — the default; `enabled()` is `false`, so emit
+//!   sites skip even event construction. Zero overhead by construction.
+//! * [`VecRecorder`] — in-memory, for tests. The golden-trace suite
+//!   (`tests/observe.rs`) replays its event stream against the stage
+//!   graph topology.
+//! * [`JsonlRecorder`] — one event per line, each stamped with a
+//!   monotonic sequence number, a stable thread ordinal and seconds
+//!   since recorder creation. The format is pinned by
+//!   [`validate_jsonl`], which CI runs over every trace it records.
+//! * [`MetricsRegistry`] — aggregates events into sharded counters and
+//!   per-stage wall-time histograms, summarized as a [`RunReport`] that
+//!   the bench binaries serialize next to `BENCH_flow.json`.
+//! * [`Tee`] — fans one event stream out to two recorders (e.g. JSONL
+//!   trace + metrics in the same run).
+//!
+//! Hot-path discipline: [`EventKind`] is `Copy` and built from
+//! `&'static str`s and small enums — constructing and recording one
+//! event allocates nothing. Emit sites guard on [`Recorder::enabled`],
+//! so a disabled recorder costs one virtual call.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use m3d_netlist::Benchmark;
+use m3d_tech::DesignStyle;
+
+use crate::error::{FlowError, FlowStage};
+use crate::sharded::Sharded;
+
+/// Which cache a [`EventKind::CacheHit`]-family event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// The characterized-cell-library cache.
+    Library,
+    /// The completed-flow-result cache.
+    Flow,
+}
+
+impl CacheKind {
+    /// Stable lowercase name used in JSONL and counter keys.
+    pub fn key(self) -> &'static str {
+        match self {
+            CacheKind::Library => "library",
+            CacheKind::Flow => "flow",
+        }
+    }
+}
+
+/// How a stage span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageOutcome {
+    /// The stage ran to completion.
+    Ok,
+    /// The stage returned a flow error (retryable or not).
+    Failed,
+    /// The stage worker panicked and was contained.
+    Panicked,
+    /// The stage overran its deadline and was abandoned.
+    TimedOut,
+    /// The process "died" at stage entry (kill fault); never paired
+    /// with a start — kills model SIGKILL, which leaves no trace.
+    Interrupted,
+}
+
+impl StageOutcome {
+    /// Stable lowercase name used in JSONL and counter keys.
+    pub fn key(self) -> &'static str {
+        match self {
+            StageOutcome::Ok => "ok",
+            StageOutcome::Failed => "failed",
+            StageOutcome::Panicked => "panicked",
+            StageOutcome::TimedOut => "timed_out",
+            StageOutcome::Interrupted => "interrupted",
+        }
+    }
+
+    /// Classifies a stage error for the span's terminal event.
+    pub(crate) fn of_error(err: &FlowError) -> StageOutcome {
+        match err {
+            FlowError::StagePanicked { .. } => StageOutcome::Panicked,
+            FlowError::DeadlineExceeded { .. } => StageOutcome::TimedOut,
+            FlowError::Interrupted { .. } => StageOutcome::Interrupted,
+            _ => StageOutcome::Failed,
+        }
+    }
+}
+
+/// One typed observation from the flow engine. `Copy`, built entirely
+/// from `&'static str`s and small enums — recording allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A stage span opened: the supervisor is about to run `stage` for
+    /// `(bench, style)` at degradation rung `rung`, attempt `attempt`
+    /// (1-based). `consumes` lists the artifact names the stage
+    /// declares it reads — the consumed-key fields of the span.
+    StageStarted {
+        bench: Benchmark,
+        style: DesignStyle,
+        stage: FlowStage,
+        rung: u32,
+        attempt: u32,
+        consumes: &'static [&'static str],
+    },
+    /// The span's terminal event: same identity fields as the start,
+    /// plus how it ended and both durations — `wall_s` as the
+    /// supervisor saw it (includes watchdog/channel overhead),
+    /// `busy_s` as measured inside the worker thread around the stage
+    /// body.
+    StageFinished {
+        bench: Benchmark,
+        style: DesignStyle,
+        stage: FlowStage,
+        rung: u32,
+        attempt: u32,
+        outcome: StageOutcome,
+        wall_s: f64,
+        busy_s: f64,
+    },
+    /// A failed attempt is eligible for retry: `next_attempt` will run
+    /// after artifact-state restoration.
+    RetryScheduled {
+        bench: Benchmark,
+        style: DesignStyle,
+        stage: FlowStage,
+        next_attempt: u32,
+    },
+    /// The supervisor exhausted a rung and is entering `rung` of the
+    /// degradation ladder.
+    DegradationRungEntered {
+        bench: Benchmark,
+        style: DesignStyle,
+        rung: u32,
+    },
+    /// A durable checkpoint was persisted at `cursor` (`bytes` encoded).
+    CheckpointWritten {
+        bench: Benchmark,
+        style: DesignStyle,
+        cursor: &'static str,
+        bytes: u64,
+    },
+    /// A run restored state from a checkpoint at `cursor`; emitted
+    /// before any live stage of the resumed run.
+    CheckpointResumed {
+        bench: Benchmark,
+        style: DesignStyle,
+        cursor: &'static str,
+    },
+    /// A cache request was served from a resident (or freshly
+    /// coalesced) artifact.
+    CacheHit { kind: CacheKind },
+    /// A cache request found nothing and the caller performed the work.
+    CacheMiss { kind: CacheKind },
+    /// A request coalesced onto another thread's in-flight build
+    /// instead of duplicating it (always accompanied by a `CacheHit`;
+    /// schedule-dependent, so trace normalization drops it).
+    CacheCoalesced { kind: CacheKind },
+    /// The LRU bound evicted `count` entries on one insert.
+    CacheEvicted { kind: CacheKind, count: u64 },
+    /// Executor worker `worker` ran out of local work and stole plan
+    /// point `point` from `victim`'s stripe.
+    WorkerStolen {
+        worker: usize,
+        victim: usize,
+        point: usize,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case discriminant name: the JSONL `kind` field and
+    /// the [`MetricsRegistry`] counter key prefix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::StageStarted { .. } => "stage_started",
+            EventKind::StageFinished { .. } => "stage_finished",
+            EventKind::RetryScheduled { .. } => "retry_scheduled",
+            EventKind::DegradationRungEntered { .. } => "degradation_rung_entered",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CheckpointResumed { .. } => "checkpoint_resumed",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheCoalesced { .. } => "cache_coalesced",
+            EventKind::CacheEvicted { .. } => "cache_evicted",
+            EventKind::WorkerStolen { .. } => "worker_stolen",
+        }
+    }
+}
+
+/// A recorded event with its stamps: `seq` is monotonic per recorder,
+/// `thread` a small stable ordinal of the emitting thread, `t_s`
+/// seconds since the recorder was created.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    pub thread: u64,
+    pub t_s: f64,
+    pub kind: EventKind,
+}
+
+/// A sink for engine events.
+///
+/// Guarantees every implementation must keep:
+/// * `record` is safe to call from any thread, concurrently.
+/// * `record` never panics and never blocks on engine locks (it may
+///   take its own).
+/// * `enabled() == false` promises the recorder ignores events; emit
+///   sites use it to skip event construction entirely.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether emit sites should bother constructing events.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Accepts one event. Stamping (seq / thread / time) is the
+    /// recorder's job so disabled recorders pay for none of it.
+    fn record(&self, kind: EventKind);
+}
+
+/// The do-nothing default recorder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _kind: EventKind) {}
+}
+
+/// A shared [`NullRecorder`] handle — the default for every cache.
+pub fn null() -> Arc<dyn Recorder> {
+    static NULL: std::sync::OnceLock<Arc<NullRecorder>> = std::sync::OnceLock::new();
+    Arc::clone(NULL.get_or_init(|| Arc::new(NullRecorder))) as Arc<dyn Recorder>
+}
+
+/// Stamp source shared by the recording implementations: a monotonic
+/// per-recorder sequence, a stable small ordinal per OS thread, and
+/// seconds since recorder creation.
+#[derive(Debug)]
+struct Stamps {
+    seq: AtomicU64,
+    start: Instant,
+}
+
+impl Stamps {
+    fn new() -> Self {
+        Stamps {
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    fn stamp(&self, kind: EventKind) -> Event {
+        Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            thread: thread_ordinal(),
+            t_s: self.start.elapsed().as_secs_f64(),
+            kind,
+        }
+    }
+}
+
+/// A process-stable small integer per OS thread (the main thread is
+/// whichever asked first). Thread *names* are not stamped: the
+/// supervisor's worker names embed flow keys, which would bloat every
+/// event line for information the span fields already carry.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+    }
+    ORDINAL.with(|c| match c.get() {
+        Some(n) => n,
+        None => {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(n));
+            n
+        }
+    })
+}
+
+/// In-memory recorder for tests: collects stamped events in order.
+#[derive(Debug)]
+pub struct VecRecorder {
+    stamps: Stamps,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Default for VecRecorder {
+    fn default() -> Self {
+        VecRecorder::new()
+    }
+}
+
+impl VecRecorder {
+    pub fn new() -> Self {
+        VecRecorder {
+            stamps: Stamps::new(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A snapshot of everything recorded so far, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        let mut evs = self.events.lock().expect("recorder lock").clone();
+        evs.sort_by_key(|e| e.seq);
+        evs
+    }
+
+    /// Drops everything recorded so far (stamps keep counting).
+    pub fn clear(&self) {
+        self.events.lock().expect("recorder lock").clear();
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&self, kind: EventKind) {
+        let ev = self.stamps.stamp(kind);
+        self.events.lock().expect("recorder lock").push(ev);
+    }
+}
+
+/// Streams one JSON object per event to a writer, newline-delimited.
+///
+/// The schema is flat: the stamp fields (`seq`, `thread`, `t_s`), the
+/// discriminant (`kind`), then the variant's fields. Every string the
+/// engine emits is a static identifier (stage keys, bench names,
+/// cursor tags), so values are written verbatim — [`validate_jsonl`]
+/// and the `trace_check` binary parse this exact shape back.
+pub struct JsonlRecorder {
+    stamps: Stamps,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder").finish_non_exhaustive()
+    }
+}
+
+impl JsonlRecorder {
+    /// Records into any writer (buffer it yourself if it matters).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            stamps: Stamps::new(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncates) `path` and records into it, buffered.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `File::create` error when the file cannot be
+    /// created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Flushes the underlying writer (also done on drop).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("recorder lock").flush()
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, kind: EventKind) {
+        let ev = self.stamps.stamp(kind);
+        let mut line = String::with_capacity(160);
+        write_event_json(&mut line, &ev);
+        line.push('\n');
+        let mut out = self.out.lock().expect("recorder lock");
+        // A torn write surfaces at validate time as a malformed line;
+        // recorders must not panic, so the error is swallowed here.
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+/// Serializes one stamped event as a single flat JSON object (no
+/// trailing newline). Field order is fixed: stamps, kind, payload.
+pub fn write_event_json(buf: &mut String, ev: &Event) {
+    let _ = write!(
+        buf,
+        "{{\"seq\":{},\"thread\":{},\"t_s\":{:.6},\"kind\":\"{}\"",
+        ev.seq,
+        ev.thread,
+        ev.t_s,
+        ev.kind.name()
+    );
+    match ev.kind {
+        EventKind::StageStarted {
+            bench,
+            style,
+            stage,
+            rung,
+            attempt,
+            consumes,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"rung\":{rung},\"attempt\":{attempt},\"consumes\":[",
+                bench.name(),
+                style.label(),
+                stage.key()
+            );
+            for (i, c) in consumes.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(buf, "{sep}\"{c}\"");
+            }
+            buf.push(']');
+        }
+        EventKind::StageFinished {
+            bench,
+            style,
+            stage,
+            rung,
+            attempt,
+            outcome,
+            wall_s,
+            busy_s,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"rung\":{rung},\"attempt\":{attempt},\"outcome\":\"{}\",\"wall_s\":{wall_s:.6},\"busy_s\":{busy_s:.6}",
+                bench.name(),
+                style.label(),
+                stage.key(),
+                outcome.key()
+            );
+        }
+        EventKind::RetryScheduled {
+            bench,
+            style,
+            stage,
+            next_attempt,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"next_attempt\":{next_attempt}",
+                bench.name(),
+                style.label(),
+                stage.key()
+            );
+        }
+        EventKind::DegradationRungEntered { bench, style, rung } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"rung\":{rung}",
+                bench.name(),
+                style.label()
+            );
+        }
+        EventKind::CheckpointWritten {
+            bench,
+            style,
+            cursor,
+            bytes,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"cursor\":\"{cursor}\",\"bytes\":{bytes}",
+                bench.name(),
+                style.label()
+            );
+        }
+        EventKind::CheckpointResumed {
+            bench,
+            style,
+            cursor,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"cursor\":\"{cursor}\"",
+                bench.name(),
+                style.label()
+            );
+        }
+        EventKind::CacheHit { kind }
+        | EventKind::CacheMiss { kind }
+        | EventKind::CacheCoalesced { kind } => {
+            let _ = write!(buf, ",\"cache\":\"{}\"", kind.key());
+        }
+        EventKind::CacheEvicted { kind, count } => {
+            let _ = write!(buf, ",\"cache\":\"{}\",\"count\":{count}", kind.key());
+        }
+        EventKind::WorkerStolen {
+            worker,
+            victim,
+            point,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"worker\":{worker},\"victim\":{victim},\"point\":{point}"
+            );
+        }
+    }
+    buf.push('}');
+}
+
+/// Fans one event stream out to two recorders (e.g. a JSONL trace and
+/// a metrics registry over the same run). Enabled iff either side is.
+pub struct Tee {
+    pub a: Arc<dyn Recorder>,
+    pub b: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for Tee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee").finish_non_exhaustive()
+    }
+}
+
+impl Tee {
+    pub fn new(a: Arc<dyn Recorder>, b: Arc<dyn Recorder>) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl Recorder for Tee {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+    fn record(&self, kind: EventKind) {
+        if self.a.enabled() {
+            self.a.record(kind);
+        }
+        if self.b.enabled() {
+            self.b.record(kind);
+        }
+    }
+}
+
+/// Histogram bucket upper bounds (seconds) for stage wall times: two
+/// decades around the observed range — Small-scale stages land in the
+/// leading buckets, Paper-scale routing in the trailing ones.
+pub const WALL_BUCKET_BOUNDS_S: [f64; 8] = [1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1.0, 4.0, 16.0];
+
+/// A fixed-bucket histogram: counts per bound in
+/// [`WALL_BUCKET_BOUNDS_S`] plus one overflow bucket, with count/sum
+/// for mean recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum_s: f64,
+    /// `buckets[i]` counts samples `<= WALL_BUCKET_BOUNDS_S[i]`; the
+    /// final slot counts overflows.
+    pub buckets: [u64; WALL_BUCKET_BOUNDS_S.len() + 1],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_s: 0.0,
+            buckets: [0; WALL_BUCKET_BOUNDS_S.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v_s: f64) {
+        self.count += 1;
+        self.sum_s += v_s;
+        let slot = WALL_BUCKET_BOUNDS_S
+            .iter()
+            .position(|&b| v_s <= b)
+            .unwrap_or(WALL_BUCKET_BOUNDS_S.len());
+        self.buckets[slot] += 1;
+    }
+}
+
+/// Aggregates the event stream into sharded counters (one per event
+/// name / outcome / cache kind) and per-stage wall-time histograms.
+/// Reuses the [`Sharded`] lock-striping the artifact cache shards its
+/// LRU maps with, so concurrent workers rarely contend.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Sharded<HashMap<&'static str, u64>>,
+    stage_wall: Sharded<HashMap<&'static str, Histogram>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+const METRIC_SHARDS: usize = 8;
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: Sharded::new(METRIC_SHARDS, HashMap::new),
+            stage_wall: Sharded::new(METRIC_SHARDS, HashMap::new),
+        }
+    }
+
+    fn bump(&self, key: &'static str, by: u64) {
+        *self
+            .counters
+            .shard(key)
+            .lock()
+            .expect("metrics lock")
+            .entry(key)
+            .or_insert(0) += by;
+    }
+
+    /// The counter key an event aggregates under: the event name,
+    /// suffixed with the discriminating payload field where one exists
+    /// (`stage_finished_ok`, `cache_hit_library`, …).
+    fn counter_key(kind: &EventKind) -> &'static str {
+        match kind {
+            EventKind::StageStarted { .. } => "stage_started",
+            EventKind::StageFinished { outcome, .. } => match outcome {
+                StageOutcome::Ok => "stage_finished_ok",
+                StageOutcome::Failed => "stage_finished_failed",
+                StageOutcome::Panicked => "stage_finished_panicked",
+                StageOutcome::TimedOut => "stage_finished_timed_out",
+                StageOutcome::Interrupted => "stage_finished_interrupted",
+            },
+            EventKind::RetryScheduled { .. } => "retry_scheduled",
+            EventKind::DegradationRungEntered { .. } => "degradation_rung_entered",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CheckpointResumed { .. } => "checkpoint_resumed",
+            EventKind::CacheHit { kind } => match kind {
+                CacheKind::Library => "cache_hit_library",
+                CacheKind::Flow => "cache_hit_flow",
+            },
+            EventKind::CacheMiss { kind } => match kind {
+                CacheKind::Library => "cache_miss_library",
+                CacheKind::Flow => "cache_miss_flow",
+            },
+            EventKind::CacheCoalesced { kind } => match kind {
+                CacheKind::Library => "cache_coalesced_library",
+                CacheKind::Flow => "cache_coalesced_flow",
+            },
+            EventKind::CacheEvicted { kind, .. } => match kind {
+                CacheKind::Library => "cache_evicted_library",
+                CacheKind::Flow => "cache_evicted_flow",
+            },
+            EventKind::WorkerStolen { .. } => "worker_stolen",
+        }
+    }
+
+    /// Summarizes everything aggregated so far.
+    pub fn report(&self) -> RunReport {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for shard in self.counters.iter() {
+            for (k, v) in shard.lock().expect("metrics lock").iter() {
+                counters.push(((*k).to_string(), *v));
+            }
+        }
+        counters.sort();
+        let mut stage_wall: Vec<(String, Histogram)> = Vec::new();
+        for shard in self.stage_wall.iter() {
+            for (k, h) in shard.lock().expect("metrics lock").iter() {
+                stage_wall.push(((*k).to_string(), *h));
+            }
+        }
+        stage_wall.sort_by(|a, b| a.0.cmp(&b.0));
+        RunReport {
+            counters,
+            stage_wall,
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn record(&self, kind: EventKind) {
+        let by = match kind {
+            EventKind::CacheEvicted { count, .. } => count,
+            _ => 1,
+        };
+        self.bump(Self::counter_key(&kind), by);
+        if let EventKind::StageFinished { stage, wall_s, .. } = kind {
+            self.stage_wall
+                .shard(stage.key())
+                .lock()
+                .expect("metrics lock")
+                .entry(stage.key())
+                .or_default()
+                .observe(wall_s);
+        }
+    }
+}
+
+/// A [`MetricsRegistry`] summary: sorted counters plus per-stage
+/// wall-time histograms, serializable with [`RunReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// `(counter key, value)`, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// `(stage key, wall-time histogram)`, sorted by stage key.
+    pub stage_wall: Vec<(String, Histogram)>,
+}
+
+impl RunReport {
+    /// The value of one counter (0 when never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Pretty-printed JSON document (hand-rolled; the workspace vendors
+    /// no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\n    \"{k}\": {v}");
+        }
+        if self.counters.is_empty() {
+            s.push_str("},\n");
+        } else {
+            s.push_str("\n  },\n");
+        }
+        let _ = write!(s, "  \"wall_bucket_bounds_s\": [");
+        for (i, b) in WALL_BUCKET_BOUNDS_S.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}{b}");
+        }
+        s.push_str("],\n  \"stage_wall_s\": {");
+        for (i, (k, h)) in self.stage_wall.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum_s\": {:.6}, \"buckets\": [",
+                h.count, h.sum_s
+            );
+            for (j, c) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(s, "{sep}{c}");
+            }
+            s.push_str("]}");
+        }
+        if self.stage_wall.is_empty() {
+            s.push_str("}\n}\n");
+        } else {
+            s.push_str("\n  }\n}\n");
+        }
+        s
+    }
+}
+
+/// Why a JSONL trace failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Line is not one flat JSON object of the recorder's shape.
+    Malformed { line: usize, reason: String },
+    /// `seq` values must be strictly increasing line over line.
+    SequenceNotIncreasing { line: usize, prev: u64, seq: u64 },
+    /// `kind` is not one of the engine's event names.
+    UnknownKind { line: usize, kind: String },
+    /// A `stage_finished` with no matching open `stage_started`.
+    UnbalancedFinish { line: usize, span: String },
+    /// End of trace with stage spans still open.
+    UnclosedSpans { spans: Vec<String> },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Malformed { line, reason } => {
+                write!(f, "line {line}: malformed event: {reason}")
+            }
+            TraceError::SequenceNotIncreasing { line, prev, seq } => {
+                write!(f, "line {line}: seq {seq} not above previous {prev}")
+            }
+            TraceError::UnknownKind { line, kind } => {
+                write!(f, "line {line}: unknown event kind {kind:?}")
+            }
+            TraceError::UnbalancedFinish { line, span } => {
+                write!(f, "line {line}: stage_finished without start: {span}")
+            }
+            TraceError::UnclosedSpans { spans } => {
+                write!(f, "trace ended with open spans: {}", spans.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Total event lines.
+    pub events: usize,
+    /// Completed stage spans (started and finished).
+    pub stage_spans: usize,
+    /// `cache_hit` events (both kinds).
+    pub cache_hits: u64,
+    /// `cache_miss` events (both kinds).
+    pub cache_misses: u64,
+    /// `checkpoint_written` events.
+    pub checkpoints_written: u64,
+    /// `checkpoint_resumed` events.
+    pub checkpoints_resumed: u64,
+}
+
+/// Every event name the engine emits, for schema validation.
+const KNOWN_KINDS: [&str; 11] = [
+    "stage_started",
+    "stage_finished",
+    "retry_scheduled",
+    "degradation_rung_entered",
+    "checkpoint_written",
+    "checkpoint_resumed",
+    "cache_hit",
+    "cache_miss",
+    "cache_coalesced",
+    "cache_evicted",
+    "worker_stolen",
+];
+
+/// Extracts the raw text of `"field":<value>` from a recorder-shaped
+/// line: quoted values lose their quotes, numbers/arrays come verbatim.
+/// The writer emits no escapes and no nested objects, so scanning to
+/// the closing quote / next comma at depth zero is exact.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' if depth > 0 => depth -= 1,
+                ',' | '}' | ']' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        Some(rest[..end].trim())
+    }
+}
+
+fn u64_field(line: &str, name: &str, lineno: usize) -> Result<u64, TraceError> {
+    let raw = field(line, name).ok_or_else(|| TraceError::Malformed {
+        line: lineno,
+        reason: format!("missing field {name:?}"),
+    })?;
+    raw.parse().map_err(|_| TraceError::Malformed {
+        line: lineno,
+        reason: format!("field {name:?} not an integer: {raw:?}"),
+    })
+}
+
+fn str_field<'a>(line: &'a str, name: &str, lineno: usize) -> Result<&'a str, TraceError> {
+    field(line, name).ok_or_else(|| TraceError::Malformed {
+        line: lineno,
+        reason: format!("missing field {name:?}"),
+    })
+}
+
+/// Validates a JSONL trace against the recorder's schema: every line
+/// parses, `seq` strictly increases, every `kind` is known, required
+/// per-kind fields are present, and stage spans balance — each
+/// `stage_finished` closes a matching open `stage_started` (keyed by
+/// bench/style/stage/rung/attempt) and nothing stays open at the end.
+///
+/// # Errors
+///
+/// The first violation, as a [`TraceError`].
+pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
+    let mut summary = TraceSummary::default();
+    let mut prev_seq: Option<u64> = None;
+    // Open span keys -> count (retries reuse attempt numbers only
+    // across rungs, so a multiset keeps the check exact anyway).
+    let mut open: HashMap<String, u64> = HashMap::new();
+    for (i, line) in trace.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(TraceError::Malformed {
+                line: lineno,
+                reason: "not a JSON object".to_string(),
+            });
+        }
+        summary.events += 1;
+        let seq = u64_field(line, "seq", lineno)?;
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err(TraceError::SequenceNotIncreasing {
+                    line: lineno,
+                    prev,
+                    seq,
+                });
+            }
+        }
+        prev_seq = Some(seq);
+        u64_field(line, "thread", lineno)?;
+        let t_s = str_field(line, "t_s", lineno)?;
+        if t_s.parse::<f64>().map_or(true, |v| v.is_nan() || v < 0.0) {
+            return Err(TraceError::Malformed {
+                line: lineno,
+                reason: format!("field \"t_s\" not a non-negative number: {t_s:?}"),
+            });
+        }
+        let kind = str_field(line, "kind", lineno)?;
+        if !KNOWN_KINDS.contains(&kind) {
+            return Err(TraceError::UnknownKind {
+                line: lineno,
+                kind: kind.to_string(),
+            });
+        }
+        match kind {
+            "stage_started" | "stage_finished" => {
+                let span = format!(
+                    "{}/{}/{} rung {} attempt {}",
+                    str_field(line, "bench", lineno)?,
+                    str_field(line, "style", lineno)?,
+                    str_field(line, "stage", lineno)?,
+                    u64_field(line, "rung", lineno)?,
+                    u64_field(line, "attempt", lineno)?,
+                );
+                if kind == "stage_started" {
+                    str_field(line, "consumes", lineno)?;
+                    *open.entry(span).or_insert(0) += 1;
+                } else {
+                    str_field(line, "outcome", lineno)?;
+                    str_field(line, "wall_s", lineno)?;
+                    str_field(line, "busy_s", lineno)?;
+                    match open.get_mut(&span) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            if *n == 0 {
+                                open.remove(&span);
+                            }
+                            summary.stage_spans += 1;
+                        }
+                        _ => return Err(TraceError::UnbalancedFinish { line: lineno, span }),
+                    }
+                }
+            }
+            "retry_scheduled" => {
+                str_field(line, "stage", lineno)?;
+                u64_field(line, "next_attempt", lineno)?;
+            }
+            "degradation_rung_entered" => {
+                u64_field(line, "rung", lineno)?;
+            }
+            "checkpoint_written" => {
+                str_field(line, "cursor", lineno)?;
+                u64_field(line, "bytes", lineno)?;
+                summary.checkpoints_written += 1;
+            }
+            "checkpoint_resumed" => {
+                str_field(line, "cursor", lineno)?;
+                summary.checkpoints_resumed += 1;
+            }
+            "cache_hit" | "cache_miss" | "cache_coalesced" => {
+                str_field(line, "cache", lineno)?;
+                match kind {
+                    "cache_hit" => summary.cache_hits += 1,
+                    "cache_miss" => summary.cache_misses += 1,
+                    _ => {}
+                }
+            }
+            "cache_evicted" => {
+                str_field(line, "cache", lineno)?;
+                u64_field(line, "count", lineno)?;
+            }
+            "worker_stolen" => {
+                u64_field(line, "worker", lineno)?;
+                u64_field(line, "victim", lineno)?;
+                u64_field(line, "point", lineno)?;
+            }
+            _ => unreachable!("kind checked against KNOWN_KINDS"),
+        }
+    }
+    if !open.is_empty() {
+        let mut spans: Vec<String> = open.into_keys().collect();
+        spans.sort();
+        return Err(TraceError::UnclosedSpans { spans });
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(stage: FlowStage, attempt: u32) -> EventKind {
+        EventKind::StageStarted {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            stage,
+            rung: 0,
+            attempt,
+            consumes: &["netlist", "wlm"],
+        }
+    }
+
+    fn finished(stage: FlowStage, attempt: u32, outcome: StageOutcome) -> EventKind {
+        EventKind::StageFinished {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            stage,
+            rung: 0,
+            attempt,
+            outcome,
+            wall_s: 0.25,
+            busy_s: 0.125,
+        }
+    }
+
+    #[test]
+    fn vec_recorder_stamps_monotonic_sequence() {
+        let rec = VecRecorder::new();
+        rec.record(started(FlowStage::Synthesis, 1));
+        rec.record(EventKind::CacheHit {
+            kind: CacheKind::Library,
+        });
+        rec.record(finished(FlowStage::Synthesis, 1, StageOutcome::Ok));
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert!(ev.t_s >= 0.0);
+        }
+        assert_eq!(evs[0].kind.name(), "stage_started");
+        assert_eq!(evs[2].kind.name(), "stage_finished");
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.enabled());
+        assert!(!null().enabled());
+        // Tee of two nulls stays disabled; any live side enables it.
+        assert!(!Tee::new(null(), null()).enabled());
+        assert!(Tee::new(null(), Arc::new(VecRecorder::new())).enabled());
+    }
+
+    #[test]
+    fn tee_fans_out_to_both_sides() {
+        let a = Arc::new(VecRecorder::new());
+        let b = Arc::new(MetricsRegistry::new());
+        let tee = Tee::new(Arc::clone(&a) as Arc<dyn Recorder>, Arc::clone(&b) as _);
+        tee.record(started(FlowStage::Placement, 1));
+        tee.record(finished(FlowStage::Placement, 1, StageOutcome::Ok));
+        assert_eq!(a.events().len(), 2);
+        let report = b.report();
+        assert_eq!(report.counter("stage_started"), 1);
+        assert_eq!(report.counter("stage_finished_ok"), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let rec = VecRecorder::new();
+        rec.record(started(FlowStage::Synthesis, 1));
+        rec.record(EventKind::CacheMiss {
+            kind: CacheKind::Flow,
+        });
+        rec.record(finished(FlowStage::Synthesis, 1, StageOutcome::Failed));
+        rec.record(EventKind::RetryScheduled {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            stage: FlowStage::Synthesis,
+            next_attempt: 2,
+        });
+        rec.record(started(FlowStage::Synthesis, 2));
+        rec.record(finished(FlowStage::Synthesis, 2, StageOutcome::Ok));
+        rec.record(EventKind::DegradationRungEntered {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            rung: 1,
+        });
+        rec.record(EventKind::CheckpointWritten {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            cursor: "route",
+            bytes: 4096,
+        });
+        rec.record(EventKind::CheckpointResumed {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            cursor: "route",
+        });
+        rec.record(EventKind::CacheEvicted {
+            kind: CacheKind::Library,
+            count: 2,
+        });
+        rec.record(EventKind::WorkerStolen {
+            worker: 1,
+            victim: 0,
+            point: 3,
+        });
+        let mut trace = String::new();
+        for ev in rec.events() {
+            write_event_json(&mut trace, &ev);
+            trace.push('\n');
+        }
+        let summary = validate_jsonl(&trace).expect("trace validates");
+        assert_eq!(summary.events, 11);
+        assert_eq!(summary.stage_spans, 2);
+        assert_eq!(summary.cache_misses, 1);
+        assert_eq!(summary.checkpoints_written, 1);
+        assert_eq!(summary.checkpoints_resumed, 1);
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        // Non-increasing seq.
+        let trace = "\
+{\"seq\":0,\"thread\":0,\"t_s\":0.000001,\"kind\":\"cache_hit\",\"cache\":\"library\"}
+{\"seq\":0,\"thread\":0,\"t_s\":0.000002,\"kind\":\"cache_hit\",\"cache\":\"library\"}
+";
+        assert!(matches!(
+            validate_jsonl(trace),
+            Err(TraceError::SequenceNotIncreasing {
+                prev: 0,
+                seq: 0,
+                ..
+            })
+        ));
+        // Unknown kind.
+        let trace = "{\"seq\":0,\"thread\":0,\"t_s\":0.0,\"kind\":\"rebooted\"}\n";
+        assert!(matches!(
+            validate_jsonl(trace),
+            Err(TraceError::UnknownKind { .. })
+        ));
+        // Finish without start.
+        let rec = VecRecorder::new();
+        rec.record(finished(FlowStage::Routing, 1, StageOutcome::Ok));
+        let mut trace = String::new();
+        write_event_json(&mut trace, &rec.events()[0]);
+        trace.push('\n');
+        assert!(matches!(
+            validate_jsonl(&trace),
+            Err(TraceError::UnbalancedFinish { .. })
+        ));
+        // Start without finish.
+        let rec = VecRecorder::new();
+        rec.record(started(FlowStage::Routing, 1));
+        let mut trace = String::new();
+        write_event_json(&mut trace, &rec.events()[0]);
+        trace.push('\n');
+        assert!(matches!(
+            validate_jsonl(&trace),
+            Err(TraceError::UnclosedSpans { .. })
+        ));
+        // Not JSON at all.
+        assert!(matches!(
+            validate_jsonl("stage_started synth\n"),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_histogram_buckets_and_json() {
+        let m = MetricsRegistry::new();
+        for (wall, outcome) in [
+            (0.0005, StageOutcome::Ok),
+            (0.01, StageOutcome::Ok),
+            (100.0, StageOutcome::Failed),
+        ] {
+            m.record(EventKind::StageFinished {
+                bench: Benchmark::Des,
+                style: DesignStyle::TwoD,
+                stage: FlowStage::Routing,
+                rung: 0,
+                attempt: 1,
+                outcome,
+                wall_s: wall,
+                busy_s: wall,
+            });
+        }
+        m.record(EventKind::CacheEvicted {
+            kind: CacheKind::Flow,
+            count: 3,
+        });
+        let report = m.report();
+        assert_eq!(report.counter("stage_finished_ok"), 2);
+        assert_eq!(report.counter("stage_finished_failed"), 1);
+        assert_eq!(
+            report.counter("cache_evicted_flow"),
+            3,
+            "evictions add their count"
+        );
+        let (stage, hist) = &report.stage_wall[0];
+        assert_eq!(stage, "route");
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.buckets[0], 1, "0.5 ms lands in the 1 ms bucket");
+        assert_eq!(hist.buckets[2], 1, "10 ms lands in the 16 ms bucket");
+        assert_eq!(
+            hist.buckets[WALL_BUCKET_BOUNDS_S.len()],
+            1,
+            "100 s overflows"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"stage_finished_ok\": 2"));
+        assert!(json.contains("\"route\": {\"count\": 3"));
+        assert!(json.contains("\"wall_bucket_bounds_s\": [0.001, "));
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_and_distinct() {
+        let here = super::thread_ordinal();
+        assert_eq!(here, super::thread_ordinal(), "stable within a thread");
+        let other = std::thread::spawn(super::thread_ordinal)
+            .join()
+            .expect("no panic");
+        assert_ne!(here, other, "distinct across threads");
+    }
+}

@@ -1,0 +1,76 @@
+//! Lock sharding, generic over the per-shard container.
+//!
+//! One mutex per shard, keys routed by hash: concurrent operations on
+//! different keys proceed without contending on a single container-wide
+//! lock. The [`crate::ArtifactCache`] shards its LRU maps through this,
+//! and the [`crate::observe::MetricsRegistry`] shards its counter and
+//! histogram maps — same machinery, different inner containers.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// A fixed set of independently locked shards of `S`.
+#[derive(Debug)]
+pub(crate) struct Sharded<S> {
+    shards: Vec<Mutex<S>>,
+}
+
+impl<S> Sharded<S> {
+    /// `count` shards (clamped to at least 1), each initialized by
+    /// `init`.
+    pub(crate) fn new(count: usize, init: impl Fn() -> S) -> Self {
+        Sharded {
+            shards: (0..count.max(1)).map(|_| Mutex::new(init())).collect(),
+        }
+    }
+
+    /// The shard a key routes to. `DefaultHasher` is deterministic
+    /// within a process, which is all shard routing needs.
+    pub(crate) fn shard<K: Hash + ?Sized>(&self, key: &K) -> &Mutex<S> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Number of shards (test observability only).
+    #[cfg(test)]
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Every shard, for whole-container sweeps (clear, len, snapshot).
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, Mutex<S>> {
+        self.shards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let s: Sharded<Vec<u32>> = Sharded::new(4, Vec::new);
+        assert_eq!(s.shard_count(), 4);
+        for k in 0..100u64 {
+            let a = s.shard(&k) as *const _;
+            let b = s.shard(&k) as *const _;
+            assert_eq!(a, b, "same key must route to the same shard");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s: Sharded<u32> = Sharded::new(0, || 0);
+        assert_eq!(s.shard_count(), 1);
+        *s.shard(&"anything").lock().expect("shard lock") += 1;
+        assert_eq!(
+            *s.iter()
+                .next()
+                .expect("one shard")
+                .lock()
+                .expect("shard lock"),
+            1
+        );
+    }
+}

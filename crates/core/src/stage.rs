@@ -592,6 +592,37 @@ impl StageGraph {
     pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
         self.iter().map(|s| s.name())
     }
+
+    /// The stage a fault-free flow enters at.
+    pub fn entry_stage(&self) -> FlowStage {
+        FlowStage::Library
+    }
+
+    /// The stage a closed flow exits from.
+    pub fn exit_stage(&self) -> FlowStage {
+        FlowStage::SignOff
+    }
+
+    /// Whether `from -> to` is a legal transition between *successful*
+    /// stage completions of one flow: the pipeline's forward edges,
+    /// plus the floorplan back edge — post-route optimization may
+    /// return to placement when the cell area drifted from the
+    /// floorplan basis (the two-round loop of paper Fig. 1). The
+    /// golden-trace suite (`tests/observe.rs`) replays recorded event
+    /// streams against exactly this relation.
+    pub fn legal_transition(&self, from: FlowStage, to: FlowStage) -> bool {
+        use FlowStage::*;
+        matches!(
+            (from, to),
+            (Library, Synthesis)
+                | (Synthesis, Placement)
+                | (Placement, PreRouteOpt)
+                | (PreRouteOpt, Routing)
+                | (Routing, PostRouteOpt)
+                | (PostRouteOpt, SignOff)
+                | (PostRouteOpt, Placement)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -630,6 +661,33 @@ mod tests {
             Some(FlowStage::PostRouteOpt)
         );
         assert!(graph.by_name("no-such-stage").is_none());
+    }
+
+    #[test]
+    fn legal_transitions_are_the_pipeline_plus_floorplan_back_edge() {
+        let graph = StageGraph::paper_pipeline();
+        assert_eq!(graph.entry_stage(), FlowStage::Library);
+        assert_eq!(graph.exit_stage(), FlowStage::SignOff);
+        // Every adjacent pipeline pair is legal…
+        for pair in FlowStage::ALL.windows(2) {
+            assert!(
+                graph.legal_transition(pair[0], pair[1]),
+                "{} -> {} must be legal",
+                pair[0].key(),
+                pair[1].key()
+            );
+        }
+        // …plus exactly one back edge (the floorplan round).
+        assert!(graph.legal_transition(FlowStage::PostRouteOpt, FlowStage::Placement));
+        let mut legal = 0;
+        for from in FlowStage::ALL {
+            for to in FlowStage::ALL {
+                legal += usize::from(graph.legal_transition(from, to));
+            }
+        }
+        assert_eq!(legal, 7, "6 forward edges + 1 back edge, nothing else");
+        assert!(!graph.legal_transition(FlowStage::SignOff, FlowStage::Library));
+        assert!(!graph.legal_transition(FlowStage::Library, FlowStage::Placement));
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::path::Path;
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, OnceLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use m3d_netlist::{Benchmark, Netlist};
 use m3d_place::Placement;
@@ -53,6 +53,7 @@ use crate::checkpoint::{CheckpointStore, Cursor, EnvKnobs, PersistedState};
 use crate::error::{FlowError, FlowStage};
 use crate::faultinject::{FaultInjector, FaultKind, FaultPlan};
 use crate::flow::{FlowConfig, FlowResult};
+use crate::observe::{EventKind, Recorder, StageOutcome};
 use crate::stage::{Stage, StageGraph};
 
 /// Per-stage wall-clock budgets for the watchdog.
@@ -344,6 +345,9 @@ pub struct FlowSupervisor {
     store: Option<CheckpointStore>,
     resume: Option<PersistedState>,
     incidents: Vec<FlowError>,
+    /// Explicit event sink; `None` inherits the cache's recorder at
+    /// [`FlowSupervisor::run`] time.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl FlowSupervisor {
@@ -362,12 +366,23 @@ impl FlowSupervisor {
             store: None,
             resume: None,
             incidents: Vec::new(),
+            recorder: None,
         }
     }
 
     /// Replaces the policy.
     pub fn policy(mut self, policy: SupervisorPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Attaches an explicit event sink for this run. Without it, the
+    /// run inherits whatever recorder is attached to its cache
+    /// ([`ArtifactCache::set_recorder`]) — usually the right thing, so
+    /// one attachment instruments stage spans and cache traffic
+    /// together.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -437,6 +452,7 @@ impl FlowSupervisor {
             store: Some(store),
             resume: Some(state),
             incidents,
+            recorder: None,
         })
     }
 
@@ -460,7 +476,11 @@ impl FlowSupervisor {
             store,
             resume,
             incidents,
+            recorder,
         } = self;
+        // An explicit recorder wins; otherwise inherit the cache's, so
+        // attaching a sink to the cache instruments the whole run.
+        let recorder = recorder.unwrap_or_else(|| cache.recorder());
         let mut cx = FlowContext::new(bench, style, config, cache);
         let mut engine = Engine {
             policy,
@@ -468,6 +488,7 @@ impl FlowSupervisor {
             graph,
             store,
             incidents,
+            recorder,
             seq: 0,
             records: Vec::new(),
             relaxations: Vec::new(),
@@ -482,6 +503,13 @@ impl FlowSupervisor {
 
         match resume {
             Some(state) => {
+                // Trace the resume before any live stage runs, so a
+                // resumed run's trace always opens with it.
+                engine.emit(|| EventKind::CheckpointResumed {
+                    bench,
+                    style,
+                    cursor: state.cursor.key(),
+                });
                 // The cell library is a pure, memoized function of the
                 // config; rebuild the environment through the library
                 // stage directly — deterministic, so it earns no new
@@ -526,6 +554,8 @@ struct Engine {
     graph: StageGraph,
     store: Option<CheckpointStore>,
     incidents: Vec<FlowError>,
+    /// Resolved event sink (never `None`; disabled = null recorder).
+    recorder: Arc<dyn Recorder>,
     /// Monotonic snapshot counter (continues across resume).
     seq: u64,
     records: Vec<AttemptRecord>,
@@ -550,6 +580,15 @@ struct Engine {
 }
 
 impl Engine {
+    /// Records one event iff the resolved recorder is live — with the
+    /// default null recorder this is one virtual call, no event
+    /// construction.
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        if self.recorder.enabled() {
+            self.recorder.record(kind());
+        }
+    }
+
     /// The rung loop: execute the cursor machine to a result or walk the
     /// degradation ladder.
     fn drive(mut self, mut cx: FlowContext) -> FlowReport {
@@ -627,6 +666,11 @@ impl Engine {
                         }
                     }
                     self.rung += 1;
+                    self.emit(|| EventKind::DegradationRungEntered {
+                        bench: cx.bench,
+                        style: cx.style,
+                        rung: self.rung,
+                    });
                     self.save(&cx);
                 }
             }
@@ -771,13 +815,28 @@ impl Engine {
             let fault = self.injector.tick(id);
             if let Some(f) = &fault {
                 match &f.kind {
+                    // A kill models SIGKILL at stage entry: it returns
+                    // before the span opens, so traces stay balanced —
+                    // a killed process records nothing.
                     FaultKind::Kill => return Err(FlowError::Interrupted { stage: id }),
                     FaultKind::CorruptCheckpoint => self.corrupt_next_save = true,
                     _ => {}
                 }
             }
-            let outcome = match &fault {
-                Some(f) if f.kind == FaultKind::Error => Err(f.error()),
+            // Every attempt gets a span — injected errors included, so
+            // the trace pairs one terminal event with every start and
+            // mirrors the attempt records exactly.
+            self.emit(|| EventKind::StageStarted {
+                bench: cx.bench,
+                style: cx.style,
+                stage: id,
+                rung: self.rung,
+                attempt,
+                consumes: stage.consumes(),
+            });
+            let wall_t0 = Instant::now();
+            let (outcome, busy_s) = match &fault {
+                Some(f) if f.kind == FaultKind::Error => (Err(f.error()), 0.0),
                 _ => {
                     let delay = match &fault {
                         Some(f) => match f.kind {
@@ -793,6 +852,20 @@ impl Engine {
                     self.run_contained(Arc::clone(&stage), cx, &checkpoint, delay, panic_with)
                 }
             };
+            let wall_s = wall_t0.elapsed().as_secs_f64();
+            self.emit(|| EventKind::StageFinished {
+                bench: cx.bench,
+                style: cx.style,
+                stage: id,
+                rung: self.rung,
+                attempt,
+                outcome: match &outcome {
+                    Ok(()) => StageOutcome::Ok,
+                    Err(e) => StageOutcome::of_error(e),
+                },
+                wall_s,
+                busy_s,
+            });
             match outcome {
                 Ok(()) => {
                     self.records.push(AttemptRecord {
@@ -814,6 +887,12 @@ impl Engine {
                     if attempt >= max_attempts {
                         return Err(e);
                     }
+                    self.emit(|| EventKind::RetryScheduled {
+                        bench: cx.bench,
+                        style: cx.style,
+                        stage: id,
+                        next_attempt: attempt + 1,
+                    });
                 }
             }
         }
@@ -830,6 +909,12 @@ impl Engine {
     /// a compute-bound thread). In both cases the context is rebuilt
     /// from the pre-attempt environment and artifact checkpoint, so the
     /// caller's retry semantics are identical across all failure modes.
+    ///
+    /// The second return value is the attempt's *busy* time: seconds
+    /// measured inside the worker around the stage body. The caller
+    /// times the wall clock around this whole call; the difference is
+    /// spawn/channel/watchdog overhead (plus any injected delay).
+    /// Attempts that never report back — panics, overruns — yield 0.
     fn run_contained(
         &mut self,
         stage: Arc<dyn Stage>,
@@ -837,7 +922,7 @@ impl Engine {
         checkpoint: &Artifacts,
         delay: Option<Duration>,
         panic_with: Option<String>,
-    ) -> Result<(), FlowError> {
+    ) -> (Result<(), FlowError>, f64) {
         let id = stage.id();
         let env_snapshot = cx.env.clone();
         let rebuild = |cx: &mut FlowContext| {
@@ -861,8 +946,9 @@ impl Engine {
                         panic!("{message}");
                     }
                     let mut cx = owned;
+                    let busy_t0 = Instant::now();
                     let outcome = stage.run(&mut cx);
-                    (cx, outcome)
+                    (cx, outcome, busy_t0.elapsed().as_secs_f64())
                 }));
                 // The receiver may have given up (deadline overrun); a
                 // failed send just drops the late result.
@@ -877,18 +963,24 @@ impl Engine {
                     Err(RecvTimeoutError::Timeout) => {
                         drop(handle); // detach the wedged worker
                         rebuild(cx);
-                        return Err(FlowError::DeadlineExceeded {
-                            stage: id,
-                            budget_ms,
-                        });
+                        return (
+                            Err(FlowError::DeadlineExceeded {
+                                stage: id,
+                                budget_ms,
+                            }),
+                            0.0,
+                        );
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         let _ = handle.join();
                         rebuild(cx);
-                        return Err(FlowError::StagePanicked {
-                            stage: id,
-                            payload: "stage worker vanished without a result".to_string(),
-                        });
+                        return (
+                            Err(FlowError::StagePanicked {
+                                stage: id,
+                                payload: "stage worker vanished without a result".to_string(),
+                            }),
+                            0.0,
+                        );
                     }
                 }
             }
@@ -897,25 +989,31 @@ impl Engine {
                 Err(_) => {
                     let _ = handle.join();
                     rebuild(cx);
-                    return Err(FlowError::StagePanicked {
-                        stage: id,
-                        payload: "stage worker vanished without a result".to_string(),
-                    });
+                    return (
+                        Err(FlowError::StagePanicked {
+                            stage: id,
+                            payload: "stage worker vanished without a result".to_string(),
+                        }),
+                        0.0,
+                    );
                 }
             },
         };
         let _ = handle.join();
         match received {
-            Ok((returned, outcome)) => {
+            Ok((returned, outcome, busy_s)) => {
                 *cx = returned;
-                outcome
+                (outcome, busy_s)
             }
             Err(payload) => {
                 rebuild(cx);
-                Err(FlowError::StagePanicked {
-                    stage: id,
-                    payload: panic_message(payload.as_ref()),
-                })
+                (
+                    Err(FlowError::StagePanicked {
+                        stage: id,
+                        payload: panic_message(payload.as_ref()),
+                    }),
+                    0.0,
+                )
             }
         }
     }
@@ -959,10 +1057,16 @@ impl Engine {
             routing_ckpt: self.routing_ckpt.as_ref().map(durable),
         };
         match store.save(&state) {
-            Ok(_) => {
+            Ok((_, bytes)) => {
                 if corrupt {
                     store.corrupt_newest();
                 }
+                self.emit(|| EventKind::CheckpointWritten {
+                    bench: cx.bench,
+                    style: cx.style,
+                    cursor: state.cursor.key(),
+                    bytes,
+                });
             }
             Err(e) => self.incidents.push(e),
         }

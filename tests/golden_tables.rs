@@ -1,0 +1,88 @@
+//! Golden-output regression test: the smoke-subset `paper_tables`
+//! stdout is pinned byte-for-byte against a committed snapshot, so a
+//! numeric drift anywhere in the flow (cell models, placement,
+//! routing, power) fails CI instead of silently landing in the next
+//! regenerated `paper_tables_output.txt`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_tables
+//! ```
+
+use std::path::PathBuf;
+
+use m3d_bench::{paper_drivers, SMOKE_SUBSET};
+use m3d_netlist::BenchScale;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("paper_tables_subset_small.txt")
+}
+
+/// Exactly what `paper_tables --small --subset` prints to stdout: the
+/// registry-ordered subset drivers, each under its banner line. (The
+/// binary's `--jobs` fan-out only pre-warms the cache; stdout is
+/// byte-identical with or without it.)
+fn render_subset() -> String {
+    let mut out = String::new();
+    for (name, driver) in paper_drivers() {
+        if !SMOKE_SUBSET.contains(&name) {
+            continue;
+        }
+        out.push_str(&format!(
+            "==================== {name} ====================\n"
+        ));
+        out.push_str(&driver(BenchScale::Small));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn smoke_subset_stdout_matches_the_committed_golden_snapshot() {
+    let got = render_subset();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); \
+             run `UPDATE_GOLDEN=1 cargo test --test golden_tables` to create it",
+            path.display()
+        )
+    });
+    if got != want {
+        // Point at the first divergent line rather than dumping both
+        // multi-kilobyte documents.
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| i + 1);
+        match line {
+            Some(n) => {
+                let g = got.lines().nth(n - 1).unwrap_or("<eof>");
+                let w = want.lines().nth(n - 1).unwrap_or("<eof>");
+                panic!(
+                    "smoke-subset output drifted from the golden snapshot at line {n}:\n \
+                     got:  {g}\n want: {w}\n\
+                     If the change is intentional, regenerate with \
+                     `UPDATE_GOLDEN=1 cargo test --test golden_tables`."
+                );
+            }
+            None => panic!(
+                "smoke-subset output drifted in length only: {} vs {} lines \
+                 (trailing content changed). Regenerate with UPDATE_GOLDEN=1 if intended.",
+                got.lines().count(),
+                want.lines().count()
+            ),
+        }
+    }
+}
