@@ -2,11 +2,11 @@
 //! the work-stealing parallel executor.
 //!
 //! ```text
-//! flow_bench [output.json] [--jobs N] [--report FILE]
+//! flow_bench [output.json] [--jobs N] [--report FILE] [--cache-dir DIR]
 //! ```
 //!
-//! Three legs, all on the `paper_tables` smoke subset (`SMOKE_SUBSET`)
-//! at reduced benchmark scale:
+//! Five timed legs, all on the `paper_tables` smoke subset
+//! (`SMOKE_SUBSET`) at reduced benchmark scale:
 //!
 //! 1. **cold serial** — cleared `ArtifactCache`, drivers run serially;
 //!    every library build and flow executes.
@@ -16,6 +16,14 @@
 //!    fans out across `--jobs` workers (default: the host's available
 //!    parallelism) through the `ParallelExecutor`, then the drivers
 //!    format from the warmed cache.
+//! 4. **disk cold** — memory tier cleared, a persistent `DiskStore`
+//!    attached over an empty directory (`--cache-dir DIR`, default: a
+//!    scratch directory removed afterwards); the serial suite runs and
+//!    publishes every artifact to disk.
+//! 5. **disk warm, fresh process** — the binary re-executes itself with
+//!    an empty memory tier and the now-populated store directory; the
+//!    child's suite must characterize **zero** libraries — everything is
+//!    served from verified disk entries across a real process boundary.
 //!
 //! Cache counters are reported **per leg** via `CacheStats::delta` —
 //! the raw counters are cumulative over the process, so labelling them
@@ -33,13 +41,14 @@
 //! path, so the numbers stay comparable against uninstrumented
 //! baselines, while the report still describes a real cold run.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
 use monolith3d::{
-    experiments, observe, ArtifactCache, CacheStats, ExperimentPlan, MetricsRegistry,
+    experiments, observe, ArtifactCache, CacheStats, DiskStore, ExperimentPlan, MetricsRegistry,
     ParallelExecutor,
 };
 
@@ -64,14 +73,22 @@ fn run_suite(drivers: &[PaperDriver]) -> f64 {
 fn stats_json(s: &CacheStats) -> String {
     format!(
         "{{\"library_builds\": {}, \"library_hits\": {}, \"library_evictions\": {}, \
-         \"flow_stores\": {}, \"flow_hits\": {}, \"flow_misses\": {}, \"flow_evictions\": {}}}",
+         \"flow_stores\": {}, \"flow_hits\": {}, \"flow_misses\": {}, \"flow_evictions\": {}, \
+         \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \"disk_evictions\": {}, \
+         \"disk_quarantined\": {}, \"store_degraded\": {}}}",
         s.library_builds,
         s.library_hits,
         s.library_evictions,
         s.flow_stores,
         s.flow_hits,
         s.flow_misses,
-        s.flow_evictions
+        s.flow_evictions,
+        s.disk_hits,
+        s.disk_misses,
+        s.disk_stores,
+        s.disk_evictions,
+        s.disk_quarantined,
+        s.store_degraded
     )
 }
 
@@ -83,8 +100,61 @@ fn f64_list(xs: &[f64]) -> String {
 }
 
 fn usage_exit(msg: &str) -> ! {
-    eprintln!("{msg}\nusage: flow_bench [output.json] [--jobs N] [--report FILE]");
+    eprintln!(
+        "{msg}\nusage: flow_bench [output.json] [--jobs N] [--report FILE] [--cache-dir DIR]"
+    );
     std::process::exit(2);
+}
+
+/// Fresh-process half of the disk-warm leg: the parent re-executes this
+/// binary with `--disk-warm-worker=DIR` so the warm numbers cross a real
+/// process boundary — empty memory tier, store state only on disk. The
+/// child prints `key=value` lines on stdout for the parent to parse.
+fn disk_warm_worker(dir: &Path) -> ! {
+    let cache = ArtifactCache::global();
+    cache.clear();
+    cache.attach_disk(DiskStore::open(dir));
+    let drivers = paper_drivers();
+    let warm_s = run_suite(&drivers);
+    let s = cache.stats();
+    println!("disk_warm_s={warm_s:.6}");
+    println!("library_builds={}", s.library_builds);
+    println!("disk_hits={}", s.disk_hits);
+    println!("disk_quarantined={}", s.disk_quarantined);
+    println!("store_degraded={}", s.store_degraded);
+    std::process::exit(0);
+}
+
+/// Parsed result of the re-executed disk-warm child.
+struct DiskWarm {
+    warm_s: f64,
+    library_builds: u64,
+    disk_hits: u64,
+}
+
+fn spawn_disk_warm_child(dir: &Path) -> DiskWarm {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .arg(format!("--disk-warm-worker={}", dir.display()))
+        .output()
+        .expect("spawn disk-warm child");
+    assert!(
+        out.status.success(),
+        "disk-warm child failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> f64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+            .unwrap_or_else(|| panic!("child output missing '{key}=':\n{stdout}"))
+    };
+    DiskWarm {
+        warm_s: field("disk_warm_s"),
+        library_builds: field("library_builds") as u64,
+        disk_hits: field("disk_hits") as u64,
+    }
 }
 
 /// `BENCH_flow.json` -> `BENCH_flow_report.json`; non-`.json` paths
@@ -99,6 +169,7 @@ fn default_report_path(out_path: &str) -> String {
 fn main() {
     let mut out_path = "BENCH_flow.json".to_string();
     let mut report_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut jobs = ParallelExecutor::default_workers();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -114,6 +185,15 @@ fn main() {
             );
         } else if let Some(v) = a.strip_prefix("--report=") {
             report_path = Some(v.to_string());
+        } else if a == "--cache-dir" {
+            cache_dir = Some(
+                it.next()
+                    .unwrap_or_else(|| usage_exit("--cache-dir needs a directory")),
+            );
+        } else if let Some(v) = a.strip_prefix("--cache-dir=") {
+            cache_dir = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--disk-warm-worker=") {
+            disk_warm_worker(Path::new(v));
         } else if a.starts_with("--") {
             usage_exit(&format!("unknown flag '{a}'"));
         } else {
@@ -173,30 +253,6 @@ fn main() {
         .unwrap_or_else(|| "null".to_string());
     let parallel_speedup = serial_cold_s / parallel_cold_s.max(TIMER_FLOOR_S);
 
-    let suite = SMOKE_SUBSET
-        .iter()
-        .map(|n| format!("\"{n}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let busy: Vec<f64> = report.workers.iter().map(|w| w.busy_s).collect();
-    let json = format!(
-        "{{\n  \"suite\": [{suite}],\n  \"scale\": \"small\",\n  \"jobs\": {jobs},\n  \
-         \"host_cores\": {cores},\n  \"timer_floor_s\": {TIMER_FLOOR_S},\n  \
-         \"serial_cold_s\": {serial_cold_s:.4},\n  \"warm_s\": {warm_s:.6},\n  \
-         \"warm_speedup\": {warm_speedup_json},\n  \
-         \"parallel_cold_s\": {parallel_cold_s:.4},\n  \
-         \"parallel_speedup\": {parallel_speedup:.2},\n  \
-         \"worker_busy_s\": [{busy_s}],\n  \"worker_utilization\": [{util}],\n  \
-         \"cold_cache\": {cold},\n  \"warm_cache\": {warm},\n  \"parallel_cache\": {par}\n}}\n",
-        cores = ParallelExecutor::default_workers(),
-        busy_s = f64_list(&busy),
-        util = f64_list(&utilization),
-        cold = stats_json(&cold_stats),
-        warm = stats_json(&warm_stats),
-        par = stats_json(&parallel_stats),
-    );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-
     // Leg 4 (untimed): replay the cold-parallel workload with metrics
     // attached, then detach so the instrumentation cannot leak into any
     // later use of the process-wide cache.
@@ -219,10 +275,94 @@ fn main() {
         .unwrap_or_else(|e| panic!("write {report_path}: {e}"));
     eprintln!("[wrote run report to {report_path}]");
 
+    // Leg 5: disk cold — empty memory tier AND empty store directory;
+    // the suite builds everything once and publishes it to disk.
+    let (store_dir, scratch_store): (PathBuf, bool) = match &cache_dir {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("m3d-flow-bench-store-{}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&store_dir); // cold means cold
+    cache.clear();
+    cache.attach_disk(DiskStore::open(&store_dir));
+    let before_disk = cache.stats();
+    let disk_cold_s = run_suite(&drivers);
+    let disk_cold_stats = cache.stats().delta(&before_disk);
+    eprintln!("[disk cold suite: {disk_cold_s:.3} s; {disk_cold_stats}]");
+    assert_eq!(
+        disk_cold_stats.store_degraded, 0,
+        "store must stay healthy on a writable directory"
+    );
+
+    // Leg 6: disk warm across a real process boundary — a child process
+    // starts with nothing in memory and must serve the whole suite from
+    // verified disk entries, characterizing zero libraries.
+    let dw = spawn_disk_warm_child(&store_dir);
+    eprintln!(
+        "[disk warm suite (fresh process): {:.3} s; {} library builds, {} disk hits]",
+        dw.warm_s, dw.library_builds, dw.disk_hits
+    );
+    assert_eq!(
+        dw.library_builds, 0,
+        "a fresh process over a warm store must not re-characterize any library"
+    );
+    assert!(dw.disk_hits > 0, "warm leg must actually read the store");
+    cache.detach_disk();
+    if scratch_store {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    let disk_warm_speedup = if dw.warm_s >= TIMER_FLOOR_S {
+        Some(serial_cold_s / dw.warm_s)
+    } else {
+        None
+    };
+    let disk_warm_speedup_json = disk_warm_speedup
+        .map(|s| format!("{s:.1}"))
+        .unwrap_or_else(|| "null".to_string());
+
+    let suite = SMOKE_SUBSET
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let busy: Vec<f64> = report.workers.iter().map(|w| w.busy_s).collect();
+    let json = format!(
+        "{{\n  \"suite\": [{suite}],\n  \"scale\": \"small\",\n  \"jobs\": {jobs},\n  \
+         \"host_cores\": {cores},\n  \"timer_floor_s\": {TIMER_FLOOR_S},\n  \
+         \"serial_cold_s\": {serial_cold_s:.4},\n  \"warm_s\": {warm_s:.6},\n  \
+         \"warm_speedup\": {warm_speedup_json},\n  \
+         \"parallel_cold_s\": {parallel_cold_s:.4},\n  \
+         \"parallel_speedup\": {parallel_speedup:.2},\n  \
+         \"disk_cold_s\": {disk_cold_s:.4},\n  \
+         \"disk_warm_fresh_process_s\": {disk_warm_s:.6},\n  \
+         \"disk_warm_speedup\": {disk_warm_speedup_json},\n  \
+         \"disk_warm_library_builds\": {dw_builds},\n  \
+         \"worker_busy_s\": [{busy_s}],\n  \"worker_utilization\": [{util}],\n  \
+         \"cold_cache\": {cold},\n  \"warm_cache\": {warm},\n  \"parallel_cache\": {par},\n  \
+         \"disk_cold_cache\": {disk_cold}\n}}\n",
+        cores = ParallelExecutor::default_workers(),
+        disk_warm_s = dw.warm_s,
+        dw_builds = dw.library_builds,
+        busy_s = f64_list(&busy),
+        util = f64_list(&utilization),
+        cold = stats_json(&cold_stats),
+        warm = stats_json(&warm_stats),
+        par = stats_json(&parallel_stats),
+        disk_cold = stats_json(&disk_cold_stats),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
     println!(
         "wrote {out_path}: cold {serial_cold_s:.3} s, warm {warm_s:.3} s ({}), \
-         parallel {parallel_cold_s:.3} s ({parallel_speedup:.2}x, {jobs} jobs)",
+         parallel {parallel_cold_s:.3} s ({parallel_speedup:.2}x, {jobs} jobs), \
+         disk cold {disk_cold_s:.3} s, disk warm fresh-process {:.3} s ({})",
         warm_speedup
+            .map(|s| format!("{s:.1}x"))
+            .unwrap_or_else(|| "below timer floor".to_string()),
+        dw.warm_s,
+        disk_warm_speedup
             .map(|s| format!("{s:.1}x"))
             .unwrap_or_else(|| "below timer floor".to_string()),
     );

@@ -27,6 +27,15 @@
 //! aggregates the same events through a [`MetricsRegistry`] and writes
 //! the resulting `RunReport` JSON. Both are diagnostics: stdout stays
 //! byte-identical whether or not they are given.
+//!
+//! `--cache-dir DIR` attaches a persistent [`DiskStore`] under DIR: cell
+//! libraries and flow results survive the process, so a second
+//! invocation with the same DIR re-characterizes nothing and reprints
+//! the same tables from verified disk hits. The store is self-checking —
+//! a corrupt or truncated entry is quarantined and rebuilt, never
+//! served — and any I/O trouble degrades the run back to the in-memory
+//! tier, so `--cache-dir` can never change stdout, only the time it
+//! takes to produce it.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -35,13 +44,13 @@ use std::time::Instant;
 use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
 use monolith3d::{
-    experiments, ArtifactCache, ExperimentPlan, JsonlRecorder, MetricsRegistry, ParallelExecutor,
-    Recorder, Tee,
+    experiments, ArtifactCache, DiskStore, ExperimentPlan, JsonlRecorder, MetricsRegistry,
+    ParallelExecutor, Recorder, Tee,
 };
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] \
+        "{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] [--cache-dir DIR] \
          [--trace FILE] [--report FILE] <experiment | all>"
     );
     std::process::exit(2);
@@ -54,6 +63,7 @@ fn main() {
     let mut jobs = ParallelExecutor::default_workers();
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,6 +73,13 @@ fn main() {
             "--jobs" => {
                 jobs = cli::parse_jobs(it.next().map(String::as_str))
                     .unwrap_or_else(|e| usage_exit(&e.to_string()));
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--cache-dir needs a directory"))
+                        .clone(),
+                );
             }
             "--trace" => {
                 trace_path = Some(
@@ -81,6 +98,8 @@ fn main() {
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
                     jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
+                } else if let Some(v) = other.strip_prefix("--cache-dir=") {
+                    cache_dir = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--trace=") {
                     trace_path = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--report=") {
@@ -117,6 +136,15 @@ fn main() {
     };
     if let Some(r) = recorder {
         ArtifactCache::global().set_recorder(r);
+    }
+    // The disk tier goes in after the recorder so its events land in the
+    // same trace, and before the fan-out so the workers read and publish
+    // through it. stdout is unaffected either way: a verified disk hit
+    // is bit-identical to a rebuild, and a store that cannot be read or
+    // written degrades back to the memory tier.
+    if let Some(d) = &cache_dir {
+        ArtifactCache::global().attach_disk(DiskStore::open(Path::new(d)));
+        eprintln!("[persistent artifact store at {d}]");
     }
 
     let scale = if small {

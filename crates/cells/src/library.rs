@@ -360,6 +360,26 @@ impl CellLibrary {
         Self::from_cells(node7.clone(), style, cells)
     }
 
+    /// Reassembles a library from externally persisted parts — the
+    /// reload half of a disk-resident artifact store. Runs the same
+    /// validation as [`CellLibrary::try_build`], so a corrupt or
+    /// hand-edited payload that decodes structurally can still not
+    /// smuggle a malformed library (non-finite tables, degenerate
+    /// geometry, missing drive variants) past synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError`] naming the first offending cell.
+    pub fn try_from_parts(
+        node: TechNode,
+        style: DesignStyle,
+        cells: Vec<Cell>,
+    ) -> Result<Self, LibraryError> {
+        let lib = Self::from_cells(node, style, cells);
+        lib.validate()?;
+        Ok(lib)
+    }
+
     /// Fallible form of [`CellLibrary::with_pin_cap_scaled`], rejecting
     /// non-finite and non-positive factors.
     ///

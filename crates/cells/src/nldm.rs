@@ -69,6 +69,13 @@ impl Nldm {
         &self.loads
     }
 
+    /// The value grid, row-major over `(slew, load)` — what an external
+    /// serializer must persist alongside the axes to reconstruct the
+    /// table via [`Nldm::new`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Bilinear lookup with linear extrapolation beyond the grid edges
     /// (matching Liberty semantics).
     pub fn lookup(&self, slew: f64, load: f64) -> f64 {

@@ -40,15 +40,16 @@ use crate::error::FlowError;
 use crate::flow::{default_clock_scale_at, FlowConfig, FlowResult};
 use crate::observe::{self, CacheKind, EventKind, Recorder};
 use crate::sharded::Sharded;
+use crate::store::DiskStore;
 
 /// Cache key of one characterized cell library: every [`FlowConfig`]
 /// field the library build consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LibraryKey {
-    node_id: NodeId,
-    style: DesignStyle,
-    lower_metal_rho: bool,
-    pin_cap_scale_bits: u64,
+    pub(crate) node_id: NodeId,
+    pub(crate) style: DesignStyle,
+    pub(crate) lower_metal_rho: bool,
+    pub(crate) pin_cap_scale_bits: u64,
 }
 
 impl LibraryKey {
@@ -74,26 +75,26 @@ impl LibraryKey {
 /// cannot split the key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
-    bench: Benchmark,
-    style: DesignStyle,
-    node_id: NodeId,
-    bench_scale: BenchScale,
+    pub(crate) bench: Benchmark,
+    pub(crate) style: DesignStyle,
+    pub(crate) node_id: NodeId,
+    pub(crate) bench_scale: BenchScale,
     /// Resolved: `stack_kind.unwrap_or(style.default_stack())`.
-    stack_kind: StackKind,
-    clock_ps_bits: Option<u64>,
-    utilization_bits: Option<u64>,
+    pub(crate) stack_kind: StackKind,
+    pub(crate) clock_ps_bits: Option<u64>,
+    pub(crate) utilization_bits: Option<u64>,
     /// Canonicalized to `true` for 2D flows — only the T-MI synthesis
     /// path reads this switch (Table 15 "-n").
-    tmi_wlm: bool,
-    pin_cap_scale_bits: u64,
-    lower_metal_rho: bool,
-    alpha_ff_bits: u64,
-    mb1_routing: bool,
-    opt_passes: usize,
-    place_iterations: usize,
+    pub(crate) tmi_wlm: bool,
+    pub(crate) pin_cap_scale_bits: u64,
+    pub(crate) lower_metal_rho: bool,
+    pub(crate) alpha_ff_bits: u64,
+    pub(crate) mb1_routing: bool,
+    pub(crate) opt_passes: usize,
+    pub(crate) place_iterations: usize,
     /// Resolved: `0.0` selects the per-benchmark calibration, so an
     /// explicit equal factor shares the entry.
-    clock_scale_bits: u64,
+    pub(crate) clock_scale_bits: u64,
 }
 
 impl FlowKey {
@@ -141,6 +142,19 @@ pub struct CacheStats {
     pub flow_misses: u64,
     /// Cached flow results evicted by the LRU bound.
     pub flow_evictions: u64,
+    /// Disk-tier reads served from a verified on-disk entry.
+    pub disk_hits: u64,
+    /// Disk-tier reads that found no usable entry (including entries
+    /// that failed verification and were quarantined).
+    pub disk_misses: u64,
+    /// Artifacts published to the disk tier.
+    pub disk_stores: u64,
+    /// Disk entries evicted by the store's byte budget.
+    pub disk_evictions: u64,
+    /// Disk entries that failed verification and were quarantined.
+    pub disk_quarantined: u64,
+    /// 1 once the disk tier has degraded to a no-op, else 0.
+    pub store_degraded: u64,
 }
 
 impl CacheStats {
@@ -152,16 +166,38 @@ impl CacheStats {
     /// `flow_bench` once did for its warm leg) misreports every phase
     /// after the first.
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        // Full destructuring, not field access: adding a CacheStats
+        // counter without extending this subtraction (and `Display`)
+        // refuses to compile instead of silently dropping the counter.
+        let CacheStats {
+            library_builds,
+            library_hits,
+            library_evictions,
+            flow_stores,
+            flow_hits,
+            flow_misses,
+            flow_evictions,
+            disk_hits,
+            disk_misses,
+            disk_stores,
+            disk_evictions,
+            disk_quarantined,
+            store_degraded,
+        } = *self;
         CacheStats {
-            library_builds: self.library_builds.saturating_sub(earlier.library_builds),
-            library_hits: self.library_hits.saturating_sub(earlier.library_hits),
-            library_evictions: self
-                .library_evictions
-                .saturating_sub(earlier.library_evictions),
-            flow_stores: self.flow_stores.saturating_sub(earlier.flow_stores),
-            flow_hits: self.flow_hits.saturating_sub(earlier.flow_hits),
-            flow_misses: self.flow_misses.saturating_sub(earlier.flow_misses),
-            flow_evictions: self.flow_evictions.saturating_sub(earlier.flow_evictions),
+            library_builds: library_builds.saturating_sub(earlier.library_builds),
+            library_hits: library_hits.saturating_sub(earlier.library_hits),
+            library_evictions: library_evictions.saturating_sub(earlier.library_evictions),
+            flow_stores: flow_stores.saturating_sub(earlier.flow_stores),
+            flow_hits: flow_hits.saturating_sub(earlier.flow_hits),
+            flow_misses: flow_misses.saturating_sub(earlier.flow_misses),
+            flow_evictions: flow_evictions.saturating_sub(earlier.flow_evictions),
+            disk_hits: disk_hits.saturating_sub(earlier.disk_hits),
+            disk_misses: disk_misses.saturating_sub(earlier.disk_misses),
+            disk_stores: disk_stores.saturating_sub(earlier.disk_stores),
+            disk_evictions: disk_evictions.saturating_sub(earlier.disk_evictions),
+            disk_quarantined: disk_quarantined.saturating_sub(earlier.disk_quarantined),
+            store_degraded: store_degraded.saturating_sub(earlier.store_degraded),
         }
     }
 }
@@ -170,18 +206,33 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Every counter of the struct, in declaration order, so the
         // logged summary always agrees with the JSON snapshot
-        // (`cache::tests::display_prints_every_counter` pins this).
+        // (`cache::tests::display_round_trips_every_counter` pins
+        // this). The destructuring makes a counter added without a
+        // matching `write!` argument a compile error.
+        let CacheStats {
+            library_builds,
+            library_hits,
+            library_evictions,
+            flow_stores,
+            flow_hits,
+            flow_misses,
+            flow_evictions,
+            disk_hits,
+            disk_misses,
+            disk_stores,
+            disk_evictions,
+            disk_quarantined,
+            store_degraded,
+        } = *self;
         write!(
             f,
-            "libraries: {} built, {} hits, {} evicted; \
-             flows: {} stored, {} hits, {} misses, {} evicted",
-            self.library_builds,
-            self.library_hits,
-            self.library_evictions,
-            self.flow_stores,
-            self.flow_hits,
-            self.flow_misses,
-            self.flow_evictions
+            "libraries: {library_builds} built, {library_hits} hits, \
+             {library_evictions} evicted; \
+             flows: {flow_stores} stored, {flow_hits} hits, \
+             {flow_misses} misses, {flow_evictions} evicted; \
+             disk: {disk_hits} hits, {disk_misses} misses, \
+             {disk_stores} stored, {disk_evictions} evicted, \
+             {disk_quarantined} quarantined; store degraded: {store_degraded}"
         )
     }
 }
@@ -377,6 +428,10 @@ const DEFAULT_RESULT_CAPACITY: usize = 512;
 pub struct ArtifactCache {
     libraries: ShardedLru<LibraryKey, Arc<BuildCell>>,
     results: ShardedLru<FlowKey, Arc<FlowResult>>,
+    /// The optional persistent tier ([`DiskStore`]): probed on memory
+    /// misses, published to after builds/stores. `None` keeps the
+    /// cache purely in-memory (the seed behavior).
+    disk: RwLock<Option<Arc<DiskStore>>>,
     /// The event sink for this cache's traffic — and, by inheritance,
     /// for every supervisor and executor built over this cache (they
     /// resolve their recorder here unless explicitly overridden).
@@ -412,6 +467,7 @@ impl ArtifactCache {
         ArtifactCache {
             libraries: ShardedLru::new(library_capacity),
             results: ShardedLru::new(result_capacity),
+            disk: RwLock::new(None),
             recorder: RwLock::new(observe::null()),
             library_builds: AtomicU64::new(0),
             library_hits: AtomicU64::new(0),
@@ -428,7 +484,31 @@ impl ArtifactCache {
     /// override with their own), so attaching here instruments a whole
     /// run. Pass [`observe::null()`] to detach.
     pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
-        *self.recorder.write().expect("recorder slot") = recorder;
+        *self.recorder.write().expect("recorder slot") = Arc::clone(&recorder);
+        // The disk tier traces into the same sink.
+        if let Some(d) = self.disk() {
+            d.set_recorder(recorder);
+        }
+    }
+
+    /// Attaches (or replaces) the persistent disk tier. The store
+    /// inherits this cache's recorder, so its `disk_hit`/`disk_miss`/
+    /// `store_degraded` traffic lands in the same trace as the memory
+    /// tier's events.
+    pub fn attach_disk(&self, store: Arc<DiskStore>) {
+        store.set_recorder(self.recorder());
+        *self.disk.write().expect("disk slot") = Some(store);
+    }
+
+    /// Detaches the disk tier; the memory tier keeps working and the
+    /// store directory is left intact.
+    pub fn detach_disk(&self) {
+        *self.disk.write().expect("disk slot") = None;
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<Arc<DiskStore>> {
+        self.disk.read().expect("disk slot").clone()
     }
 
     /// The currently attached recorder.
@@ -529,6 +609,24 @@ impl ArtifactCache {
                 BuildState::Idle => {
                     *state = BuildState::Building;
                     drop(state);
+                    // Two-level lookup: a verified disk entry skips
+                    // characterization entirely. The store traces its
+                    // own DiskHit; here it counts as a library hit —
+                    // not a build, not a CacheMiss — so "zero
+                    // `library_builds`" remains the warm-start
+                    // acceptance signal.
+                    if let Some(lib) = self.disk().and_then(|d| d.load_library(&key)) {
+                        let lib = Arc::new(lib);
+                        let mut done = cell.state.lock().expect("build cell lock");
+                        *done = BuildState::Ready(Arc::clone(&lib));
+                        cell.ready.notify_all();
+                        drop(done);
+                        self.library_hits.fetch_add(1, Ordering::Relaxed);
+                        self.emit(|| EventKind::CacheHit {
+                            kind: CacheKind::Library,
+                        });
+                        return Ok(lib);
+                    }
                     let built = Self::build_library(node_id, style, lower_metal_rho, pin_cap_scale);
                     let mut done = cell.state.lock().expect("build cell lock");
                     match built {
@@ -541,6 +639,12 @@ impl ArtifactCache {
                             self.emit(|| EventKind::CacheMiss {
                                 kind: CacheKind::Library,
                             });
+                            // Publish outside every lock: waiters are
+                            // already served; the disk write must not
+                            // stall them.
+                            if let Some(d) = self.disk() {
+                                d.store_library(&key, &lib);
+                            }
                             return Ok(lib);
                         }
                         Err(e) => {
@@ -585,22 +689,36 @@ impl ArtifactCache {
         cfg: &FlowConfig,
     ) -> Option<FlowResult> {
         let key = FlowKey::of(bench, style, cfg);
-        let hit = self.results.get(&key);
-        match &hit {
-            Some(_) => {
-                self.flow_hits.fetch_add(1, Ordering::Relaxed);
-                self.emit(|| EventKind::CacheHit {
+        if let Some(r) = self.results.get(&key) {
+            self.flow_hits.fetch_add(1, Ordering::Relaxed);
+            self.emit(|| EventKind::CacheHit {
+                kind: CacheKind::Flow,
+            });
+            return Some((*r).clone());
+        }
+        // Memory miss: consult the disk tier before declaring a miss.
+        // A verified entry is promoted into the memory tier so repeat
+        // lookups stay in-process.
+        if let Some(r) = self.disk().and_then(|d| d.load_flow(&key)) {
+            let evicted = self.results.insert(key, Arc::new(r.clone()));
+            self.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
+            if evicted > 0 {
+                self.emit(|| EventKind::CacheEvicted {
                     kind: CacheKind::Flow,
+                    count: evicted,
                 });
             }
-            None => {
-                self.flow_misses.fetch_add(1, Ordering::Relaxed);
-                self.emit(|| EventKind::CacheMiss {
-                    kind: CacheKind::Flow,
-                });
-            }
-        };
-        hit.map(|r| (*r).clone())
+            self.flow_hits.fetch_add(1, Ordering::Relaxed);
+            self.emit(|| EventKind::CacheHit {
+                kind: CacheKind::Flow,
+            });
+            return Some(r);
+        }
+        self.flow_misses.fetch_add(1, Ordering::Relaxed);
+        self.emit(|| EventKind::CacheMiss {
+            kind: CacheKind::Flow,
+        });
+        None
     }
 
     /// Stores a completed sign-off result under its consumed-knob key.
@@ -612,9 +730,8 @@ impl ArtifactCache {
         result: &FlowResult,
     ) {
         self.flow_stores.fetch_add(1, Ordering::Relaxed);
-        let evicted = self
-            .results
-            .insert(FlowKey::of(bench, style, cfg), Arc::new(result.clone()));
+        let key = FlowKey::of(bench, style, cfg);
+        let evicted = self.results.insert(key, Arc::new(result.clone()));
         self.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
         if evicted > 0 {
             self.emit(|| EventKind::CacheEvicted {
@@ -622,10 +739,17 @@ impl ArtifactCache {
                 count: evicted,
             });
         }
+        if let Some(d) = self.disk() {
+            d.store_flow(&key, result);
+        }
     }
 
-    /// Drops every stored artifact and resets the counters — the cold
-    /// half of a cold/warm benchmark.
+    /// Drops every stored **memory-tier** artifact and resets the
+    /// memory counters — the cold half of a cold/warm benchmark. The
+    /// disk tier (if attached) is deliberately untouched: its entries
+    /// and counters persist, so a post-`clear` lookup can still be a
+    /// disk hit. Use [`ArtifactCache::detach_disk`] for a fully cold
+    /// cache.
     pub fn clear(&self) {
         self.libraries.clear();
         self.results.clear();
@@ -642,8 +766,11 @@ impl ArtifactCache {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. The `disk_*` counters are read live from the
+    /// attached [`DiskStore`] (all zero when none is attached), so one
+    /// snapshot covers both tiers coherently.
     pub fn stats(&self) -> CacheStats {
+        let disk = self.disk().map(|d| d.counters()).unwrap_or_default();
         CacheStats {
             library_builds: self.library_builds.load(Ordering::Relaxed),
             library_hits: self.library_hits.load(Ordering::Relaxed),
@@ -652,6 +779,12 @@ impl ArtifactCache {
             flow_hits: self.flow_hits.load(Ordering::Relaxed),
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
             flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_stores: disk.stores,
+            disk_evictions: disk.evictions,
+            disk_quarantined: disk.quarantined,
+            store_degraded: disk.degraded,
         }
     }
 }
@@ -724,6 +857,102 @@ mod tests {
         assert_eq!(cache.stats().library_builds, 2);
     }
 
+    fn temp_store_root(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("m3d-cache-disk-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_serves_a_fresh_cache_without_rebuilding() {
+        let root = temp_store_root("warm");
+        // First "process": builds once, publishing to disk.
+        let warm = ArtifactCache::default();
+        warm.attach_disk(DiskStore::open(&root));
+        warm.library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library builds");
+        let s = warm.stats();
+        assert_eq!((s.library_builds, s.disk_stores), (1, 1));
+
+        // Second "process": a brand-new cache over a fresh store
+        // instance on the same directory must serve the library from
+        // disk — zero characterizations, and a hit (not a miss) in the
+        // memory-tier accounting.
+        let fresh = ArtifactCache::default();
+        fresh.attach_disk(DiskStore::open(&root));
+        fresh
+            .library(NodeId::N45, DesignStyle::TwoD, false, 1.0)
+            .expect("library loads");
+        let s = fresh.stats();
+        assert_eq!(s.library_builds, 0, "warm start must not characterize");
+        assert_eq!((s.library_hits, s.disk_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flow_results_promote_from_disk_into_memory() {
+        let root = temp_store_root("flow");
+        let bench = Benchmark::Des;
+        let cfg = cfg45();
+        let result = {
+            // Fabricate a stored result via a first cache.
+            let first = ArtifactCache::default();
+            first.attach_disk(DiskStore::open(&root));
+            let r = sample_flow_result(bench);
+            first.store_result(bench, DesignStyle::TwoD, &cfg, &r);
+            r
+        };
+        let fresh = ArtifactCache::default();
+        fresh.attach_disk(DiskStore::open(&root));
+        // First lookup: disk hit, promoted into memory.
+        assert_eq!(
+            fresh.lookup_result(bench, DesignStyle::TwoD, &cfg),
+            Some(result.clone())
+        );
+        let s = fresh.stats();
+        assert_eq!((s.flow_hits, s.flow_misses, s.disk_hits), (1, 0, 1));
+        // Second lookup: memory tier, no further disk traffic.
+        assert_eq!(
+            fresh.lookup_result(bench, DesignStyle::TwoD, &cfg),
+            Some(result)
+        );
+        let s = fresh.stats();
+        assert_eq!((s.flow_hits, s.disk_hits), (2, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    fn sample_flow_result(bench: Benchmark) -> FlowResult {
+        FlowResult {
+            bench,
+            style: DesignStyle::TwoD,
+            node_id: NodeId::N45,
+            clock_ps: 1000.0,
+            footprint_um2: 100.0,
+            core_um: (10.0, 10.0),
+            cell_count: 100,
+            buffer_count: 3,
+            utilization: 0.7,
+            wirelength_um: 1234.5,
+            wns_ps: 1.0,
+            hold_wns_ps: 0.5,
+            power: Default::default(),
+            layer_usage: m3d_route::LayerUsage {
+                m1_um: 1.0,
+                local_um: 2.0,
+                intermediate_um: 3.0,
+                global_um: 4.0,
+                peak_utilization: [0.1, 0.2, 0.3],
+                mean_utilization: [0.1, 0.1, 0.1],
+                overflow_ratio: 0.0,
+            },
+            wlm_curve: vec![1.0, 2.0],
+        }
+    }
+
     #[test]
     fn display_prints_every_counter() {
         // The logged summary must agree with the JSON snapshot: every
@@ -737,11 +966,19 @@ mod tests {
             flow_hits: 5,
             flow_misses: 6,
             flow_evictions: 7,
+            disk_hits: 8,
+            disk_misses: 9,
+            disk_stores: 10,
+            disk_evictions: 11,
+            disk_quarantined: 12,
+            store_degraded: 13,
         };
         assert_eq!(
             s.to_string(),
             "libraries: 1 built, 2 hits, 3 evicted; \
-             flows: 4 stored, 5 hits, 6 misses, 7 evicted"
+             flows: 4 stored, 5 hits, 6 misses, 7 evicted; \
+             disk: 8 hits, 9 misses, 10 stored, 11 evicted, \
+             12 quarantined; store degraded: 13"
         );
     }
 
@@ -755,6 +992,12 @@ mod tests {
             flow_hits: 8,
             flow_misses: 10,
             flow_evictions: 0,
+            disk_hits: 3,
+            disk_misses: 5,
+            disk_stores: 2,
+            disk_evictions: 0,
+            disk_quarantined: 0,
+            store_degraded: 0,
         };
         let later = CacheStats {
             library_builds: 2,
@@ -764,6 +1007,12 @@ mod tests {
             flow_hits: 26,
             flow_misses: 10,
             flow_evictions: 2,
+            disk_hits: 9,
+            disk_misses: 5,
+            disk_stores: 2,
+            disk_evictions: 1,
+            disk_quarantined: 1,
+            store_degraded: 1,
         };
         let d = later.delta(&earlier);
         assert_eq!(d.library_builds, 0);
@@ -773,6 +1022,12 @@ mod tests {
         assert_eq!(d.flow_hits, 18);
         assert_eq!(d.flow_misses, 0, "a fully-warm phase shows zero misses");
         assert_eq!(d.flow_evictions, 2);
+        assert_eq!(d.disk_hits, 6);
+        assert_eq!(d.disk_misses, 0);
+        assert_eq!(d.disk_stores, 0);
+        assert_eq!(d.disk_evictions, 1);
+        assert_eq!(d.disk_quarantined, 1);
+        assert_eq!(d.store_degraded, 1, "degradation latched inside the window");
         // A clear() between snapshots drops counters below the earlier
         // snapshot; the delta saturates at zero instead of wrapping.
         assert_eq!(CacheStats::default().delta(&earlier), CacheStats::default());
@@ -825,7 +1080,7 @@ mod tests {
     }
 
     #[test]
-    fn display_round_trips_all_seven_counters() {
+    fn display_round_trips_every_counter() {
         let s = CacheStats {
             library_builds: 11,
             library_hits: 22,
@@ -834,6 +1089,12 @@ mod tests {
             flow_hits: 55,
             flow_misses: 66,
             flow_evictions: 77,
+            disk_hits: 88,
+            disk_misses: 99,
+            disk_stores: 111,
+            disk_evictions: 222,
+            disk_quarantined: 333,
+            store_degraded: 444,
         };
         // Parse the rendering back: the numbers must appear in
         // declaration order and reconstruct the struct exactly, so no
@@ -846,8 +1107,8 @@ mod tests {
             .collect();
         assert_eq!(
             nums,
-            vec![11, 22, 33, 44, 55, 66, 77],
-            "display must carry all 7 counters in declaration order: {text}"
+            vec![11, 22, 33, 44, 55, 66, 77, 88, 99, 111, 222, 333, 444],
+            "display must carry all 13 counters in declaration order: {text}"
         );
         let round_tripped = CacheStats {
             library_builds: nums[0],
@@ -857,6 +1118,12 @@ mod tests {
             flow_hits: nums[4],
             flow_misses: nums[5],
             flow_evictions: nums[6],
+            disk_hits: nums[7],
+            disk_misses: nums[8],
+            disk_stores: nums[9],
+            disk_evictions: nums[10],
+            disk_quarantined: nums[11],
+            store_degraded: nums[12],
         };
         assert_eq!(round_tripped, s);
     }

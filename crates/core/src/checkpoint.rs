@@ -47,263 +47,35 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-use m3d_netlist::{BenchScale, Benchmark, Instance, Net, NetDriver, NetId, Netlist, PinRef};
+use m3d_netlist::{Benchmark, Instance, Net, NetDriver, NetId, Netlist, PinRef};
 use m3d_place::Placement;
 use m3d_sta::NetModel;
 use m3d_synth::WireLoadModel;
-use m3d_tech::{DesignStyle, NodeId, StackKind};
+use m3d_tech::DesignStyle;
 
 use m3d_cells::CellId;
 use m3d_geom::{Point, Rect};
 use m3d_netlist::InstId;
 
 use crate::artifacts::Artifacts;
-use crate::error::{FlowError, FlowStage};
+use crate::codec::{
+    dec_benchmark, dec_node, dec_scale, dec_stack_kind, dec_stage, dec_style, enc_benchmark,
+    enc_node, enc_scale, enc_stack_kind, enc_stage, enc_style, read_section, write_section, Dec,
+    DecResult, DecodeError, Enc,
+};
+use crate::error::FlowError;
 use crate::flow::FlowConfig;
+use crate::observe::{self, EventKind, Recorder};
+use crate::store::quarantine_file;
 use crate::supervisor::{AttemptRecord, Relaxation};
+
+pub use crate::codec::content_hash;
 
 /// File magic of a checkpoint snapshot (version 1).
 const MAGIC: &[u8; 8] = b"M3DCKPT1";
-
-/// FNV-1a 64 content hash — small, dependency-free, and stable across
-/// platforms; collision resistance is not a goal (corruption detection
-/// is).
-pub fn content_hash(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// Codec primitives
-// ---------------------------------------------------------------------
-
-/// Append-only encoder over a byte buffer.
-#[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-    /// Bit-exact f64 (NaN payloads included).
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn str(&mut self, v: &str) {
-        self.usize(v.len());
-        self.buf.extend_from_slice(v.as_bytes());
-    }
-    fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
-        match v {
-            None => self.u8(0),
-            Some(x) => {
-                self.u8(1);
-                f(self, x);
-            }
-        }
-    }
-}
-
-/// Cursor-based decoder with typed failure.
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-/// A malformed checkpoint payload: what failed to parse.
-#[derive(Debug)]
-struct DecodeError(String);
-
-type DecResult<T> = Result<T, DecodeError>;
-
-impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Dec { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError(format!(
-                "payload truncated: wanted {n} bytes at offset {}, have {}",
-                self.pos,
-                self.buf.len() - self.pos
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> DecResult<u8> {
-        Ok(self.take(1)?[0])
-    }
-    fn bool(&mut self) -> DecResult<bool> {
-        Ok(self.u8()? != 0)
-    }
-    fn u32(&mut self) -> DecResult<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-    fn u64(&mut self) -> DecResult<u64> {
-        let b = self.take(8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_le_bytes(a))
-    }
-    fn i64(&mut self) -> DecResult<i64> {
-        Ok(self.u64()? as i64)
-    }
-    fn usize(&mut self) -> DecResult<usize> {
-        let v = self.u64()?;
-        usize::try_from(v).map_err(|_| DecodeError(format!("length {v} overflows usize")))
-    }
-    fn f64(&mut self) -> DecResult<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-    fn str(&mut self) -> DecResult<String> {
-        let n = self.usize()?;
-        let b = self.take(n)?;
-        String::from_utf8(b.to_vec()).map_err(|e| DecodeError(format!("invalid utf-8: {e}")))
-    }
-    fn opt<T>(&mut self, mut f: impl FnMut(&mut Self) -> DecResult<T>) -> DecResult<Option<T>> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(f(self)?)),
-            t => Err(DecodeError(format!("bad Option tag {t}"))),
-        }
-    }
-
-    fn finish(&self) -> DecResult<()> {
-        if self.pos != self.buf.len() {
-            return Err(DecodeError(format!(
-                "{} trailing bytes after decode",
-                self.buf.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// Enum codecs (stable on-disk discriminants — do not reorder)
-// ---------------------------------------------------------------------
-
-fn enc_benchmark(e: &mut Enc, v: Benchmark) {
-    e.u8(match v {
-        Benchmark::Fpu => 0,
-        Benchmark::Aes => 1,
-        Benchmark::Ldpc => 2,
-        Benchmark::Des => 3,
-        Benchmark::M256 => 4,
-    });
-}
-
-fn dec_benchmark(d: &mut Dec) -> DecResult<Benchmark> {
-    Ok(match d.u8()? {
-        0 => Benchmark::Fpu,
-        1 => Benchmark::Aes,
-        2 => Benchmark::Ldpc,
-        3 => Benchmark::Des,
-        4 => Benchmark::M256,
-        t => return Err(DecodeError(format!("bad Benchmark tag {t}"))),
-    })
-}
-
-fn enc_style(e: &mut Enc, v: DesignStyle) {
-    e.u8(match v {
-        DesignStyle::TwoD => 0,
-        DesignStyle::Tmi => 1,
-    });
-}
-
-fn dec_style(d: &mut Dec) -> DecResult<DesignStyle> {
-    Ok(match d.u8()? {
-        0 => DesignStyle::TwoD,
-        1 => DesignStyle::Tmi,
-        t => return Err(DecodeError(format!("bad DesignStyle tag {t}"))),
-    })
-}
-
-fn enc_node(e: &mut Enc, v: NodeId) {
-    e.u8(match v {
-        NodeId::N45 => 0,
-        NodeId::N7 => 1,
-    });
-}
-
-fn dec_node(d: &mut Dec) -> DecResult<NodeId> {
-    Ok(match d.u8()? {
-        0 => NodeId::N45,
-        1 => NodeId::N7,
-        t => return Err(DecodeError(format!("bad NodeId tag {t}"))),
-    })
-}
-
-fn enc_scale(e: &mut Enc, v: BenchScale) {
-    e.u8(match v {
-        BenchScale::Paper => 0,
-        BenchScale::Small => 1,
-    });
-}
-
-fn dec_scale(d: &mut Dec) -> DecResult<BenchScale> {
-    Ok(match d.u8()? {
-        0 => BenchScale::Paper,
-        1 => BenchScale::Small,
-        t => return Err(DecodeError(format!("bad BenchScale tag {t}"))),
-    })
-}
-
-fn enc_stack_kind(e: &mut Enc, v: StackKind) {
-    e.u8(match v {
-        StackKind::TwoD => 0,
-        StackKind::Tmi => 1,
-        StackKind::TmiPlusM => 2,
-    });
-}
-
-fn dec_stack_kind(d: &mut Dec) -> DecResult<StackKind> {
-    Ok(match d.u8()? {
-        0 => StackKind::TwoD,
-        1 => StackKind::Tmi,
-        2 => StackKind::TmiPlusM,
-        t => return Err(DecodeError(format!("bad StackKind tag {t}"))),
-    })
-}
-
-fn enc_stage(e: &mut Enc, v: FlowStage) {
-    e.u8(v.index() as u8);
-}
-
-fn dec_stage(d: &mut Dec) -> DecResult<FlowStage> {
-    let t = d.u8()?;
-    FlowStage::ALL
-        .get(t as usize)
-        .copied()
-        .ok_or_else(|| DecodeError(format!("bad FlowStage tag {t}")))
-}
 
 // ---------------------------------------------------------------------
 // Struct codecs
@@ -750,32 +522,6 @@ const SEC_ARTIFACTS: u8 = 3;
 const SEC_ROUND1_BEST: u8 = 4;
 const SEC_ROUTING_CKPT: u8 = 5;
 
-fn write_section(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
-    out.push(tag);
-    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    out.extend_from_slice(&content_hash(body).to_le_bytes());
-    out.extend_from_slice(body);
-}
-
-fn read_section<'a>(d: &mut Dec<'a>, want_tag: u8) -> DecResult<&'a [u8]> {
-    let tag = d.u8()?;
-    if tag != want_tag {
-        return Err(DecodeError(format!(
-            "expected section {want_tag}, found {tag}"
-        )));
-    }
-    let len = d.usize()?;
-    let hash = d.u64()?;
-    let body = d.take(len)?;
-    let actual = content_hash(body);
-    if actual != hash {
-        return Err(DecodeError(format!(
-            "section {want_tag} content hash mismatch: stored {hash:#018x}, computed {actual:#018x}"
-        )));
-    }
-    Ok(body)
-}
-
 impl PersistedState {
     /// Serializes the snapshot to the full file image (magic + hashes +
     /// sections).
@@ -934,9 +680,26 @@ impl PersistedState {
 
 /// A per-run checkpoint directory: snapshot files, plus a `quarantine/`
 /// subdirectory for files that failed verification.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    /// Files moved to quarantine — shared across clones so every
+    /// handle counts into one tally. A quarantine is an *observed*
+    /// incident, never a silently swallowed one.
+    quarantines: Arc<AtomicU64>,
+    /// The sink quarantine events are reported to (defaults to the
+    /// disabled null recorder; the supervisor attaches its resolved
+    /// recorder at run start).
+    recorder: Arc<RwLock<Arc<dyn Recorder>>>,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("quarantines", &self.quarantines.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl CheckpointStore {
@@ -953,7 +716,23 @@ impl CheckpointStore {
             path: dir.display().to_string(),
             detail: format!("cannot create checkpoint directory: {e}"),
         })?;
-        Ok(CheckpointStore { dir })
+        Ok(CheckpointStore {
+            dir,
+            quarantines: Arc::new(AtomicU64::new(0)),
+            recorder: Arc::new(RwLock::new(observe::null())),
+        })
+    }
+
+    /// Attaches the event sink quarantines are reported to (shared
+    /// with every clone of this store). Pass [`observe::null()`] to
+    /// detach.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        *self.recorder.write().expect("recorder slot") = recorder;
+    }
+
+    /// How many files this store (and its clones) moved to quarantine.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
     }
 
     /// The directory this store writes to.
@@ -1016,19 +795,20 @@ impl CheckpointStore {
         Ok((final_path, bytes.len() as u64))
     }
 
-    /// Moves a failed file into `quarantine/` (best-effort: an
-    /// unmovable file is removed instead so it cannot shadow older,
-    /// valid snapshots).
+    /// Moves a failed file into `quarantine/` via the artifact store's
+    /// shared helper (filename preserved, numeric suffix on
+    /// collision). When even the move fails the file is removed
+    /// instead, so it cannot shadow older, valid snapshots. Either
+    /// way the incident is *counted and traced* — a quarantine must
+    /// never be silent.
     fn quarantine(&self, path: &Path) {
-        let qdir = self.quarantine_dir();
-        let _ = fs::create_dir_all(&qdir);
-        let target = qdir.join(
-            path.file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "unnamed".to_string()),
-        );
-        if fs::rename(path, &target).is_err() {
+        if quarantine_file(path, &self.quarantine_dir()).is_err() {
             let _ = fs::remove_file(path);
+        }
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        let rec = self.recorder.read().expect("recorder slot");
+        if rec.enabled() {
+            rec.record(EventKind::DiskQuarantined { what: "checkpoint" });
         }
     }
 
@@ -1094,6 +874,8 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::FlowStage;
+    use m3d_tech::NodeId;
 
     fn state() -> PersistedState {
         let mut netlist = Netlist::new("t");
@@ -1303,6 +1085,34 @@ mod tests {
             Err(FlowError::CorruptCheckpoint { .. })
         ));
 
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_is_counted_and_traced_never_silent() {
+        use crate::observe::VecRecorder;
+        let dir = std::env::temp_dir().join(format!("m3d-ckpt-qtrace-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store opens");
+        let sink = Arc::new(VecRecorder::new());
+        // A clone shares the counter and sink with the original — the
+        // supervisor hands clones around.
+        let handle = store.clone();
+        handle.set_recorder(Arc::clone(&sink) as Arc<dyn Recorder>);
+        let mut s = state();
+        s.seq = 1;
+        store.save(&s).expect("saves");
+        store.corrupt_newest();
+        assert!(store.load_latest().is_err(), "only snapshot is corrupt");
+        assert_eq!(store.quarantines(), 1, "quarantine counted");
+        assert_eq!(handle.quarantines(), 1, "count shared across clones");
+        let events = sink.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::DiskQuarantined { what: "checkpoint" })),
+            "quarantine traced, not swallowed: {events:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,398 @@
+//! The self-verifying binary codec shared by the durable layers.
+//!
+//! [`crate::checkpoint`] (supervisor snapshots) and [`crate::store`]
+//! (the persistent artifact store) persist different payloads but share
+//! one wire discipline: little-endian integers, `f64` as IEEE-754 bit
+//! patterns (so round-trips are bit-exact, NaN payloads included),
+//! length-prefixed strings, and tagged sections that carry their own
+//! FNV-1a 64 content hash in addition to a whole-payload hash. This
+//! module is that shared substrate — the append-only [`Enc`] writer,
+//! the cursor-based [`Dec`] reader with typed [`DecodeError`] failure,
+//! the enum codecs with stable on-disk discriminants, and the
+//! [`write_section`]/[`read_section`] framing.
+//!
+//! Nothing here touches the filesystem: callers own magic bytes, file
+//! layout and corruption policy (quarantine vs. typed error).
+
+use m3d_netlist::{BenchScale, Benchmark};
+use m3d_tech::{DesignStyle, NodeId, StackKind};
+
+use crate::error::FlowStage;
+
+/// FNV-1a 64 content hash — small, dependency-free, and stable across
+/// platforms; collision resistance is not a goal (corruption detection
+/// is).
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Codec primitives
+// ---------------------------------------------------------------------
+
+/// Append-only encoder over a byte buffer.
+#[derive(Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    /// Bit-exact f64 (NaN payloads included).
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub(crate) fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    pub(crate) fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+}
+
+/// Cursor-based decoder with typed failure.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A malformed durable payload: what failed to parse.
+#[derive(Debug)]
+pub(crate) struct DecodeError(pub(crate) String);
+
+pub(crate) type DecResult<T> = Result<T, DecodeError>;
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> DecResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> DecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn bool(&mut self) -> DecResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+    pub(crate) fn u32(&mut self) -> DecResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    pub(crate) fn u64(&mut self) -> DecResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    pub(crate) fn i64(&mut self) -> DecResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+    pub(crate) fn usize(&mut self) -> DecResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError(format!("length {v} overflows usize")))
+    }
+    pub(crate) fn f64(&mut self) -> DecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    pub(crate) fn str(&mut self) -> DecResult<String> {
+        let n = self.usize()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|e| DecodeError(format!("invalid utf-8: {e}")))
+    }
+    pub(crate) fn opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> DecResult<T>,
+    ) -> DecResult<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            t => Err(DecodeError(format!("bad Option tag {t}"))),
+        }
+    }
+
+    pub(crate) fn finish(&self) -> DecResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after decode",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enum codecs (stable on-disk discriminants — do not reorder)
+// ---------------------------------------------------------------------
+
+pub(crate) fn enc_benchmark(e: &mut Enc, v: Benchmark) {
+    e.u8(match v {
+        Benchmark::Fpu => 0,
+        Benchmark::Aes => 1,
+        Benchmark::Ldpc => 2,
+        Benchmark::Des => 3,
+        Benchmark::M256 => 4,
+    });
+}
+
+pub(crate) fn dec_benchmark(d: &mut Dec) -> DecResult<Benchmark> {
+    Ok(match d.u8()? {
+        0 => Benchmark::Fpu,
+        1 => Benchmark::Aes,
+        2 => Benchmark::Ldpc,
+        3 => Benchmark::Des,
+        4 => Benchmark::M256,
+        t => return Err(DecodeError(format!("bad Benchmark tag {t}"))),
+    })
+}
+
+pub(crate) fn enc_style(e: &mut Enc, v: DesignStyle) {
+    e.u8(match v {
+        DesignStyle::TwoD => 0,
+        DesignStyle::Tmi => 1,
+    });
+}
+
+pub(crate) fn dec_style(d: &mut Dec) -> DecResult<DesignStyle> {
+    Ok(match d.u8()? {
+        0 => DesignStyle::TwoD,
+        1 => DesignStyle::Tmi,
+        t => return Err(DecodeError(format!("bad DesignStyle tag {t}"))),
+    })
+}
+
+pub(crate) fn enc_node(e: &mut Enc, v: NodeId) {
+    e.u8(match v {
+        NodeId::N45 => 0,
+        NodeId::N7 => 1,
+    });
+}
+
+pub(crate) fn dec_node(d: &mut Dec) -> DecResult<NodeId> {
+    Ok(match d.u8()? {
+        0 => NodeId::N45,
+        1 => NodeId::N7,
+        t => return Err(DecodeError(format!("bad NodeId tag {t}"))),
+    })
+}
+
+pub(crate) fn enc_scale(e: &mut Enc, v: BenchScale) {
+    e.u8(match v {
+        BenchScale::Paper => 0,
+        BenchScale::Small => 1,
+    });
+}
+
+pub(crate) fn dec_scale(d: &mut Dec) -> DecResult<BenchScale> {
+    Ok(match d.u8()? {
+        0 => BenchScale::Paper,
+        1 => BenchScale::Small,
+        t => return Err(DecodeError(format!("bad BenchScale tag {t}"))),
+    })
+}
+
+pub(crate) fn enc_stack_kind(e: &mut Enc, v: StackKind) {
+    e.u8(match v {
+        StackKind::TwoD => 0,
+        StackKind::Tmi => 1,
+        StackKind::TmiPlusM => 2,
+    });
+}
+
+pub(crate) fn dec_stack_kind(d: &mut Dec) -> DecResult<StackKind> {
+    Ok(match d.u8()? {
+        0 => StackKind::TwoD,
+        1 => StackKind::Tmi,
+        2 => StackKind::TmiPlusM,
+        t => return Err(DecodeError(format!("bad StackKind tag {t}"))),
+    })
+}
+
+pub(crate) fn enc_stage(e: &mut Enc, v: FlowStage) {
+    e.u8(v.index() as u8);
+}
+
+pub(crate) fn dec_stage(d: &mut Dec) -> DecResult<FlowStage> {
+    let t = d.u8()?;
+    FlowStage::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| DecodeError(format!("bad FlowStage tag {t}")))
+}
+
+// ---------------------------------------------------------------------
+// Section framing
+// ---------------------------------------------------------------------
+
+/// Appends one tagged section: `tag (u8) body_len (u64 LE) body_hash
+/// (u64 LE, FNV-1a 64) body`.
+pub(crate) fn write_section(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&content_hash(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Reads the section that must come next, verifying its tag and content
+/// hash.
+pub(crate) fn read_section<'a>(d: &mut Dec<'a>, want_tag: u8) -> DecResult<&'a [u8]> {
+    let tag = d.u8()?;
+    if tag != want_tag {
+        return Err(DecodeError(format!(
+            "expected section {want_tag}, found {tag}"
+        )));
+    }
+    let len = d.usize()?;
+    let hash = d.u64()?;
+    let body = d.take(len)?;
+    let actual = content_hash(body);
+    if actual != hash {
+        return Err(DecodeError(format!(
+            "section {want_tag} content hash mismatch: stored {hash:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Offset basis for the empty input; one-byte avalanche differs.
+        assert_eq!(content_hash(b""), 0xcbf29ce484222325);
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+    }
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut e = Enc::default();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.usize(1usize << 40);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.str("héllo");
+        e.opt(&Some(3u8), |e, v| e.u8(*v));
+        e.opt(&None::<u8>, |e, v| e.u8(*v));
+        let mut d = Dec::new(&e.buf);
+        assert_eq!(d.u8().expect("u8"), 7);
+        assert!(d.bool().expect("bool"));
+        assert_eq!(d.u32().expect("u32"), 0xDEAD_BEEF);
+        assert_eq!(d.u64().expect("u64"), u64::MAX);
+        assert_eq!(d.i64().expect("i64"), -42);
+        assert_eq!(d.usize().expect("usize"), 1usize << 40);
+        assert_eq!(d.f64().expect("f64").to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().expect("f64").is_nan());
+        assert_eq!(d.str().expect("str"), "héllo");
+        assert_eq!(d.opt(|d| d.u8()).expect("opt"), Some(3));
+        assert_eq!(d.opt(|d| d.u8()).expect("opt"), None);
+        d.finish().expect("no trailing bytes");
+    }
+
+    #[test]
+    fn section_detects_tag_and_hash_mismatch() {
+        let mut payload = Vec::new();
+        write_section(&mut payload, 3, b"body bytes");
+        // Happy path.
+        let mut d = Dec::new(&payload);
+        assert_eq!(read_section(&mut d, 3).expect("reads"), b"body bytes");
+        // Wrong tag wanted.
+        let mut d = Dec::new(&payload);
+        assert!(read_section(&mut d, 4).is_err());
+        // One flipped body byte breaks the section hash.
+        let mut bad = payload.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let mut d = Dec::new(&bad);
+        assert!(read_section(&mut d, 3).is_err());
+    }
+
+    #[test]
+    fn every_enum_discriminant_round_trips() {
+        for b in [
+            Benchmark::Fpu,
+            Benchmark::Aes,
+            Benchmark::Ldpc,
+            Benchmark::Des,
+            Benchmark::M256,
+        ] {
+            let mut e = Enc::default();
+            enc_benchmark(&mut e, b);
+            assert_eq!(dec_benchmark(&mut Dec::new(&e.buf)).expect("dec"), b);
+        }
+        for s in [DesignStyle::TwoD, DesignStyle::Tmi] {
+            let mut e = Enc::default();
+            enc_style(&mut e, s);
+            assert_eq!(dec_style(&mut Dec::new(&e.buf)).expect("dec"), s);
+        }
+        for n in [NodeId::N45, NodeId::N7] {
+            let mut e = Enc::default();
+            enc_node(&mut e, n);
+            assert_eq!(dec_node(&mut Dec::new(&e.buf)).expect("dec"), n);
+        }
+        for sc in [BenchScale::Paper, BenchScale::Small] {
+            let mut e = Enc::default();
+            enc_scale(&mut e, sc);
+            assert_eq!(dec_scale(&mut Dec::new(&e.buf)).expect("dec"), sc);
+        }
+        for k in [StackKind::TwoD, StackKind::Tmi, StackKind::TmiPlusM] {
+            let mut e = Enc::default();
+            enc_stack_kind(&mut e, k);
+            assert_eq!(dec_stack_kind(&mut Dec::new(&e.buf)).expect("dec"), k);
+        }
+        for st in FlowStage::ALL {
+            let mut e = Enc::default();
+            enc_stage(&mut e, st);
+            assert_eq!(dec_stage(&mut Dec::new(&e.buf)).expect("dec"), st);
+        }
+        // Unknown discriminants are typed errors, not panics.
+        assert!(dec_benchmark(&mut Dec::new(&[99])).is_err());
+        assert!(dec_stage(&mut Dec::new(&[99])).is_err());
+    }
+}

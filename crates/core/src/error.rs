@@ -364,3 +364,53 @@ from_stage_error!(
     ExtractError => Extract,
     SpiceError => Spice,
 );
+
+/// Why the persistent artifact store degraded to its in-memory tier.
+///
+/// Store failures are deliberately *not* [`FlowError`]s: the store's
+/// contract is that no disk-tier failure ever fails a flow — any I/O
+/// error flips the store into in-memory-only operation instead
+/// (`crate::store`). This type classifies the failure once, pairing a
+/// stable low-cardinality `reason` key (the `store_degraded` trace
+/// event's payload) with the full detail for diagnostics on stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFailure {
+    /// Stable failure class: `"permission_denied"`, `"read_only"`,
+    /// `"storage_full"`, `"injected"` or `"io_error"`.
+    pub reason: &'static str,
+    /// Free-form rendering of the underlying failure.
+    pub detail: String,
+}
+
+impl StoreFailure {
+    /// Classifies an I/O error from store operation `op`.
+    pub fn io(op: &'static str, err: &std::io::Error) -> Self {
+        let reason = match err.kind() {
+            std::io::ErrorKind::PermissionDenied => "permission_denied",
+            std::io::ErrorKind::ReadOnlyFilesystem => "read_only",
+            std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded => "storage_full",
+            _ => "io_error",
+        };
+        StoreFailure {
+            reason,
+            detail: format!("{op}: {err}"),
+        }
+    }
+
+    /// A fault planted by the chaos harness
+    /// (`crate::faultinject::StoreFaultKind::StoreDirUnwritable`).
+    pub fn injected(detail: impl Into<String>) -> Self {
+        StoreFailure {
+            reason: "injected",
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store degraded ({}): {}", self.reason, self.detail)
+    }
+}
+
+impl std::error::Error for StoreFailure {}

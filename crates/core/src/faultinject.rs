@@ -258,6 +258,96 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Store faults
+// ---------------------------------------------------------------------
+
+/// What an injected fault does to the persistent artifact store
+/// ([`crate::store::DiskStore`]). Store faults are keyed by *publish
+/// count* rather than flow stage: the store is below the stage graph,
+/// and its failure modes (torn writes, bit rot, lost permissions) strike
+/// at I/O boundaries, not stage boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFaultKind {
+    /// The publish is torn: the temp file is cut off mid-write and never
+    /// renamed — exactly the on-disk state a kill -9 during a publish
+    /// leaves. The entry must simply be absent (a later miss), never a
+    /// corrupt hit, and the store must not degrade (a crash is not an
+    /// I/O error).
+    TornStoreWrite,
+    /// The publish completes, then one payload byte of the final entry
+    /// file is flipped in place — the verify-on-read quarantine vector.
+    CorruptStoreEntry,
+    /// The publish reports a permission failure, driving the
+    /// graceful-degradation path (`store_degraded`, then in-memory-only
+    /// operation).
+    StoreDirUnwritable,
+}
+
+/// One planned store fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedStoreFault {
+    /// Which publish fires the fault, 1-based. `None` fires on every
+    /// publish.
+    pub on_publish: Option<u32>,
+    /// What the fault does.
+    pub kind: StoreFaultKind,
+}
+
+/// A deterministic set of planned store faults, keyed by the store's
+/// publish counter — the store-level counterpart of [`FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    faults: Vec<PlannedStoreFault>,
+}
+
+impl StoreFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        StoreFaultPlan::default()
+    }
+
+    fn push(mut self, on_publish: Option<u32>, kind: StoreFaultKind) -> Self {
+        self.faults.push(PlannedStoreFault { on_publish, kind });
+        self
+    }
+
+    /// Tears the `publish`-th publish (1-based): temp file truncated,
+    /// never renamed.
+    pub fn torn_write_on(self, publish: u32) -> Self {
+        self.push(Some(publish.max(1)), StoreFaultKind::TornStoreWrite)
+    }
+
+    /// Flips one byte of the entry written by the `publish`-th publish.
+    pub fn corrupt_entry_on(self, publish: u32) -> Self {
+        self.push(Some(publish.max(1)), StoreFaultKind::CorruptStoreEntry)
+    }
+
+    /// Fails the `publish`-th publish with a permission error.
+    pub fn unwritable_on(self, publish: u32) -> Self {
+        self.push(Some(publish.max(1)), StoreFaultKind::StoreDirUnwritable)
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[PlannedStoreFault] {
+        &self.faults
+    }
+
+    /// The fault to fire on the `n`-th publish (1-based), if any. When
+    /// several faults match, the first planned wins.
+    pub fn on_publish(&self, n: u32) -> Option<StoreFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.on_publish.is_none_or(|at| at == n))
+            .map(|f| f.kind)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +422,28 @@ mod tests {
             assert!(inj.tick(FlowStage::SignOff).is_some());
         }
         assert_eq!(inj.invocations(FlowStage::SignOff), 4);
+    }
+
+    #[test]
+    fn store_plan_fires_on_the_planned_publish_only() {
+        let plan = StoreFaultPlan::new()
+            .torn_write_on(2)
+            .corrupt_entry_on(3)
+            .unwritable_on(5);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(plan.on_publish(1), None);
+        assert_eq!(plan.on_publish(2), Some(StoreFaultKind::TornStoreWrite));
+        assert_eq!(plan.on_publish(3), Some(StoreFaultKind::CorruptStoreEntry));
+        assert_eq!(plan.on_publish(4), None);
+        assert_eq!(plan.on_publish(5), Some(StoreFaultKind::StoreDirUnwritable));
+        assert!(StoreFaultPlan::new().is_empty());
+        assert_eq!(StoreFaultPlan::new().on_publish(1), None);
+    }
+
+    #[test]
+    fn first_planned_store_fault_wins_on_collision() {
+        let plan = StoreFaultPlan::new().corrupt_entry_on(1).torn_write_on(1);
+        assert_eq!(plan.on_publish(1), Some(StoreFaultKind::CorruptStoreEntry));
     }
 }

@@ -69,6 +69,7 @@
 pub mod artifacts;
 pub mod cache;
 pub mod checkpoint;
+mod codec;
 mod compare;
 pub mod error;
 pub mod executor;
@@ -79,15 +80,20 @@ pub mod gmi;
 pub mod observe;
 mod sharded;
 pub mod stage;
+pub mod store;
 pub mod supervisor;
 
 pub use artifacts::FlowContext;
 pub use cache::{ArtifactCache, CacheStats, FlowKey, LibraryKey};
 pub use checkpoint::CheckpointStore;
 pub use compare::Comparison;
+pub use error::StoreFailure;
 pub use error::{ConfigError, FlowError, FlowStage};
 pub use executor::{ExecutorReport, ExperimentPlan, ParallelExecutor, PlanPoint, WorkerReport};
-pub use faultinject::{FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault};
+pub use faultinject::{
+    FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault, PlannedStoreFault,
+    StoreFaultKind, StoreFaultPlan,
+};
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
 pub use flow::{estimate_models, extraction_models, try_extraction_models};
 pub use observe::{
@@ -95,6 +101,7 @@ pub use observe::{
     StageOutcome, Tee, TraceSummary, VecRecorder,
 };
 pub use stage::{Stage, StageGraph};
+pub use store::{DiskCounters, DiskStore};
 pub use supervisor::{
     AttemptRecord, Disposition, FlowReport, FlowSupervisor, Relaxation, StageDeadlines,
     SupervisorPolicy,

@@ -177,6 +177,27 @@ pub enum EventKind {
         victim: usize,
         point: usize,
     },
+    /// A request missed the in-memory tier but was served from the
+    /// persistent store's disk tier (entry re-verified on read).
+    DiskHit { kind: CacheKind },
+    /// The disk tier held no valid entry for the key (the caller
+    /// rebuilds and publishes).
+    DiskMiss { kind: CacheKind },
+    /// The store's byte-budget LRU evicted `count` entries, freeing
+    /// `bytes` on disk.
+    DiskEvicted {
+        kind: CacheKind,
+        count: u64,
+        bytes: u64,
+    },
+    /// A durable file failed verification and was moved into
+    /// `quarantine/` instead of being served (`what` names the payload:
+    /// `"library"`, `"flow"` or `"checkpoint"`).
+    DiskQuarantined { what: &'static str },
+    /// The persistent store hit an I/O failure and degraded to the
+    /// in-memory tier for the rest of the run (emitted once per store;
+    /// `reason` is a stable failure class, not free text).
+    StoreDegraded { reason: &'static str },
 }
 
 impl EventKind {
@@ -195,6 +216,11 @@ impl EventKind {
             EventKind::CacheCoalesced { .. } => "cache_coalesced",
             EventKind::CacheEvicted { .. } => "cache_evicted",
             EventKind::WorkerStolen { .. } => "worker_stolen",
+            EventKind::DiskHit { .. } => "disk_hit",
+            EventKind::DiskMiss { .. } => "disk_miss",
+            EventKind::DiskEvicted { .. } => "disk_evicted",
+            EventKind::DiskQuarantined { .. } => "disk_quarantined",
+            EventKind::StoreDegraded { .. } => "store_degraded",
         }
     }
 }
@@ -386,11 +412,15 @@ impl Drop for JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn record(&self, kind: EventKind) {
+        // Stamp *under* the writer lock: the seq counter is atomic, so
+        // stamping first would let two threads claim 104/105 and write
+        // them in swapped order — validate_jsonl requires the file's
+        // seq column to be strictly increasing.
+        let mut out = self.out.lock().expect("recorder lock");
         let ev = self.stamps.stamp(kind);
         let mut line = String::with_capacity(160);
         write_event_json(&mut line, &ev);
         line.push('\n');
-        let mut out = self.out.lock().expect("recorder lock");
         // A torn write surfaces at validate time as a malformed line;
         // recorders must not panic, so the error is swallowed here.
         let _ = out.write_all(line.as_bytes());
@@ -513,6 +543,22 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
                 buf,
                 ",\"worker\":{worker},\"victim\":{victim},\"point\":{point}"
             );
+        }
+        EventKind::DiskHit { kind } | EventKind::DiskMiss { kind } => {
+            let _ = write!(buf, ",\"cache\":\"{}\"", kind.key());
+        }
+        EventKind::DiskEvicted { kind, count, bytes } => {
+            let _ = write!(
+                buf,
+                ",\"cache\":\"{}\",\"count\":{count},\"bytes\":{bytes}",
+                kind.key()
+            );
+        }
+        EventKind::DiskQuarantined { what } => {
+            let _ = write!(buf, ",\"what\":\"{what}\"");
+        }
+        EventKind::StoreDegraded { reason } => {
+            let _ = write!(buf, ",\"reason\":\"{reason}\"");
         }
     }
     buf.push('}');
@@ -660,6 +706,20 @@ impl MetricsRegistry {
                 CacheKind::Flow => "cache_evicted_flow",
             },
             EventKind::WorkerStolen { .. } => "worker_stolen",
+            EventKind::DiskHit { kind } => match kind {
+                CacheKind::Library => "disk_hit_library",
+                CacheKind::Flow => "disk_hit_flow",
+            },
+            EventKind::DiskMiss { kind } => match kind {
+                CacheKind::Library => "disk_miss_library",
+                CacheKind::Flow => "disk_miss_flow",
+            },
+            EventKind::DiskEvicted { kind, .. } => match kind {
+                CacheKind::Library => "disk_evicted_library",
+                CacheKind::Flow => "disk_evicted_flow",
+            },
+            EventKind::DiskQuarantined { .. } => "disk_quarantined",
+            EventKind::StoreDegraded { .. } => "store_degraded",
         }
     }
 
@@ -689,7 +749,7 @@ impl MetricsRegistry {
 impl Recorder for MetricsRegistry {
     fn record(&self, kind: EventKind) {
         let by = match kind {
-            EventKind::CacheEvicted { count, .. } => count,
+            EventKind::CacheEvicted { count, .. } | EventKind::DiskEvicted { count, .. } => count,
             _ => 1,
         };
         self.bump(Self::counter_key(&kind), by);
@@ -820,10 +880,18 @@ pub struct TraceSummary {
     pub checkpoints_written: u64,
     /// `checkpoint_resumed` events.
     pub checkpoints_resumed: u64,
+    /// `disk_hit` events (both kinds).
+    pub disk_hits: u64,
+    /// `disk_miss` events (both kinds).
+    pub disk_misses: u64,
+    /// `disk_quarantined` events (libraries, flows and checkpoints).
+    pub disk_quarantined: u64,
+    /// `store_degraded` events (at most one per store instance).
+    pub store_degraded: u64,
 }
 
 /// Every event name the engine emits, for schema validation.
-const KNOWN_KINDS: [&str; 11] = [
+const KNOWN_KINDS: [&str; 16] = [
     "stage_started",
     "stage_finished",
     "retry_scheduled",
@@ -835,6 +903,11 @@ const KNOWN_KINDS: [&str; 11] = [
     "cache_coalesced",
     "cache_evicted",
     "worker_stolen",
+    "disk_hit",
+    "disk_miss",
+    "disk_evicted",
+    "disk_quarantined",
+    "store_degraded",
 ];
 
 /// Extracts the raw text of `"field":<value>` from a recorder-shaped
@@ -999,6 +1072,26 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 u64_field(line, "victim", lineno)?;
                 u64_field(line, "point", lineno)?;
             }
+            "disk_hit" | "disk_miss" => {
+                str_field(line, "cache", lineno)?;
+                match kind {
+                    "disk_hit" => summary.disk_hits += 1,
+                    _ => summary.disk_misses += 1,
+                }
+            }
+            "disk_evicted" => {
+                str_field(line, "cache", lineno)?;
+                u64_field(line, "count", lineno)?;
+                u64_field(line, "bytes", lineno)?;
+            }
+            "disk_quarantined" => {
+                str_field(line, "what", lineno)?;
+                summary.disk_quarantined += 1;
+            }
+            "store_degraded" => {
+                str_field(line, "reason", lineno)?;
+                summary.store_degraded += 1;
+            }
             _ => unreachable!("kind checked against KNOWN_KINDS"),
         }
     }
@@ -1119,17 +1212,68 @@ mod tests {
             victim: 0,
             point: 3,
         });
+        rec.record(EventKind::DiskHit {
+            kind: CacheKind::Library,
+        });
+        rec.record(EventKind::DiskMiss {
+            kind: CacheKind::Flow,
+        });
+        rec.record(EventKind::DiskEvicted {
+            kind: CacheKind::Flow,
+            count: 1,
+            bytes: 8192,
+        });
+        rec.record(EventKind::DiskQuarantined { what: "library" });
+        rec.record(EventKind::StoreDegraded {
+            reason: "read_only",
+        });
         let mut trace = String::new();
         for ev in rec.events() {
             write_event_json(&mut trace, &ev);
             trace.push('\n');
         }
         let summary = validate_jsonl(&trace).expect("trace validates");
-        assert_eq!(summary.events, 11);
+        assert_eq!(summary.events, 16);
         assert_eq!(summary.stage_spans, 2);
         assert_eq!(summary.cache_misses, 1);
         assert_eq!(summary.checkpoints_written, 1);
         assert_eq!(summary.checkpoints_resumed, 1);
+        assert_eq!(summary.disk_hits, 1);
+        assert_eq!(summary.disk_misses, 1);
+        assert_eq!(summary.disk_quarantined, 1);
+        assert_eq!(summary.store_degraded, 1);
+    }
+
+    #[test]
+    fn disk_events_aggregate_under_their_counter_keys() {
+        let m = MetricsRegistry::new();
+        m.record(EventKind::DiskHit {
+            kind: CacheKind::Library,
+        });
+        m.record(EventKind::DiskMiss {
+            kind: CacheKind::Library,
+        });
+        m.record(EventKind::DiskMiss {
+            kind: CacheKind::Flow,
+        });
+        m.record(EventKind::DiskEvicted {
+            kind: CacheKind::Library,
+            count: 3,
+            bytes: 1 << 20,
+        });
+        m.record(EventKind::DiskQuarantined { what: "checkpoint" });
+        m.record(EventKind::StoreDegraded { reason: "io_error" });
+        let report = m.report();
+        assert_eq!(report.counter("disk_hit_library"), 1);
+        assert_eq!(report.counter("disk_miss_library"), 1);
+        assert_eq!(report.counter("disk_miss_flow"), 1);
+        assert_eq!(
+            report.counter("disk_evicted_library"),
+            3,
+            "disk evictions add their count"
+        );
+        assert_eq!(report.counter("disk_quarantined"), 1);
+        assert_eq!(report.counter("store_degraded"), 1);
     }
 
     #[test]

@@ -435,6 +435,10 @@ impl FlowSupervisor {
     /// the run from scratch.
     pub fn resume_from(dir: impl AsRef<Path>) -> Result<Self, FlowError> {
         let store = CheckpointStore::open(&dir)?;
+        // load_latest can quarantine corrupt snapshots; trace those
+        // into the global cache's sink (run() re-resolves later, so an
+        // explicit with_recorder still wins for the run itself).
+        store.set_recorder(ArtifactCache::global().recorder());
         let Some((state, incidents)) = store.load_latest()? else {
             return Err(FlowError::CorruptCheckpoint {
                 path: dir.as_ref().display().to_string(),
@@ -481,6 +485,10 @@ impl FlowSupervisor {
         // An explicit recorder wins; otherwise inherit the cache's, so
         // attaching a sink to the cache instruments the whole run.
         let recorder = recorder.unwrap_or_else(|| cache.recorder());
+        // Checkpoint quarantines trace into the same sink.
+        if let Some(s) = &store {
+            s.set_recorder(Arc::clone(&recorder));
+        }
         let mut cx = FlowContext::new(bench, style, config, cache);
         let mut engine = Engine {
             policy,

@@ -16,6 +16,14 @@
 //! * any run that closes as `Closed` (undegraded) is bit-identical to
 //!   the fault-free run.
 //!
+//! A second harness points the same seeded machinery at the persistent
+//! artifact store: torn writes (a kill mid-publish), corrupted entries
+//! and injected I/O failures, each followed by a restart — a fresh
+//! store instance over the surviving directory. The invariant is the
+//! store's whole contract: a faulted entry may cost a miss, but no
+//! fault sequence may ever surface as a hit carrying wrong data, and a
+//! fault-free repair epoch always converges the directory to warm.
+//!
 //! Case count defaults low for the local test suite; CI's seeded chaos
 //! job raises it via `CHAOS_CASES` (the vendored proptest draws cases
 //! deterministically from the test path, so a count is a full replay).
@@ -28,7 +36,8 @@ use std::time::Duration;
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, NodeId};
 use monolith3d::{
-    Disposition, FaultPlan, FlowConfig, FlowError, FlowReport, FlowStage, FlowSupervisor,
+    DiskStore, Disposition, FaultPlan, FlowConfig, FlowError, FlowKey, FlowReport, FlowStage,
+    FlowSupervisor, StoreFaultPlan,
 };
 use proptest::prelude::*;
 
@@ -201,6 +210,132 @@ proptest! {
                 prop_assert_eq!(fingerprint(&last), fingerprint(reference()));
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistent-store chaos: random torn writes (kills mid-publish),
+// corrupted entries and injected I/O failures against the disk tier,
+// with a "restart" (fresh store instance over the surviving directory)
+// after every faulted epoch.
+// ---------------------------------------------------------------------
+
+/// The distinct flow keys the store chaos publishes — one per
+/// benchmark, each with a deterministic expected value.
+const STORE_BENCHES: [Benchmark; 5] = [
+    Benchmark::Fpu,
+    Benchmark::Aes,
+    Benchmark::Ldpc,
+    Benchmark::Des,
+    Benchmark::M256,
+];
+
+fn store_key(bench: Benchmark) -> FlowKey {
+    FlowKey::of(bench, DesignStyle::Tmi, &cfg())
+}
+
+/// The deterministic artifact for one key: what every publish writes
+/// and therefore the only value any hit may ever carry.
+fn store_value(bench: Benchmark, idx: usize) -> monolith3d::FlowResult {
+    monolith3d::FlowResult {
+        bench,
+        style: DesignStyle::Tmi,
+        node_id: NodeId::N45,
+        clock_ps: 1250.0 + idx as f64,
+        footprint_um2: 3321.5,
+        core_um: (57.6, 57.66),
+        cell_count: 1000 + idx,
+        buffer_count: 87,
+        utilization: 0.68,
+        wirelength_um: 98_765.4,
+        wns_ps: 3.25,
+        hold_wns_ps: 1.5,
+        power: m3d_power::PowerReport {
+            cell_mw: 1.25,
+            wire_mw: 0.75,
+            pin_mw: 0.5,
+            leakage_mw: 0.05,
+            wire_cap_pf: 12.0,
+            pin_cap_pf: 8.0,
+        },
+        layer_usage: m3d_route::LayerUsage {
+            m1_um: 100.0,
+            local_um: 5000.0,
+            intermediate_um: 3000.0,
+            global_um: 400.0,
+            peak_utilization: [0.9, 0.7, 0.3],
+            mean_utilization: [0.4, 0.3, 0.1],
+            overflow_ratio: 0.0,
+        },
+        wlm_curve: vec![1.0, 1.5, 2.25],
+    }
+}
+
+/// Derives a random store fault plan from one seed: 1-4 faults of
+/// random kinds landing on random publishes of the epoch.
+fn store_plan_from_seed(mut state: u64) -> StoreFaultPlan {
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut plan = StoreFaultPlan::new();
+    let faults = 1 + (next() % 4) as u32;
+    for _ in 0..faults {
+        let publish = 1 + (next() % STORE_BENCHES.len() as u64) as u32;
+        plan = match next() % 3 {
+            0 => plan.torn_write_on(publish),
+            1 => plan.corrupt_entry_on(publish),
+            _ => plan.unwritable_on(publish),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Kill-and-restart chaos for the disk tier: publish a batch of
+    /// artifacts with random torn writes / corruptions / I/O failures
+    /// injected, then "restart the process" — a fresh `DiskStore` over
+    /// the surviving directory — and read everything back. A load may
+    /// miss (the fault cost us the entry) but may NEVER return a value
+    /// other than the one published for that key; a repair epoch with
+    /// no faults must then converge the directory to fully warm.
+    #[test]
+    fn store_faults_never_surface_as_corrupt_hits(seed in 0u64..1_000_000_000) {
+        let dir = ckpt_dir(); // fresh per case, same uniqueness scheme
+        let faulted = DiskStore::with_faults(&dir, u64::MAX, store_plan_from_seed(seed));
+        for (i, b) in STORE_BENCHES.iter().enumerate() {
+            faulted.store_flow(&store_key(*b), &store_value(*b, i));
+        }
+
+        // Restart #1: whatever survived the faulted epoch must verify.
+        let restarted = DiskStore::open(&dir);
+        for (i, b) in STORE_BENCHES.iter().enumerate() {
+            if let Some(got) = restarted.load_flow(&store_key(*b)) {
+                prop_assert_eq!(got, store_value(*b, i));
+            }
+        }
+
+        // Repair epoch: a fault-free process republishes every key...
+        for (i, b) in STORE_BENCHES.iter().enumerate() {
+            restarted.store_flow(&store_key(*b), &store_value(*b, i));
+        }
+        prop_assert!(!restarted.is_degraded(), "repair epoch saw no real I/O failure");
+
+        // ...so restart #2 serves every key, bit-exactly.
+        let warm = DiskStore::open(&dir);
+        for (i, b) in STORE_BENCHES.iter().enumerate() {
+            let got = warm.load_flow(&store_key(*b));
+            prop_assert!(got.is_some(), "key {} must be warm after repair", i);
+            prop_assert_eq!(got.expect("checked"), store_value(*b, i));
+        }
+        let c = warm.counters();
+        prop_assert_eq!((c.hits, c.misses), (STORE_BENCHES.len() as u64, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -233,6 +233,14 @@ fn normalize(events: &[Event]) -> (Groups, CacheCounts) {
                 continue;
             }
             EventKind::CacheCoalesced { .. } | EventKind::WorkerStolen { .. } => continue,
+            // Disk traffic is schedule- and persistence-dependent (a
+            // warm --cache-dir legitimately changes it), so the
+            // normalized trace identity excludes it, like coalescing.
+            EventKind::DiskHit { .. }
+            | EventKind::DiskMiss { .. }
+            | EventKind::DiskEvicted { .. }
+            | EventKind::DiskQuarantined { .. }
+            | EventKind::StoreDegraded { .. } => continue,
         };
         groups.entry(key).or_default().push(norm);
     }
@@ -452,6 +460,20 @@ fn metrics_registry_aggregates_exactly_the_recorded_events() {
                 CacheKind::Flow => ("cache_evicted_flow", count),
             },
             EventKind::WorkerStolen { .. } => ("worker_stolen", 1),
+            EventKind::DiskHit { kind } => match kind {
+                CacheKind::Library => ("disk_hit_library", 1),
+                CacheKind::Flow => ("disk_hit_flow", 1),
+            },
+            EventKind::DiskMiss { kind } => match kind {
+                CacheKind::Library => ("disk_miss_library", 1),
+                CacheKind::Flow => ("disk_miss_flow", 1),
+            },
+            EventKind::DiskEvicted { kind, count, .. } => match kind {
+                CacheKind::Library => ("disk_evicted_library", count),
+                CacheKind::Flow => ("disk_evicted_flow", count),
+            },
+            EventKind::DiskQuarantined { .. } => ("disk_quarantined", 1),
+            EventKind::StoreDegraded { .. } => ("store_degraded", 1),
         };
         *expected.entry(key).or_insert(0) += by;
     }
