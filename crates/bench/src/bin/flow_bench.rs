@@ -2,11 +2,14 @@
 //! the work-stealing parallel executor.
 //!
 //! ```text
-//! flow_bench [output.json] [--jobs N] [--report FILE] [--cache-dir DIR]
+//! flow_bench [output.json] [--node NAME] [--jobs N] [--report FILE] [--cache-dir DIR]
 //! ```
 //!
 //! Five timed legs, all on the `paper_tables` smoke subset
-//! (`SMOKE_SUBSET`) at reduced benchmark scale:
+//! (`SMOKE_SUBSET`) at reduced benchmark scale. `--node NAME` retargets
+//! every leg to any PDK in the process-node registry (the disk-warm
+//! child re-executes with the same node, so the cross-process leg
+//! serves that node's artifacts):
 //!
 //! 1. **cold serial** — cleared `ArtifactCache`, drivers run serially;
 //!    every library build and flow executes.
@@ -45,8 +48,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
+use m3d_bench::{cli, node_drivers, paper_drivers, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
+use m3d_tech::NodeId;
 use monolith3d::{
     experiments, observe, ArtifactCache, CacheStats, DiskStore, ExperimentPlan, MetricsRegistry,
     ParallelExecutor,
@@ -56,15 +60,42 @@ use monolith3d::{
 /// scheduling jitter; ratios against them are meaningless.
 const TIMER_FLOOR_S: f64 = 1e-3;
 
+/// One suite entry: a smoke-subset name plus the closure that runs it.
+type Run = (&'static str, Box<dyn Fn() -> String>);
+
+/// The smoke subset bound to a node: the classic `paper_tables` drivers
+/// at the 45 nm default, the node-generic drivers retargeted to any
+/// other registered PDK. Either way the names are exactly
+/// `SMOKE_SUBSET`, so cold/warm comparisons time the same work.
+fn suite_runs(node: Option<NodeId>) -> Vec<Run> {
+    match node {
+        None => paper_drivers()
+            .into_iter()
+            .filter(|(name, _)| SMOKE_SUBSET.contains(name))
+            .map(|(name, driver)| {
+                (
+                    name,
+                    Box::new(move || driver(BenchScale::Small)) as Box<dyn Fn() -> String>,
+                )
+            })
+            .collect(),
+        Some(nid) => node_drivers()
+            .into_iter()
+            .map(|(name, driver)| {
+                (
+                    name,
+                    Box::new(move || driver(nid, BenchScale::Small)) as Box<dyn Fn() -> String>,
+                )
+            })
+            .collect(),
+    }
+}
+
 /// Runs the smoke subset once, returning the wall-clock seconds.
-fn run_suite(drivers: &[PaperDriver]) -> f64 {
+fn run_suite(runs: &[Run]) -> f64 {
     let t = Instant::now();
-    for name in SMOKE_SUBSET {
-        let (_, driver) = drivers
-            .iter()
-            .find(|(n, _)| *n == name)
-            .expect("subset drivers are registered");
-        let out = driver(BenchScale::Small);
+    for (name, run) in runs {
+        let out = run();
         assert!(!out.is_empty(), "driver '{name}' produced no output");
     }
     t.elapsed().as_secs_f64()
@@ -101,21 +132,23 @@ fn f64_list(xs: &[f64]) -> String {
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: flow_bench [output.json] [--jobs N] [--report FILE] [--cache-dir DIR]"
+        "{msg}\nusage: flow_bench [output.json] [--node NAME] [--jobs N] [--report FILE] \
+         [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
 
 /// Fresh-process half of the disk-warm leg: the parent re-executes this
-/// binary with `--disk-warm-worker=DIR` so the warm numbers cross a real
-/// process boundary — empty memory tier, store state only on disk. The
-/// child prints `key=value` lines on stdout for the parent to parse.
-fn disk_warm_worker(dir: &Path) -> ! {
+/// binary with `--disk-warm-worker=DIR` (plus its own `--node`, if any)
+/// so the warm numbers cross a real process boundary — empty memory
+/// tier, store state only on disk. The child prints `key=value` lines
+/// on stdout for the parent to parse.
+fn disk_warm_worker(dir: &Path, node: Option<NodeId>) -> ! {
     let cache = ArtifactCache::global();
     cache.clear();
     cache.attach_disk(DiskStore::open(dir));
-    let drivers = paper_drivers();
-    let warm_s = run_suite(&drivers);
+    let runs = suite_runs(node);
+    let warm_s = run_suite(&runs);
     let s = cache.stats();
     println!("disk_warm_s={warm_s:.6}");
     println!("library_builds={}", s.library_builds);
@@ -132,12 +165,16 @@ struct DiskWarm {
     disk_hits: u64,
 }
 
-fn spawn_disk_warm_child(dir: &Path) -> DiskWarm {
+fn spawn_disk_warm_child(dir: &Path, node: Option<NodeId>) -> DiskWarm {
     let exe = std::env::current_exe().expect("own executable path");
-    let out = std::process::Command::new(exe)
-        .arg(format!("--disk-warm-worker={}", dir.display()))
-        .output()
-        .expect("spawn disk-warm child");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg(format!("--disk-warm-worker={}", dir.display()));
+    if let Some(nid) = node {
+        // The child must rebuild the same node's suite, or the warm leg
+        // would miss every key the parent stored.
+        cmd.arg(format!("--node={}", nid.label()));
+    }
+    let out = cmd.output().expect("spawn disk-warm child");
     assert!(
         out.status.success(),
         "disk-warm child failed:\n{}",
@@ -170,10 +207,19 @@ fn main() {
     let mut out_path = "BENCH_flow.json".to_string();
     let mut report_path: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut node: Option<NodeId> = None;
+    let mut worker_dir: Option<String> = None;
     let mut jobs = ParallelExecutor::default_workers();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--jobs" {
+        if a == "--node" {
+            node = Some(
+                cli::parse_node(it.next().as_deref())
+                    .unwrap_or_else(|e| usage_exit(&e.to_string())),
+            );
+        } else if let Some(v) = a.strip_prefix("--node=") {
+            node = Some(cli::parse_node(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string())));
+        } else if a == "--jobs" {
             jobs = cli::parse_jobs(it.next().as_deref())
                 .unwrap_or_else(|e| usage_exit(&e.to_string()));
         } else if let Some(v) = a.strip_prefix("--jobs=") {
@@ -193,27 +239,32 @@ fn main() {
         } else if let Some(v) = a.strip_prefix("--cache-dir=") {
             cache_dir = Some(v.to_string());
         } else if let Some(v) = a.strip_prefix("--disk-warm-worker=") {
-            disk_warm_worker(Path::new(v));
+            // Dispatch after the loop: the child's `--node` flag may
+            // follow this one on the command line.
+            worker_dir = Some(v.to_string());
         } else if a.starts_with("--") {
             usage_exit(&format!("unknown flag '{a}'"));
         } else {
             out_path = a;
         }
     }
+    if let Some(dir) = worker_dir {
+        disk_warm_worker(Path::new(&dir), node);
+    }
     let report_path = report_path.unwrap_or_else(|| default_report_path(&out_path));
-    let drivers = paper_drivers();
+    let runs = suite_runs(node);
     let cache = ArtifactCache::global();
 
     // Leg 1: cold serial.
     cache.clear();
-    let serial_cold_s = run_suite(&drivers);
+    let serial_cold_s = run_suite(&runs);
     let cold_stats = cache.stats(); // delta from zero: clear() reset it
     eprintln!("[cold serial suite: {serial_cold_s:.3} s; {cold_stats}]");
 
     // Leg 2: warm serial — report the *delta* this leg contributed, not
     // the cumulative process counters.
     let before_warm = cache.stats();
-    let warm_s = run_suite(&drivers);
+    let warm_s = run_suite(&runs);
     let warm_stats = cache.stats().delta(&before_warm);
     eprintln!("[warm serial suite: {warm_s:.3} s; {warm_stats}]");
     assert_eq!(
@@ -226,14 +277,17 @@ fn main() {
     cache.clear();
     let mut plan = ExperimentPlan::new();
     for name in SMOKE_SUBSET {
-        plan.merge(experiments::plan_for(name, BenchScale::Small));
+        plan.merge(match node {
+            None => experiments::plan_for(name, BenchScale::Small),
+            Some(nid) => experiments::plan_for_at(name, BenchScale::Small, nid),
+        });
     }
     let t = Instant::now();
     let report = ParallelExecutor::new(jobs).run(&plan);
     if let Some(e) = report.first_error() {
         panic!("parallel flow point failed: {e}");
     }
-    run_suite(&drivers);
+    run_suite(&runs);
     let parallel_cold_s = t.elapsed().as_secs_f64();
     let parallel_stats = cache.stats();
     let utilization = report.utilization();
@@ -263,7 +317,7 @@ fn main() {
     if let Some(e) = replay.first_error() {
         panic!("instrumented flow point failed: {e}");
     }
-    run_suite(&drivers);
+    run_suite(&runs);
     cache.set_recorder(observe::null());
     let run_report = metrics.report();
     eprintln!(
@@ -288,7 +342,7 @@ fn main() {
     cache.clear();
     cache.attach_disk(DiskStore::open(&store_dir));
     let before_disk = cache.stats();
-    let disk_cold_s = run_suite(&drivers);
+    let disk_cold_s = run_suite(&runs);
     let disk_cold_stats = cache.stats().delta(&before_disk);
     eprintln!("[disk cold suite: {disk_cold_s:.3} s; {disk_cold_stats}]");
     assert_eq!(
@@ -299,7 +353,7 @@ fn main() {
     // Leg 6: disk warm across a real process boundary — a child process
     // starts with nothing in memory and must serve the whole suite from
     // verified disk entries, characterizing zero libraries.
-    let dw = spawn_disk_warm_child(&store_dir);
+    let dw = spawn_disk_warm_child(&store_dir, node);
     eprintln!(
         "[disk warm suite (fresh process): {:.3} s; {} library builds, {} disk hits]",
         dw.warm_s, dw.library_builds, dw.disk_hits

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper_tables [--small] [--subset] [--jobs N] [--trace FILE] [--report FILE] <experiment | all>
+//! paper_tables [--small] [--subset] [--node NAME] [--jobs N] [--trace FILE] [--report FILE] <experiment | all>
 //! ```
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6 table7 table8
@@ -11,6 +11,12 @@
 //! `--small` runs the reduced benchmark circuits (seconds); the default
 //! paper scale regenerates the full study (minutes). `--subset` selects
 //! the flow-heavy smoke subset the `flow_bench` binary times.
+//!
+//! `--node NAME` retargets the run to any PDK in the process-node
+//! registry (`45nm`, `7nm`, `fdsoi-miv`, plus any plug-in). With
+//! `--node` the experiment registry is the node-generic smoke subset;
+//! at the two paper nodes its stdout is byte-identical to the classic
+//! drivers, and any other backend renders generic tables for its node.
 //!
 //! `--jobs N` (default: the host's available parallelism) fans the
 //! selected drivers' flow matrix out across N workers *before* the
@@ -41,8 +47,9 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use m3d_bench::{cli, paper_drivers, PaperDriver, SMOKE_SUBSET};
+use m3d_bench::{cli, node_drivers, paper_drivers, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
+use m3d_tech::NodeId;
 use monolith3d::{
     experiments, ArtifactCache, DiskStore, ExperimentPlan, JsonlRecorder, MetricsRegistry,
     ParallelExecutor, Recorder, Tee,
@@ -50,8 +57,8 @@ use monolith3d::{
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: paper_tables [--small] [--subset] [--jobs N] [--cache-dir DIR] \
-         [--trace FILE] [--report FILE] <experiment | all>"
+        "{msg}\nusage: paper_tables [--small] [--subset] [--node NAME] [--jobs N] \
+         [--cache-dir DIR] [--trace FILE] [--report FILE] <experiment | all>"
     );
     std::process::exit(2);
 }
@@ -60,6 +67,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut small = false;
     let mut subset = false;
+    let mut node: Option<NodeId> = None;
     let mut jobs = ParallelExecutor::default_workers();
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -70,6 +78,12 @@ fn main() {
         match a.as_str() {
             "--small" => small = true,
             "--subset" => subset = true,
+            "--node" => {
+                node = Some(
+                    cli::parse_node(it.next().map(String::as_str))
+                        .unwrap_or_else(|e| usage_exit(&e.to_string())),
+                );
+            }
             "--jobs" => {
                 jobs = cli::parse_jobs(it.next().map(String::as_str))
                     .unwrap_or_else(|e| usage_exit(&e.to_string()));
@@ -96,7 +110,11 @@ fn main() {
                 );
             }
             other => {
-                if let Some(v) = other.strip_prefix("--jobs=") {
+                if let Some(v) = other.strip_prefix("--node=") {
+                    node = Some(
+                        cli::parse_node(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string())),
+                    );
+                } else if let Some(v) = other.strip_prefix("--jobs=") {
                     jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
                 } else if let Some(v) = other.strip_prefix("--cache-dir=") {
                     cache_dir = Some(v.to_string());
@@ -159,20 +177,49 @@ fn main() {
         wanted.push("all".to_string());
     }
 
-    let drivers = paper_drivers();
+    // Without `--node`, selection goes over the full classic registry
+    // (stdout bytes pinned by the golden tests). With `--node`, it goes
+    // over the node-generic smoke drivers retargeted to the chosen PDK.
     let run_all = wanted.iter().any(|w| w == "all");
-    let selected: Vec<&PaperDriver> = drivers
-        .iter()
-        .filter(|(name, _)| run_all || wanted.iter().any(|w| w == name))
-        .collect();
+    type Run = (&'static str, Box<dyn Fn() -> String>);
+    let (known, selected): (Vec<&'static str>, Vec<Run>) = match node {
+        None => {
+            let drivers = paper_drivers();
+            (
+                drivers.iter().map(|(n, _)| *n).collect(),
+                drivers
+                    .iter()
+                    .filter(|(name, _)| run_all || wanted.iter().any(|w| w == name))
+                    .map(|&(name, driver)| {
+                        (
+                            name,
+                            Box::new(move || driver(scale)) as Box<dyn Fn() -> String>,
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        Some(nid) => {
+            let drivers = node_drivers();
+            (
+                drivers.iter().map(|(n, _)| *n).collect(),
+                drivers
+                    .iter()
+                    .filter(|(name, _)| run_all || wanted.iter().any(|w| w == name))
+                    .map(|&(name, driver)| {
+                        (
+                            name,
+                            Box::new(move || driver(nid, scale)) as Box<dyn Fn() -> String>,
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    };
     if selected.is_empty() {
         eprintln!(
             "unknown experiment(s): {wanted:?}\nknown: {}",
-            drivers
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(" ")
+            known.join(" ")
         );
         std::process::exit(2);
     }
@@ -184,7 +231,10 @@ fn main() {
     if jobs > 1 {
         let mut plan = ExperimentPlan::new();
         for (name, _) in &selected {
-            plan.merge(experiments::plan_for(name, scale));
+            plan.merge(match node {
+                None => experiments::plan_for(name, scale),
+                Some(nid) => experiments::plan_for_at(name, scale, nid),
+            });
         }
         if !plan.is_empty() {
             eprintln!(
@@ -211,10 +261,10 @@ fn main() {
         }
     }
 
-    for (name, driver) in &selected {
+    for (name, run) in &selected {
         let t = Instant::now();
         println!("==================== {name} ====================");
-        println!("{}", driver(scale));
+        println!("{}", run());
         eprintln!("[{name} took {:.1?}]", t.elapsed());
     }
     eprintln!("[artifact cache: {}]", ArtifactCache::global().stats());

@@ -18,12 +18,60 @@
 
 use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark, Netlist};
-use m3d_tech::{DesignStyle, TechNode};
+use m3d_tech::{DesignStyle, NodeId, TechNode};
 use monolith3d::experiments as exp;
 
 /// Shared command-line parsing for the bench binaries.
 pub mod cli {
     use std::fmt;
+
+    use m3d_tech::{NodeId, PdkRegistry};
+
+    /// Typed error from parsing a `--node` process-node name.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum NodeError {
+        /// `--node` was the last argument: no name followed it.
+        MissingValue,
+        /// The name matches no registered PDK.
+        Unknown {
+            /// What the user typed.
+            given: String,
+            /// The registered PDK names, in registration order.
+            known: Vec<String>,
+        },
+    }
+
+    impl fmt::Display for NodeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                NodeError::MissingValue => write!(f, "--node needs a process-node name"),
+                NodeError::Unknown { given, known } => write!(
+                    f,
+                    "unknown node '{given}': registered PDKs are {}",
+                    known.join(", ")
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for NodeError {}
+
+    /// Parses a `--node` operand (`None` models a missing one) against
+    /// the [`PdkRegistry`]. The error lists every registered name so the
+    /// usage line that wraps it is actionable.
+    pub fn parse_node(value: Option<&str>) -> Result<NodeId, NodeError> {
+        let v = value.ok_or(NodeError::MissingValue)?;
+        PdkRegistry::global()
+            .by_name(v)
+            .ok_or_else(|| NodeError::Unknown {
+                given: v.to_string(),
+                known: PdkRegistry::global()
+                    .names()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect(),
+            })
+    }
 
     /// Typed error from parsing a `--jobs` worker count.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,9 +128,28 @@ pub fn bench_design(bench: Benchmark) -> (CellLibrary, Netlist) {
 /// One named experiment driver of the `paper_tables` registry.
 pub type PaperDriver = (&'static str, fn(BenchScale) -> String);
 
+/// One named node-generic experiment driver: the `--node` CLI path runs
+/// these with the selected [`NodeId`].
+pub type NodeDriver = (&'static str, fn(NodeId, BenchScale) -> String);
+
 /// The flow-heavy smoke subset: `paper_tables --subset` and the
 /// `flow_bench` cold/warm benchmark both run exactly these drivers.
 pub const SMOKE_SUBSET: [&str; 4] = ["table4", "fig3", "table16", "fig10"];
+
+/// Node-generic forms of the smoke-subset drivers. At the two paper
+/// nodes each renders byte-identical output to its [`paper_drivers`]
+/// counterpart (45 nm) or its pinned node table (7 nm); at any other
+/// registered PDK it renders the generic table for that node. Names
+/// mirror [`SMOKE_SUBSET`] exactly so `--subset --node NAME` selects the
+/// same work across every backend.
+pub fn node_drivers() -> Vec<NodeDriver> {
+    vec![
+        ("table4", exp::layout_results_at),
+        ("fig3", exp::fig3_circuit_character_at),
+        ("table16", exp::table16_net_breakdown_at),
+        ("fig10", exp::fig10_layer_usage_at),
+    ]
+}
 
 // Cell-level experiments ignore the benchmark scale; thin wrappers
 // adapt them to the common driver signature.
@@ -181,5 +248,34 @@ mod tests {
                 "subset driver '{name}' missing from the registry"
             );
         }
+    }
+
+    #[test]
+    fn parse_node_resolves_every_registered_pdk() {
+        for name in m3d_tech::PdkRegistry::global().names() {
+            let id = cli::parse_node(Some(name)).expect("registered node parses");
+            assert_eq!(id.label(), name);
+        }
+        assert_eq!(cli::parse_node(Some("45nm")), Ok(NodeId::N45));
+        assert_eq!(cli::parse_node(Some("7nm")), Ok(NodeId::N7));
+    }
+
+    #[test]
+    fn parse_node_rejects_missing_and_unknown_names() {
+        assert_eq!(cli::parse_node(None), Err(cli::NodeError::MissingValue));
+        let err = cli::parse_node(Some("3nm")).expect_err("unknown node");
+        // The message names the bad input and lists every registered
+        // PDK so the usage line that wraps it is actionable.
+        let msg = err.to_string();
+        assert!(msg.contains("3nm"), "got: {msg}");
+        for name in m3d_tech::PdkRegistry::global().names() {
+            assert!(msg.contains(name), "'{name}' not listed in: {msg}");
+        }
+    }
+
+    #[test]
+    fn node_drivers_mirror_the_smoke_subset() {
+        let names: Vec<&str> = node_drivers().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, SMOKE_SUBSET);
     }
 }

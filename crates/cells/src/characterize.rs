@@ -19,7 +19,7 @@
 
 use m3d_extract::{extract_cell, CellExtraction, TopSiliconModel};
 use m3d_spice::{Circuit, MosKind, MosParams, Transient, Waveform};
-use m3d_tech::{DesignStyle, NodeId, TechNode};
+use m3d_tech::{DesignStyle, PdkRegistry, ScaleFactors, TechNode};
 
 use crate::layout::CellGeometry;
 use crate::{CellFunction, Nldm, Signal, Topology};
@@ -70,12 +70,15 @@ pub struct CellTables {
 }
 
 /// Default characterization axes for a node: the paper's Table 2 corners
-/// plus midpoints. Loads/slews shrink with the node per the ITRS factors.
+/// plus midpoints. Loads/slews shrink with the node per its PDK's
+/// Liberty scaling factors (slews by `output_slew`, loads by
+/// `input_cap`) — for the 7 nm node these are the ITRS 0.420 / 0.179.
 pub fn default_axes(node: &TechNode) -> (Vec<f64>, Vec<f64>) {
-    let (ks, kl) = match node.id {
-        NodeId::N45 => (1.0, 1.0),
-        NodeId::N7 => (0.420, 0.179),
-    };
+    let factors = PdkRegistry::global()
+        .get(node.id)
+        .map(|pdk| pdk.scaling())
+        .unwrap_or_else(ScaleFactors::identity);
+    let (ks, kl) = (factors.output_slew, factors.input_cap);
     let slews: Vec<f64> = [7.5, 18.75, 37.5, 75.0, 150.0]
         .iter()
         .map(|s| s * ks)

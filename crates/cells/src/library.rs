@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use m3d_geom::Nm;
-use m3d_tech::{DesignStyle, NodeId, TechNode, ITRS_7NM_SCALING};
+use m3d_tech::{DesignStyle, LibraryRecipe, PdkRegistry, ScaleFactors, TechNode};
 
 use crate::characterize::{characterize_analytic, CellTables};
 use crate::layout::generate_layout;
@@ -139,6 +139,12 @@ pub enum LibraryError {
         /// The function missing from the library.
         function: String,
     },
+    /// The node (or the base node its recipe scales from) names no
+    /// registered PDK, so no library recipe exists for it.
+    UnregisteredNode {
+        /// The unresolvable node name.
+        node: String,
+    },
 }
 
 impl std::fmt::Display for LibraryError {
@@ -160,6 +166,9 @@ impl std::fmt::Display for LibraryError {
             }
             LibraryError::MissingVariants { function } => {
                 write!(f, "function {function} has no drive variants")
+            }
+            LibraryError::UnregisteredNode { node } => {
+                write!(f, "node {node} names no registered PDK")
             }
         }
     }
@@ -202,10 +211,14 @@ impl CellLibrary {
     /// Builds the library for `node` and `style`, generating every cell's
     /// layout, extracting its parasitics and characterizing it.
     ///
-    /// For the 7 nm node the electrical tables are derived from the 45 nm
-    /// characterization through the ITRS scaling factors, exactly as the
-    /// paper constructs its 7 nm Liberty library (Section 5 / S3); the
-    /// physical dimensions come from the genuinely scaled 7 nm layouts.
+    /// How a node's library is constructed is data owned by its PDK: a
+    /// [`LibraryRecipe::Native`] node is characterized directly from its
+    /// own parameters, while a [`LibraryRecipe::ScaledFrom`] node derives
+    /// its electrical tables from the base node's characterization
+    /// through the PDK's scaling factors — exactly as the paper
+    /// constructs its 7 nm Liberty library from the 45 nm one (Section 5
+    /// / S3). Physical dimensions always come from layouts regenerated
+    /// at the target node's geometry.
     /// # Panics
     ///
     /// Panics when the generated library fails validation — see
@@ -226,9 +239,21 @@ impl CellLibrary {
     ///
     /// Returns [`LibraryError`] naming the first offending cell.
     pub fn try_build(node: &TechNode, style: DesignStyle) -> Result<Self, LibraryError> {
-        let lib = match node.id {
-            NodeId::N45 => Self::build_45(node, style),
-            NodeId::N7 => Self::build_45(&TechNode::n45(), style).into_7nm(node),
+        let pdk =
+            PdkRegistry::global()
+                .get(node.id)
+                .ok_or_else(|| LibraryError::UnregisteredNode {
+                    node: node.id.label().to_string(),
+                })?;
+        let lib = match pdk.library_recipe() {
+            LibraryRecipe::Native => Self::build_native(node, style),
+            LibraryRecipe::ScaledFrom { base } => {
+                let base_node =
+                    TechNode::try_for_id(base).ok_or_else(|| LibraryError::UnregisteredNode {
+                        node: base.label().to_string(),
+                    })?;
+                Self::build_native(&base_node, style).into_scaled(node, &pdk.scaling())
+            }
         };
         lib.validate()?;
         Ok(lib)
@@ -283,7 +308,7 @@ impl CellLibrary {
         Ok(())
     }
 
-    fn build_45(node: &TechNode, style: DesignStyle) -> Self {
+    fn build_native(node: &TechNode, style: DesignStyle) -> Self {
         let mut cells = Vec::new();
         for function in CellFunction::ALL {
             let topo = Topology::for_function(function);
@@ -310,16 +335,17 @@ impl CellLibrary {
         }
     }
 
-    /// Derives the 7 nm library from this 45 nm one via the ITRS factors.
-    fn into_7nm(self, node7: &TechNode) -> Self {
-        let f = ITRS_7NM_SCALING;
+    /// Derives a scaled node's library from this (base-node) one via the
+    /// target PDK's Liberty scaling factors — for the 7 nm node these
+    /// are the paper's ITRS factors of Table 6 / Section S3.
+    fn into_scaled(self, node: &TechNode, f: &ScaleFactors) -> Self {
         let style = self.style;
         let cells = self
             .cells
             .into_iter()
             .map(|c| {
                 let topo = Topology::for_function(c.function);
-                let geom = generate_layout(node7, &topo, style, c.drive);
+                let geom = generate_layout(node, &topo, style, c.drive);
                 Cell {
                     width_nm: geom.width_nm,
                     height_nm: geom.height_nm,
@@ -357,7 +383,7 @@ impl CellLibrary {
                 }
             })
             .collect();
-        Self::from_cells(node7.clone(), style, cells)
+        Self::from_cells(node.clone(), style, cells)
     }
 
     /// Reassembles a library from externally persisted parts — the

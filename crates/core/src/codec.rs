@@ -203,18 +203,17 @@ pub(crate) fn dec_style(d: &mut Dec) -> DecResult<DesignStyle> {
 }
 
 pub(crate) fn enc_node(e: &mut Enc, v: NodeId) {
-    e.u8(match v {
-        NodeId::N45 => 0,
-        NodeId::N7 => 1,
-    });
+    // Nodes are identified by their registry name, not an enum tag, so
+    // a plug-in PDK round-trips without touching the codec — and two
+    // PDKs can never collide on a tag.
+    e.str(v.label());
 }
 
 pub(crate) fn dec_node(d: &mut Dec) -> DecResult<NodeId> {
-    Ok(match d.u8()? {
-        0 => NodeId::N45,
-        1 => NodeId::N7,
-        t => return Err(DecodeError(format!("bad NodeId tag {t}"))),
-    })
+    // Interning never fails: an id for a since-unregistered PDK still
+    // decodes, and the stored-key equality / `TechNode::try_for_id`
+    // checks downstream turn it into a miss or a decode error.
+    Ok(NodeId::intern(&d.str()?))
 }
 
 pub(crate) fn enc_scale(e: &mut Enc, v: BenchScale) {

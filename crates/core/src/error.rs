@@ -122,6 +122,14 @@ pub enum ConfigError {
     /// `clock_scale` negative or non-finite (`0.0` selects the
     /// per-benchmark calibration and is valid).
     BadClockScale(f64),
+    /// `node_id` names no PDK in the registry, so no stage could build
+    /// a library or resolve design rules for it.
+    UnknownNode {
+        /// The unresolvable node name.
+        node: String,
+        /// Names of the registered PDKs.
+        known: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -145,6 +153,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadClockScale(s) => write!(
                 f,
                 "clock_scale must be 0 (auto-calibrate) or a positive factor, got {s}"
+            ),
+            ConfigError::UnknownNode { node, known } => write!(
+                f,
+                "node '{node}' names no registered PDK (registered: {})",
+                known.join(", ")
             ),
         }
     }

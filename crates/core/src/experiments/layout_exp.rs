@@ -61,6 +61,46 @@ pub(crate) fn add_plan(name: &str, scale: BenchScale, plan: &mut ExperimentPlan)
     true
 }
 
+/// Node-selected form of [`add_plan`]: enumerates the flow points the
+/// smoke drivers run when retargeted to `node` (the `--node` CLI path).
+/// The paper nodes keep their classic plans; any other registered node
+/// gets the same loops with its own [`FlowConfig`].
+pub(crate) fn add_plan_at(
+    name: &str,
+    scale: BenchScale,
+    node: NodeId,
+    plan: &mut ExperimentPlan,
+) -> bool {
+    if node == NodeId::N45 {
+        return add_plan(name, scale, plan);
+    }
+    match name {
+        "table4" => {
+            if node == NodeId::N7 {
+                return add_plan("table7", scale, plan);
+            }
+            let cfg = FlowConfig::new(node).scale(scale);
+            for bench in Benchmark::ALL {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        "fig3" => {
+            let cfg = FlowConfig::new(node).scale(scale);
+            for bench in CONTRAST_BENCHES {
+                plan.push(bench, DesignStyle::TwoD, cfg.clone());
+            }
+        }
+        "table16" => {
+            let cfg = FlowConfig::new(node).scale(scale);
+            for bench in CONTRAST_BENCHES {
+                plan.push_comparison(bench, &cfg);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
 fn detail_row(r: &FlowResult) -> String {
     format!(
         "  {:3} fp {:9.0} um2  cells {:7} bufs {:6} util {:4.2} WL {:7.3} m WNS {:+6.0} ps  \
@@ -138,6 +178,24 @@ pub fn table7_layout_7nm(scale: BenchScale) -> String {
     )
 }
 
+/// Node-selected layout comparison (the `--node` CLI path): the two
+/// paper nodes delegate to their pinned tables — bytes unchanged — and
+/// any other registered node renders the generic comparison without
+/// paper reference rows.
+pub fn layout_results_at(node: NodeId, scale: BenchScale) -> String {
+    if node == NodeId::N45 {
+        table4_layout_45nm(scale)
+    } else if node == NodeId::N7 {
+        table7_layout_7nm(scale)
+    } else {
+        format!(
+            "Layout results - {} node\n{}",
+            node.label(),
+            layout_table(node, scale, &[])
+        )
+    }
+}
+
 /// Table 5: our AES/LDPC/DES results alongside the published numbers of
 /// the prior monolithic-3D works the paper compares against
 /// (Bobba et al. \[2\] CELONCEL; Lee et al. \[7\]).
@@ -179,12 +237,37 @@ pub fn table5_prior_work(scale: BenchScale) -> String {
 /// average net length, footprint and the wire/pin capacitance split that
 /// explains their opposite power benefits.
 pub fn fig3_circuit_character(scale: BenchScale) -> String {
-    let cfg = FlowConfig::new(NodeId::N45).scale(scale);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Fig. 3 - LDPC vs DES layout character (2D designs, 45 nm)"
     );
+    fig3_rows(&FlowConfig::new(NodeId::N45).scale(scale), &mut out);
+    out.push_str(
+        "paper: LDPC 457x456 um, 3.806 m, 72.0 um avg net, wire 558 pF >> pin 134 pF;\n\
+         DES 331x330 um, 0.611 m, 10.5 um avg net, wire 64 pF << pin 127 pF\n",
+    );
+    out
+}
+
+/// Node-selected form of [`fig3_circuit_character`]; non-paper nodes
+/// render the same rows without the paper reference footer.
+pub fn fig3_circuit_character_at(node: NodeId, scale: BenchScale) -> String {
+    if node == NodeId::N45 {
+        return fig3_circuit_character(scale);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 3 - LDPC vs DES layout character (2D designs, {} node)",
+        node.label()
+    );
+    fig3_rows(&FlowConfig::new(node).scale(scale), &mut out);
+    out
+}
+
+/// The shared Fig. 3 measurement rows at one configuration.
+fn fig3_rows(cfg: &FlowConfig, out: &mut String) {
     for bench in CONTRAST_BENCHES {
         let r = crate::Flow::new(bench, DesignStyle::TwoD, cfg.clone()).run();
         let avg_net = r.wirelength_um / (r.cell_count as f64).max(1.0);
@@ -207,11 +290,6 @@ pub fn fig3_circuit_character(scale: BenchScale) -> String {
             }
         );
     }
-    out.push_str(
-        "paper: LDPC 457x456 um, 3.806 m, 72.0 um avg net, wire 558 pF >> pin 134 pF;\n\
-         DES 331x330 um, 0.611 m, 10.5 um avg net, wire 64 pF << pin 127 pF\n",
-    );
-    out
 }
 
 /// Table 12: the benchmark circuits and their synthesis statistics at
@@ -254,13 +332,39 @@ pub fn table12_benchmarks(scale: BenchScale) -> String {
 /// Table 16: wire vs pin capacitance/power decomposition of LDPC and DES
 /// at 45 nm — the quantitative core of the paper's Section 4.3 argument.
 pub fn table16_net_breakdown(scale: BenchScale) -> String {
-    let cfg = FlowConfig::new(NodeId::N45).scale(scale);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Table 16 - wire vs pin capacitance and power (whole circuit)\n\
          design     wire cap(pF)  pin cap(pF)  wire P(mW)  pin P(mW)"
     );
+    table16_rows(&FlowConfig::new(NodeId::N45).scale(scale), &mut out);
+    out.push_str(
+        "paper: LDPC-2D 558.0/134.4 pF 30.73/9.04 mW -> 3D 310.3/123.6, 15.88/8.32;\n\
+         DES-2D 64.4/127.4 pF 8.88/17.80 mW -> 3D 50.1/126.6, 6.87/17.76\n",
+    );
+    out
+}
+
+/// Node-selected form of [`table16_net_breakdown`]; non-paper nodes
+/// render the same rows without the paper reference footer.
+pub fn table16_net_breakdown_at(node: NodeId, scale: BenchScale) -> String {
+    if node == NodeId::N45 {
+        return table16_net_breakdown(scale);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 16 - wire vs pin capacitance and power (whole circuit, {} node)\n\
+         design     wire cap(pF)  pin cap(pF)  wire P(mW)  pin P(mW)",
+        node.label()
+    );
+    table16_rows(&FlowConfig::new(node).scale(scale), &mut out);
+    out
+}
+
+/// The shared Table 16 measurement rows at one configuration.
+fn table16_rows(cfg: &FlowConfig, out: &mut String) {
     for bench in CONTRAST_BENCHES {
         for style in [DesignStyle::TwoD, DesignStyle::Tmi] {
             let r = crate::Flow::new(bench, style, cfg.clone()).run();
@@ -276,11 +380,6 @@ pub fn table16_net_breakdown(scale: BenchScale) -> String {
             );
         }
     }
-    out.push_str(
-        "paper: LDPC-2D 558.0/134.4 pF 30.73/9.04 mW -> 3D 310.3/123.6, 15.88/8.32;\n\
-         DES-2D 64.4/127.4 pF 8.88/17.80 mW -> 3D 50.1/126.6, 6.87/17.76\n",
-    );
-    out
 }
 
 /// Fig. 6: the fanout-vs-wirelength wire-load-model curves per benchmark.

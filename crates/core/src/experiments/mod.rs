@@ -35,6 +35,7 @@ mod layout_exp;
 mod sweeps;
 
 use m3d_netlist::BenchScale;
+use m3d_tech::NodeId;
 
 use crate::ExperimentPlan;
 
@@ -54,6 +55,22 @@ pub fn plan_for(name: &str, scale: BenchScale) -> ExperimentPlan {
     let _ = layout_exp::add_plan(name, scale, &mut plan)
         || sweeps::add_plan(name, scale, &mut plan)
         || crate::gmi::add_plan(name, scale, &mut plan);
+    plan
+}
+
+/// Node-selected form of [`plan_for`]: enumerates the flow points a
+/// driver runs when retargeted to `node` via the CLI `--node` flag. At
+/// the 45 nm default this is exactly [`plan_for`]; at any other
+/// registered node only the node-generic smoke drivers (`table4`,
+/// `fig3`, `table16`, `fig10`) enumerate points, matching what the
+/// `*_at` driver functions actually run.
+pub fn plan_for_at(name: &str, scale: BenchScale, node: NodeId) -> ExperimentPlan {
+    if node == NodeId::N45 {
+        return plan_for(name, scale);
+    }
+    let mut plan = ExperimentPlan::new();
+    let _ = layout_exp::add_plan_at(name, scale, node, &mut plan)
+        || sweeps::add_plan_at(name, scale, node, &mut plan);
     plan
 }
 
@@ -108,10 +125,12 @@ pub use cells_exp::{
     table3_metal_layers, table6_node_setup,
 };
 pub use layout_exp::{
-    fig3_circuit_character, fig6_wlm_curves, table12_benchmarks, table16_net_breakdown,
-    table4_layout_45nm, table5_prior_work, table7_layout_7nm,
+    fig3_circuit_character, fig3_circuit_character_at, fig6_wlm_curves, layout_results_at,
+    table12_benchmarks, table16_net_breakdown, table16_net_breakdown_at, table4_layout_45nm,
+    table5_prior_work, table7_layout_7nm,
 };
 pub use sweeps::{
-    fig10_layer_usage, fig11_activity_sweep, fig4_clock_sweep, fig_s5_blockage, summary_scorecard,
-    table15_wlm_impact, table17_metal_stack, table8_pin_cap, table9_resistivity,
+    fig10_layer_usage, fig10_layer_usage_at, fig11_activity_sweep, fig4_clock_sweep,
+    fig_s5_blockage, summary_scorecard, table15_wlm_impact, table17_metal_stack, table8_pin_cap,
+    table9_resistivity,
 };

@@ -123,6 +123,28 @@ pub(crate) fn add_plan(name: &str, scale: BenchScale, plan: &mut ExperimentPlan)
     true
 }
 
+/// Node-selected form of [`add_plan`] for this module's smoke drivers
+/// (the `--node` CLI path).
+pub(crate) fn add_plan_at(
+    name: &str,
+    scale: BenchScale,
+    node: NodeId,
+    plan: &mut ExperimentPlan,
+) -> bool {
+    if node == NodeId::N45 {
+        return add_plan(name, scale, plan);
+    }
+    match name {
+        "fig10" => {
+            for bench in FIG10_BENCHES {
+                plan.push(bench, DesignStyle::Tmi, FlowConfig::new(node).scale(scale));
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
 /// Fig. 4: the power benefit of T-MI versus target clock period for AES
 /// (1.0 / 0.8 / 0.72 ns) and M256 (2.6 / 2.4 / 2.0 ns). The paper's
 /// trend: the faster the clock, the bigger the benefit.
@@ -296,16 +318,37 @@ pub fn table17_metal_stack(scale: BenchScale) -> String {
 pub fn fig10_layer_usage(scale: BenchScale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 10 - metal layer usage (T-MI designs)");
-    for bench in FIG10_BENCHES {
-        let cfg = FlowConfig::new(NodeId::N45).scale(scale);
-        let r = Flow::new(bench, DesignStyle::Tmi, cfg).run();
-        let u = &r.layer_usage;
-        let _ = writeln!(out, "{}:\n{}", bench.name(), u.to_table());
-    }
+    fig10_rows(NodeId::N45, scale, &mut out);
     out.push_str(
         "paper: both local and intermediate heavily used; LDPC uses more global metal than M256\n",
     );
     out
+}
+
+/// Node-selected form of [`fig10_layer_usage`]; non-paper nodes render
+/// the same rows without the paper reference footer.
+pub fn fig10_layer_usage_at(node: NodeId, scale: BenchScale) -> String {
+    if node == NodeId::N45 {
+        return fig10_layer_usage(scale);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 10 - metal layer usage (T-MI designs, {} node)",
+        node.label()
+    );
+    fig10_rows(node, scale, &mut out);
+    out
+}
+
+/// The shared Fig. 10 measurement rows at one node.
+fn fig10_rows(node: NodeId, scale: BenchScale, out: &mut String) {
+    for bench in FIG10_BENCHES {
+        let cfg = FlowConfig::new(node).scale(scale);
+        let r = Flow::new(bench, DesignStyle::Tmi, cfg).run();
+        let u = &r.layer_usage;
+        let _ = writeln!(out, "{}:\n{}", bench.name(), u.to_table());
+    }
 }
 
 /// Fig. 11: power and reduction rate versus the sequential switching

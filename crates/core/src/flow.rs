@@ -121,6 +121,14 @@ impl FlowConfig {
     ///
     /// Returns [`FlowError::Config`] naming the offending knob.
     pub fn validate(&self) -> Result<(), FlowError> {
+        let registry = m3d_tech::PdkRegistry::global();
+        if !registry.contains(self.node_id) {
+            return Err(ConfigError::UnknownNode {
+                node: self.node_id.label().to_string(),
+                known: registry.names().iter().map(|n| n.to_string()).collect(),
+            }
+            .into());
+        }
         if let Some(c) = self.clock_ps {
             if !c.is_finite() || c <= 0.0 {
                 return Err(ConfigError::BadClock(c).into());
@@ -317,9 +325,11 @@ impl Flow {
 }
 
 /// The tightest-closing clock calibration per benchmark and node (see
-/// [`FlowConfig::clock_scale`]). The 7 nm paper targets assume the full
-/// ITRS device speed-up under a commercial optimizer; this toolkit's
-/// optimizer needs more headroom there, so the 7 nm factors are larger.
+/// [`FlowConfig::clock_scale`]). The per-benchmark 45 nm base factor is
+/// multiplied by the node PDK's [`m3d_tech::Pdk::clock_scale_mult`] —
+/// the 7 nm paper targets assume the full ITRS device speed-up under a
+/// commercial optimizer; this toolkit's optimizer needs more headroom
+/// there, so the 7 nm PDK doubles its factors.
 pub fn default_clock_scale_at(bench: Benchmark, node: NodeId) -> f64 {
     let k45 = match bench {
         Benchmark::Fpu => 2.5,
@@ -328,10 +338,11 @@ pub fn default_clock_scale_at(bench: Benchmark, node: NodeId) -> f64 {
         Benchmark::Des => 2.5,
         Benchmark::M256 => 4.5,
     };
-    match node {
-        NodeId::N45 => k45,
-        NodeId::N7 => k45 * 2.0,
-    }
+    let mult = m3d_tech::PdkRegistry::global()
+        .get(node)
+        .map(|pdk| pdk.clock_scale_mult())
+        .unwrap_or(1.0);
+    k45 * mult
 }
 
 /// The 45 nm calibration (kept for compatibility; see

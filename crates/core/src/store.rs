@@ -280,7 +280,12 @@ impl DiskStore {
         self.load_verified(CacheKind::Library, &key_bytes, move |artifact| {
             let cells = dec_cells(artifact)?;
             let node = {
-                let n = TechNode::for_id(node_id);
+                let n = TechNode::try_for_id(node_id).ok_or_else(|| {
+                    DecodeError(format!(
+                        "library keyed to unregistered node '{}'",
+                        node_id.label()
+                    ))
+                })?;
                 if rho {
                     n.with_rho_scaled(&[MetalClass::Local, MetalClass::Intermediate], 0.5)
                 } else {
@@ -1170,6 +1175,48 @@ mod tests {
         let c = store.counters();
         assert_eq!((c.hits, c.misses, c.stores), (1, 1, 1));
         let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Even a *forged* cross-node entry — one PDK's artifact copied to
+    /// the disk slot another PDK's key addresses, as a key-hash
+    /// collision would produce — is rejected by the read-back key
+    /// equality check and quarantined, for every registered pair.
+    #[test]
+    fn forged_cross_node_entry_is_quarantined_not_served() {
+        let ids = m3d_tech::PdkRegistry::global().ids();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let root = temp_root("forge");
+                let store = DiskStore::open(&root);
+                let key_a = FlowKey::of(
+                    Benchmark::Des,
+                    DesignStyle::Tmi,
+                    &crate::flow::FlowConfig::new(a).scale(BenchScale::Small),
+                );
+                let key_b = FlowKey::of(
+                    Benchmark::Des,
+                    DesignStyle::Tmi,
+                    &crate::flow::FlowConfig::new(b).scale(BenchScale::Small),
+                );
+                store.store_flow(&key_a, &sample_result());
+                let path_a = store.entry_path(CacheKind::Flow, content_hash(&enc_flow_key(&key_a)));
+                let path_b = store.entry_path(CacheKind::Flow, content_hash(&enc_flow_key(&key_b)));
+                fs::create_dir_all(path_b.parent().expect("entry dir")).expect("mkdir");
+                fs::copy(&path_a, &path_b).expect("forge the entry");
+                assert_eq!(
+                    store.load_flow(&key_b),
+                    None,
+                    "{} must not serve an entry forged from {}",
+                    b.label(),
+                    a.label()
+                );
+                assert_eq!(store.counters().quarantined, 1);
+                let _ = fs::remove_dir_all(&root);
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod m256;
 use serde::{Deserialize, Serialize};
 
 use m3d_cells::{CellFunction, CellLibrary};
-use m3d_tech::NodeId;
+use m3d_tech::{NodeId, PdkRegistry};
 
 use crate::{NetId, Netlist, NetlistBuilder};
 
@@ -66,20 +66,25 @@ impl Benchmark {
         }
     }
 
-    /// Target clock period, ps (paper Table 12).
+    /// Target clock period, ps (paper Table 12 for the two paper nodes;
+    /// every registered PDK carries its own table).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` names no registered PDK or the PDK has no
+    /// clock target for this benchmark — sign-off against an undefined
+    /// constraint would silently pass everything.
     pub fn target_clock_ps(self, node: NodeId) -> f64 {
-        match (self, node) {
-            (Benchmark::Fpu, NodeId::N45) => 1800.0,
-            (Benchmark::Aes, NodeId::N45) => 800.0,
-            (Benchmark::Ldpc, NodeId::N45) => 2400.0,
-            (Benchmark::Des, NodeId::N45) => 1000.0,
-            (Benchmark::M256, NodeId::N45) => 2400.0,
-            (Benchmark::Fpu, NodeId::N7) => 720.0,
-            (Benchmark::Aes, NodeId::N7) => 270.0,
-            (Benchmark::Ldpc, NodeId::N7) => 900.0,
-            (Benchmark::Des, NodeId::N7) => 300.0,
-            (Benchmark::M256, NodeId::N7) => 1000.0,
-        }
+        let pdk = PdkRegistry::global()
+            .get(node)
+            .unwrap_or_else(|| panic!("node '{}' names no registered PDK", node.label()));
+        pdk.target_clock_ps(self.name()).unwrap_or_else(|| {
+            panic!(
+                "PDK '{}' defines no clock target for {}",
+                pdk.name(),
+                self.name()
+            )
+        })
     }
 
     /// Target placement utilization (paper S6: ~80 %, lowered to ~33 % for

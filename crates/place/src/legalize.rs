@@ -2,11 +2,26 @@
 //! overfull rows, and pack each row left-to-right near the cells' global
 //! positions.
 
-use m3d_cells::CellLibrary;
+use m3d_cells::{Cell, CellLibrary};
 use m3d_geom::{Nm, Point};
 use m3d_netlist::Netlist;
 
 use crate::Placement;
+
+/// Width a cell occupies in a row: its footprint, plus the node's MIV
+/// keep-out-zone margin on each side when the cell contains MIVs. The
+/// paper's 45 nm / 7 nm nodes carry a zero margin (their MIVs live
+/// inside the cell outline), so this is the plain footprint there; KOZ
+/// nodes such as `fdsoi-miv` reserve the clearance during legalization
+/// and core sizing.
+pub(crate) fn effective_width_nm(lib: &CellLibrary, cell: &Cell) -> Nm {
+    let koz = lib.node().rules.miv_koz_nm;
+    if cell.miv_count > 0 && koz > 0 {
+        cell.width_nm + 2 * koz
+    } else {
+        cell.width_nm
+    }
+}
 
 /// Legalizes `placement` in place. With a `tier_filter = (assignment,
 /// tier)`, only the instances on that tier are legalized (they share x/y
@@ -23,7 +38,7 @@ pub(crate) fn legalize_rows(
 
     let widths: Vec<Nm> = netlist
         .inst_ids()
-        .map(|i| lib.cell(netlist.inst(i).cell).width_nm)
+        .map(|i| effective_width_nm(lib, lib.cell(netlist.inst(i).cell)))
         .collect();
 
     // Desired row per cell (restricted to the tier when filtering).

@@ -4,7 +4,7 @@ use m3d_netlist::{NetDriver, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::legalize::legalize_rows;
+use crate::legalize::{effective_width_nm, legalize_rows};
 use crate::spread::spread;
 use crate::Placement;
 
@@ -154,11 +154,14 @@ impl<'l> Placer<'l> {
     fn place_validated(&self, netlist: &Netlist) -> Placement {
         let lib = self.lib;
         let n_inst = netlist.instance_count();
+        // Core sizing budgets each cell's *effective* width — footprint
+        // plus any MIV keep-out-zone clearance the node's design rules
+        // demand — so KOZ nodes get rows the legalizer can actually pack.
         let cell_area_nm2: f64 = netlist
             .inst_ids()
             .map(|i| {
                 let c = lib.cell(netlist.inst(i).cell);
-                c.width_nm as f64 * c.height_nm as f64
+                effective_width_nm(lib, c) as f64 * c.height_nm as f64
             })
             .sum();
         let row_height = lib.node().cell_height(lib.style());

@@ -36,7 +36,7 @@ pub(crate) fn spread(
         .inst_ids()
         .map(|i| {
             let c = lib.cell(netlist.inst(i).cell);
-            c.width_nm as f64 * c.height_nm as f64
+            crate::legalize::effective_width_nm(lib, c) as f64 * c.height_nm as f64
         })
         .collect();
     // Allow a little headroom over the target utilization so the map

@@ -39,6 +39,7 @@ mod cell_layers;
 mod layers;
 mod miv;
 mod node;
+pub mod pdk;
 mod scaling;
 mod stack;
 mod wire;
@@ -46,7 +47,8 @@ mod wire;
 pub use cell_layers::{CellLayer, CellLayerProps};
 pub use layers::{MetalClass, MetalLayer, Tier};
 pub use miv::MivModel;
-pub use node::{NodeId, TechNode};
+pub use node::{NodeId, PerClass, TechNode};
+pub use pdk::{DesignRules, FdsoiMivPdk, LibraryRecipe, N45Pdk, N7Pdk, Pdk, PdkRegistry};
 pub use scaling::{ScaleFactors, ITRS_7NM_SCALING};
 pub use stack::{MetalStack, StackKind};
 pub use wire::WireRc;

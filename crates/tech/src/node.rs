@@ -1,24 +1,66 @@
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
 use m3d_geom::Nm;
 use serde::{Deserialize, Serialize};
 
+use crate::pdk::{DesignRules, PdkRegistry};
 use crate::{MetalClass, MivModel};
 
-/// Identifier of a supported process node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum NodeId {
-    /// 45 nm planar bulk CMOS (Nangate-45-class, the paper's Section 3).
-    N45,
-    /// ITRS-2011-projected 7 nm multi-gate node (the paper's Section 5).
-    N7,
-}
+/// Identifier of a process node: an interned node *name* (`"45nm"`,
+/// `"7nm"`, `"fdsoi-miv"`, ...), the stable key the
+/// [`PdkRegistry`](crate::PdkRegistry), the artifact cache and the disk
+/// store all address nodes by.
+///
+/// The two paper nodes keep their historical spellings as associated
+/// constants, so `NodeId::N45` still reads like the old enum variant:
+///
+/// ```
+/// use m3d_tech::NodeId;
+/// assert_eq!(NodeId::N45.label(), "45nm");
+/// assert_eq!(NodeId::N7.to_string(), "7nm");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(&'static str);
+
+/// Leak pool backing [`NodeId::intern`]: every distinct name is leaked
+/// at most once, so deserializing the same node repeatedly is free.
+static INTERN_POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
 
 impl NodeId {
-    /// Human-readable node name.
-    pub fn label(self) -> &'static str {
-        match self {
-            NodeId::N45 => "45nm",
-            NodeId::N7 => "7nm",
+    /// The 45 nm planar bulk node (paper Section 3).
+    pub const N45: NodeId = NodeId("45nm");
+    /// The ITRS-2011-projected 7 nm multi-gate node (paper Section 5).
+    pub const N7: NodeId = NodeId("7nm");
+
+    /// Wraps a static node name. PDK definitions use this; equality and
+    /// hashing compare the name itself, so two ids with the same
+    /// spelling are the same node regardless of provenance.
+    pub const fn from_static(name: &'static str) -> Self {
+        NodeId(name)
+    }
+
+    /// Interns a runtime node name (deserialization, CLI parsing).
+    /// Registered names resolve without allocating; unknown names are
+    /// leaked once into a process-wide pool — an unknown node id is
+    /// still a *valid identifier* (it compares and hashes by name), it
+    /// just fails registry lookups until a PDK registers it.
+    pub fn intern(name: &str) -> Self {
+        if let Some(id) = PdkRegistry::global().by_name(name) {
+            return id;
         }
+        let mut pool = INTERN_POOL.lock().expect("node-id intern pool poisoned");
+        if let Some(known) = pool.get(name) {
+            return NodeId(known);
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        pool.insert(leaked);
+        NodeId(leaked)
+    }
+
+    /// Human-readable node name (also the registry key).
+    pub fn label(self) -> &'static str {
+        self.0
     }
 }
 
@@ -113,6 +155,13 @@ pub struct TechNode {
     pub via_resistance: f64,
     /// Resistance of a cell-level contact (CT/CTB), kΩ.
     pub contact_resistance: f64,
+    /// Geometric shrink from the 45 nm base node (1.0 @45, 7/45 @7).
+    /// Data, not a match on the id: each PDK sets it from its own
+    /// [`crate::ScaleFactors::dimension`].
+    pub dim_scale: f64,
+    /// Node design rules the physical stages consume (MIV keep-out
+    /// zones, ...); owned by the node's PDK definition.
+    pub rules: DesignRules,
 }
 
 impl TechNode {
@@ -146,6 +195,8 @@ impl TechNode {
             },
             via_resistance: 0.005,
             contact_resistance: 0.010,
+            dim_scale: 1.0,
+            rules: DesignRules::default(),
         }
     }
 
@@ -178,23 +229,33 @@ impl TechNode {
             },
             via_resistance: 0.060,
             contact_resistance: 0.120,
+            // One source of truth: the ITRS dimension factor of
+            // `crate::ITRS_7NM_SCALING` (7/45), not a second literal.
+            dim_scale: crate::ITRS_7NM_SCALING.dimension,
+            rules: DesignRules::default(),
         }
     }
 
-    /// Constructs the node for an id.
+    /// Constructs the node for an id via the [`PdkRegistry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names no registered PDK; use
+    /// [`TechNode::try_for_id`] where an unregistered node is a
+    /// recoverable condition (codec decode paths).
     pub fn for_id(id: NodeId) -> Self {
-        match id {
-            NodeId::N45 => Self::n45(),
-            NodeId::N7 => Self::n7(),
-        }
+        Self::try_for_id(id).unwrap_or_else(|| panic!("node '{id}' names no registered PDK"))
+    }
+
+    /// Fallible form of [`TechNode::for_id`]: `None` when `id` names no
+    /// registered PDK.
+    pub fn try_for_id(id: NodeId) -> Option<Self> {
+        PdkRegistry::global().get(id).map(|pdk| pdk.tech_node())
     }
 
     /// Geometric shrink from 45 nm for this node (1.0 @45, 7/45 @7).
     pub fn dimension_scale(&self) -> f64 {
-        match self.id {
-            NodeId::N45 => 1.0,
-            NodeId::N7 => 7.0 / 45.0,
-        }
+        self.dim_scale
     }
 
     /// Cell height for a design style.
@@ -266,6 +327,35 @@ mod tests {
         assert!((n.rho_eff.local - base.rho_eff.local * 0.5).abs() < 1e-12);
         assert_eq!(n.rho_eff.global, base.rho_eff.global);
         assert_eq!(n.rho_eff.intermediate, base.rho_eff.intermediate);
+    }
+
+    #[test]
+    fn node_ids_compare_by_name() {
+        assert_eq!(NodeId::intern("45nm"), NodeId::N45);
+        assert_eq!(NodeId::from_static("7nm"), NodeId::N7);
+        let custom = NodeId::intern("made-up-node");
+        assert_eq!(custom, NodeId::intern("made-up-node"));
+        assert_ne!(custom, NodeId::N45);
+        assert_eq!(custom.label(), "made-up-node");
+    }
+
+    #[test]
+    fn for_id_resolves_every_registered_pdk() {
+        for id in crate::PdkRegistry::global().ids() {
+            let node = TechNode::for_id(id);
+            assert_eq!(node.id, id);
+            assert!(node.dim_scale > 0.0 && node.dim_scale <= 1.0);
+        }
+        assert!(TechNode::try_for_id(NodeId::intern("unregistered")).is_none());
+    }
+
+    #[test]
+    fn dimension_scale_is_data_from_the_scaling_factors() {
+        assert_eq!(TechNode::n45().dimension_scale(), 1.0);
+        assert_eq!(
+            TechNode::n7().dimension_scale(),
+            crate::ITRS_7NM_SCALING.dimension
+        );
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! The FDSOI MIV-transistor backend (arXiv 2306.14032 / 2304.13808).
+//!
+//! A 28 nm-class fully-depleted SOI monolithic-3D process whose
+//! inter-tier connections are *MIV-transistors*: the via doubles as the
+//! top-tier device channel, so the folded cells keep their MIV count but
+//! every MIV carries a keep-out zone on the top tier that placement and
+//! legalization must honour (arXiv 2304.13808). This module is the whole
+//! definition of the node — registering it is the only step; no code
+//! elsewhere in the workspace names it.
+
+use super::{DesignRules, LibraryRecipe, Pdk};
+use crate::{MivModel, NodeId, PerClass, ScaleFactors, TechNode};
+
+/// Liberty scaling from the 45 nm base to the 28 nm-class FDSOI node.
+///
+/// Moderate geometric shrink (28/45), FDSOI's strong electrostatics
+/// (steep subthreshold slope → much lower leakage, lower junction
+/// capacitance → lower input cap and power), and copper wires that are
+/// not yet deep into the resistivity-size-effect regime.
+const FDSOI_SCALING: ScaleFactors = ScaleFactors {
+    dimension: 28.0 / 45.0,
+    input_cap: 0.55,
+    cell_delay: 0.72,
+    output_slew: 0.65,
+    cell_power: 0.40,
+    leakage: 0.25,
+    internal_r: 2.2,
+    internal_c: 28.0 / 45.0,
+};
+
+/// The FDSOI MIV-transistor monolithic-3D node.
+pub struct FdsoiMivPdk;
+
+impl Pdk for FdsoiMivPdk {
+    fn name(&self) -> &'static str {
+        "fdsoi-miv"
+    }
+
+    fn description(&self) -> &'static str {
+        "28 nm-class FDSOI M3D with MIV-transistors and MIV keep-out zones \
+         (arXiv 2306.14032 / 2304.13808)"
+    }
+
+    fn tech_node(&self) -> TechNode {
+        TechNode {
+            id: NodeId::from_static("fdsoi-miv"),
+            vdd: 1.0,
+            gate_length: 28,
+            cell_height_2d: 870,
+            cell_height_tmi: 522,
+            ild_k: 2.4,
+            ild_thickness: 80,
+            top_silicon_thickness: 20,
+            // The MIV-transistor: a 40 nm via whose upper end is the
+            // top-tier FDSOI channel. Slightly higher R than a plain
+            // metal MIV (it crosses the gate stack), still negligible
+            // against wires.
+            miv: MivModel {
+                diameter: 40,
+                height: 100,
+                resistance: 0.012,
+                capacitance: 0.05,
+            },
+            rho_eff: PerClass {
+                m1: 4.80,
+                local: 4.80,
+                intermediate: 4.40,
+                global: 5.50,
+            },
+            c_unit: PerClass {
+                m1: 0.115,
+                local: 0.115,
+                intermediate: 0.108,
+                global: 0.098,
+            },
+            via_resistance: 0.012,
+            contact_resistance: 0.030,
+            dim_scale: FDSOI_SCALING.dimension,
+            rules: DesignRules { miv_koz_nm: 60 },
+        }
+    }
+
+    fn scaling(&self) -> ScaleFactors {
+        FDSOI_SCALING
+    }
+
+    fn library_recipe(&self) -> LibraryRecipe {
+        LibraryRecipe::ScaledFrom { base: NodeId::N45 }
+    }
+
+    fn clock_scale_mult(&self) -> f64 {
+        1.5
+    }
+
+    fn target_clock_ps(&self, bench: &str) -> Option<f64> {
+        // 0.8x the 45 nm targets: the node is faster, but the KOZ-padded
+        // T-MI cells give back some of the wirelength benefit.
+        Some(match bench {
+            "FPU" => 1440.0,
+            "AES" => 640.0,
+            "LDPC" => 1920.0,
+            "DES" => 800.0,
+            "M256" => 1920.0,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdsoi_node_is_between_45_and_7() {
+        let f = FdsoiMivPdk.tech_node();
+        let n45 = TechNode::n45();
+        let n7 = TechNode::n7();
+        assert!(f.gate_length < n45.gate_length && f.gate_length > n7.gate_length);
+        assert!(f.cell_height_2d < n45.cell_height_2d && f.cell_height_2d > n7.cell_height_2d);
+        assert!(f.vdd < n45.vdd && f.vdd > n7.vdd);
+        assert!(
+            f.miv.aspect_ratio() < 10.0,
+            "MIV-transistor stays manufacturable"
+        );
+    }
+
+    #[test]
+    fn keep_out_zone_is_a_first_class_rule() {
+        let f = FdsoiMivPdk.tech_node();
+        assert_eq!(f.rules.miv_koz_nm, 60);
+        assert_eq!(FdsoiMivPdk.design_rules().miv_koz_nm, 60);
+    }
+
+    #[test]
+    fn scaling_shrinks_everything_but_internal_r() {
+        let s = FdsoiMivPdk.scaling();
+        assert!(s.dimension < 1.0 && s.input_cap < 1.0 && s.cell_delay < 1.0);
+        assert!(s.leakage < 0.5, "FDSOI's electrostatics cut leakage hard");
+        assert!(
+            s.internal_r > 1.0,
+            "thinner in-cell metal is more resistive"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Process design kits (PDKs) and the process-node registry.
+//!
+//! A [`Pdk`] packages everything node-specific the flow consumes — the
+//! [`TechNode`] parameters (layer geometry, wire/MIV models, design
+//! rules), the Liberty-style [`ScaleFactors`] used to project a base
+//! library onto the node, the [`LibraryRecipe`] telling `m3d-cells` how
+//! to construct the node's standard cells, and the per-benchmark clock
+//! targets. The [`PdkRegistry`] maps stable node *names* (the
+//! [`NodeId`]) to their PDKs, so adding a process node is additive data:
+//! define one `Pdk` impl in its own module and register it — no enum
+//! arms anywhere else in the workspace.
+//!
+//! Three backends ship built in:
+//!
+//! | name | backend | source |
+//! |---|---|---|
+//! | `45nm` | [`N45Pdk`] | paper Sections 3–4 (Nangate-45-class) |
+//! | `7nm` | [`N7Pdk`] | paper Sections 5–6 (ITRS-2011 projection) |
+//! | `fdsoi-miv` | [`FdsoiMivPdk`] | arXiv 2306.14032 / 2304.13808 |
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use m3d_geom::Nm;
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, ScaleFactors, TechNode};
+
+mod fdsoi;
+mod n45;
+mod n7;
+
+pub use fdsoi::FdsoiMivPdk;
+pub use n45::N45Pdk;
+pub use n7::N7Pdk;
+
+/// How `m3d-cells` builds a node's standard-cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibraryRecipe {
+    /// Generate layouts and characterize directly at the node's own
+    /// geometry (the 45 nm base flow).
+    Native,
+    /// Build the base node's library first, then project every Liberty
+    /// quantity through the PDK's [`ScaleFactors`] while regenerating the
+    /// layouts at this node's geometry (the paper's 7 nm procedure).
+    ScaledFrom {
+        /// The node whose library provides the electrical base.
+        base: NodeId,
+    },
+}
+
+/// Node design rules the physical stages consume.
+///
+/// Carried on the [`TechNode`] so the placer and legalizer read them as
+/// plain data, with the owning [`Pdk`] as the single source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DesignRules {
+    /// MIV keep-out-zone margin, nm per cell side: folded cells that
+    /// carry MIVs must keep this much clear spacing to each neighbour
+    /// (arXiv 2304.13808). Zero on nodes whose MIVs are small enough to
+    /// live inside the cell outline (the paper's 45 nm / 7 nm models).
+    pub miv_koz_nm: Nm,
+}
+
+/// A process design kit: one process node's complete, self-contained
+/// technology definition.
+///
+/// Implementations are registered in the [`PdkRegistry`]; everything
+/// else in the workspace reaches node-specific data through registry
+/// lookups keyed by [`NodeId`].
+pub trait Pdk: Send + Sync {
+    /// Stable registry name; doubles as the node's report label
+    /// (`NodeId::label`). Must be unique among registered PDKs.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for listings.
+    fn description(&self) -> &'static str {
+        ""
+    }
+
+    /// The node's full technology parameters (geometry, dielectrics,
+    /// wire/MIV models, design rules).
+    fn tech_node(&self) -> TechNode;
+
+    /// Liberty-quantity scaling factors from the 45 nm base library to
+    /// this node. Identity for nodes characterized natively.
+    fn scaling(&self) -> ScaleFactors {
+        ScaleFactors::identity()
+    }
+
+    /// How the node's standard-cell library is constructed.
+    fn library_recipe(&self) -> LibraryRecipe {
+        LibraryRecipe::Native
+    }
+
+    /// The node's design rules (also available as `tech_node().rules`).
+    fn design_rules(&self) -> DesignRules {
+        self.tech_node().rules
+    }
+
+    /// Node-level multiplier applied on top of the per-benchmark
+    /// relaxation when deriving the default clock scale (2.0 at 7 nm:
+    /// resistive local wires need more repeater slack).
+    fn clock_scale_mult(&self) -> f64 {
+        1.0
+    }
+
+    /// Target clock period for a benchmark at this node, ps, keyed by
+    /// the benchmark's report name (`"FPU"`, `"AES"`, ...).
+    fn target_clock_ps(&self, bench: &str) -> Option<f64>;
+}
+
+#[derive(Default)]
+struct Inner {
+    order: Vec<NodeId>,
+    by_id: HashMap<NodeId, Arc<dyn Pdk>>,
+}
+
+/// The process-node registry: name → [`Pdk`] with stable registration
+/// order (the order CLI listings and the CI node matrix iterate).
+pub struct PdkRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl PdkRegistry {
+    /// The process-wide registry, with the three built-in backends
+    /// (`45nm`, `7nm`, `fdsoi-miv`) pre-registered.
+    pub fn global() -> &'static PdkRegistry {
+        static GLOBAL: OnceLock<PdkRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let r = PdkRegistry {
+                inner: RwLock::new(Inner::default()),
+            };
+            r.register(Arc::new(N45Pdk));
+            r.register(Arc::new(N7Pdk));
+            r.register(Arc::new(FdsoiMivPdk));
+            r
+        })
+    }
+
+    /// Registers a PDK, returning its [`NodeId`]. Re-registering a name
+    /// replaces the previous backend but keeps its listing position.
+    pub fn register(&self, pdk: Arc<dyn Pdk>) -> NodeId {
+        let id = NodeId::from_static(pdk.name());
+        let mut g = self.inner.write().expect("pdk registry poisoned");
+        if !g.by_id.contains_key(&id) {
+            g.order.push(id);
+        }
+        g.by_id.insert(id, pdk);
+        id
+    }
+
+    /// Looks a PDK up by node id.
+    pub fn get(&self, id: NodeId) -> Option<Arc<dyn Pdk>> {
+        self.inner
+            .read()
+            .expect("pdk registry poisoned")
+            .by_id
+            .get(&id)
+            .cloned()
+    }
+
+    /// Resolves a node name to its id, if registered.
+    pub fn by_name(&self, name: &str) -> Option<NodeId> {
+        let g = self.inner.read().expect("pdk registry poisoned");
+        g.order.iter().copied().find(|id| id.label() == name)
+    }
+
+    /// Whether `id` names a registered PDK.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.inner
+            .read()
+            .expect("pdk registry poisoned")
+            .by_id
+            .contains_key(&id)
+    }
+
+    /// Registered node ids, in registration order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.inner
+            .read()
+            .expect("pdk registry poisoned")
+            .order
+            .clone()
+    }
+
+    /// Registered node names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.ids().into_iter().map(|id| id.label()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered_in_order() {
+        let names = PdkRegistry::global().names();
+        assert_eq!(&names[..3], &["45nm", "7nm", "fdsoi-miv"]);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id_agree() {
+        let reg = PdkRegistry::global();
+        for id in reg.ids() {
+            let by_name = reg.by_name(id.label()).expect("name resolves");
+            assert_eq!(by_name, id);
+            assert_eq!(reg.get(id).expect("pdk exists").name(), id.label());
+        }
+        assert_eq!(reg.by_name("3nm"), None);
+    }
+
+    #[test]
+    fn builtin_tech_nodes_match_their_constructors() {
+        let reg = PdkRegistry::global();
+        let n45 = reg.get(NodeId::N45).expect("45nm registered");
+        assert_eq!(n45.tech_node(), TechNode::n45());
+        assert_eq!(n45.scaling(), ScaleFactors::identity());
+        assert_eq!(n45.library_recipe(), LibraryRecipe::Native);
+        let n7 = reg.get(NodeId::N7).expect("7nm registered");
+        assert_eq!(n7.tech_node(), TechNode::n7());
+        assert_eq!(n7.scaling(), crate::ITRS_7NM_SCALING);
+        assert_eq!(
+            n7.library_recipe(),
+            LibraryRecipe::ScaledFrom { base: NodeId::N45 }
+        );
+    }
+
+    #[test]
+    fn paper_nodes_have_zero_koz_fdsoi_does_not() {
+        let reg = PdkRegistry::global();
+        assert_eq!(
+            reg.get(NodeId::N45)
+                .expect("45nm")
+                .design_rules()
+                .miv_koz_nm,
+            0
+        );
+        assert_eq!(
+            reg.get(NodeId::N7).expect("7nm").design_rules().miv_koz_nm,
+            0
+        );
+        let fdsoi = reg.by_name("fdsoi-miv").expect("fdsoi registered");
+        assert!(reg.get(fdsoi).expect("fdsoi").design_rules().miv_koz_nm > 0);
+    }
+
+    #[test]
+    fn clock_tables_cover_the_paper_benchmarks() {
+        let reg = PdkRegistry::global();
+        for id in reg.ids() {
+            let pdk = reg.get(id).expect("registered");
+            for bench in ["FPU", "AES", "LDPC", "DES", "M256"] {
+                assert!(
+                    pdk.target_clock_ps(bench).is_some(),
+                    "{} missing clock target for {bench}",
+                    pdk.name()
+                );
+            }
+            assert_eq!(pdk.target_clock_ps("NOPE"), None);
+        }
+    }
+
+    #[test]
+    fn n7_clock_targets_match_the_paper() {
+        let n7 = PdkRegistry::global().get(NodeId::N7).expect("7nm");
+        assert_eq!(n7.target_clock_ps("FPU"), Some(720.0));
+        assert_eq!(n7.target_clock_ps("M256"), Some(1000.0));
+        assert_eq!(n7.clock_scale_mult(), 2.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! The 45 nm planar bulk backend (paper Sections 3–4).
+
+use super::Pdk;
+use crate::TechNode;
+
+/// The paper's 45 nm planar bulk CMOS node: the native base library every
+/// scaled backend projects from.
+pub struct N45Pdk;
+
+impl Pdk for N45Pdk {
+    fn name(&self) -> &'static str {
+        "45nm"
+    }
+
+    fn description(&self) -> &'static str {
+        "45 nm planar bulk CMOS (Nangate-45-class, paper Sections 3-4)"
+    }
+
+    fn tech_node(&self) -> TechNode {
+        TechNode::n45()
+    }
+
+    fn target_clock_ps(&self, bench: &str) -> Option<f64> {
+        // Paper Table 12, 45 nm column.
+        Some(match bench {
+            "FPU" => 1800.0,
+            "AES" => 800.0,
+            "LDPC" => 2400.0,
+            "DES" => 1000.0,
+            "M256" => 2400.0,
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,49 @@
+//! The ITRS-projected 7 nm backend (paper Sections 5–6).
+
+use super::{LibraryRecipe, Pdk};
+use crate::{NodeId, ScaleFactors, TechNode, ITRS_7NM_SCALING};
+
+/// The paper's ITRS-2011-projected 7 nm multi-gate node: the 45 nm
+/// Liberty library scaled through [`ITRS_7NM_SCALING`], with layouts
+/// regenerated at the 7 nm geometry.
+pub struct N7Pdk;
+
+impl Pdk for N7Pdk {
+    fn name(&self) -> &'static str {
+        "7nm"
+    }
+
+    fn description(&self) -> &'static str {
+        "ITRS-2011-projected 7 nm multi-gate node (paper Sections 5-6)"
+    }
+
+    fn tech_node(&self) -> TechNode {
+        TechNode::n7()
+    }
+
+    fn scaling(&self) -> ScaleFactors {
+        ITRS_7NM_SCALING
+    }
+
+    fn library_recipe(&self) -> LibraryRecipe {
+        LibraryRecipe::ScaledFrom { base: NodeId::N45 }
+    }
+
+    fn clock_scale_mult(&self) -> f64 {
+        // The very resistive 7 nm local wires need twice the repeater
+        // slack of the 45 nm baseline (see `default_clock_scale_at`).
+        2.0
+    }
+
+    fn target_clock_ps(&self, bench: &str) -> Option<f64> {
+        // Paper Table 12, 7 nm column.
+        Some(match bench {
+            "FPU" => 720.0,
+            "AES" => 270.0,
+            "LDPC" => 900.0,
+            "DES" => 300.0,
+            "M256" => 1000.0,
+            _ => return None,
+        })
+    }
+}
