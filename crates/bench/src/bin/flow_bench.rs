@@ -2,7 +2,7 @@
 //! the work-stealing parallel executor.
 //!
 //! ```text
-//! flow_bench [output.json] [--node NAME] [--jobs N] [--report FILE] [--cache-dir DIR]
+//! flow_bench [output.json] [--node NAME] [--jobs N] [--deadline-s N] [--report FILE] [--cache-dir DIR]
 //! ```
 //!
 //! Five timed legs, all on the `paper_tables` smoke subset
@@ -43,18 +43,33 @@
 //! means the three benchmark legs above run on the `NullRecorder` fast
 //! path, so the numbers stay comparable against uninstrumented
 //! baselines, while the report still describes a real cold run.
+//!
+//! Another untimed leg replays the same plan through the resource
+//! governor (`ParallelExecutor::run_governed`) under a whole-run
+//! wall-clock budget — `--deadline-s N`, default 120 s — and records
+//! the typed per-point outcomes (`done` / `failed` / `cancelled` /
+//! `deadline_exceeded` / `drained`) in the `governed` section of the
+//! benchmark JSON. Over the warm cache every point completes well
+//! inside the default budget, so the leg doubles as a regression check
+//! that governance overhead never cancels an unconstrained run; a tight
+//! explicit budget shows the partial-result path instead.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use m3d_bench::{cli, node_drivers, paper_drivers, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
 use m3d_tech::NodeId;
 use monolith3d::{
     experiments, observe, ArtifactCache, CacheStats, DiskStore, ExperimentPlan, MetricsRegistry,
-    ParallelExecutor,
+    ParallelExecutor, RunGovernor,
 };
+
+/// Default whole-run budget for the governed leg: generous enough that
+/// a warm-cache replay always completes, so the default report shows
+/// governance overhead, not governance kicking in.
+const DEFAULT_GOVERNED_BUDGET: Duration = Duration::from_secs(120);
 
 /// Durations below this are dominated by timer resolution and
 /// scheduling jitter; ratios against them are meaningless.
@@ -132,8 +147,8 @@ fn f64_list(xs: &[f64]) -> String {
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: flow_bench [output.json] [--node NAME] [--jobs N] [--report FILE] \
-         [--cache-dir DIR]"
+        "{msg}\nusage: flow_bench [output.json] [--node NAME] [--jobs N] [--deadline-s N] \
+         [--report FILE] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -210,6 +225,7 @@ fn main() {
     let mut node: Option<NodeId> = None;
     let mut worker_dir: Option<String> = None;
     let mut jobs = ParallelExecutor::default_workers();
+    let mut deadline = DEFAULT_GOVERNED_BUDGET;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--node" {
@@ -224,6 +240,11 @@ fn main() {
                 .unwrap_or_else(|e| usage_exit(&e.to_string()));
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
+        } else if a == "--deadline-s" {
+            deadline = cli::parse_deadline(it.next().as_deref())
+                .unwrap_or_else(|e| usage_exit(&e.to_string()));
+        } else if let Some(v) = a.strip_prefix("--deadline-s=") {
+            deadline = cli::parse_deadline(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
         } else if a == "--report" {
             report_path = Some(
                 it.next()
@@ -296,6 +317,31 @@ fn main() {
          worker utilization [{}]]",
         f64_list(&utilization)
     );
+
+    // Governed leg (untimed): the same plan through the resource
+    // governor under a whole-run budget, over the cache leg 3 just
+    // warmed. Outcome counts land in the JSON; with the generous
+    // default budget every point must come back `done`, pinning the
+    // invariant that governance never cancels an unconstrained run.
+    let gov = RunGovernor::new().with_run_deadline(deadline);
+    let governed = ParallelExecutor::new(jobs).run_governed(&plan, &gov);
+    eprintln!(
+        "[governed replay ({:.1} s budget): {} done, {} cancelled, {} deadline-exceeded, \
+         {} drained, {} failed]",
+        deadline.as_secs_f64(),
+        governed.done_count(),
+        governed.count("cancelled"),
+        governed.count("deadline_exceeded"),
+        governed.count("drained"),
+        governed.count("failed"),
+    );
+    if deadline == DEFAULT_GOVERNED_BUDGET {
+        assert_eq!(
+            governed.done_count(),
+            plan.len(),
+            "a warm governed replay under the default budget must complete every point"
+        );
+    }
 
     let warm_speedup = if warm_s >= TIMER_FLOOR_S {
         Some(serial_cold_s / warm_s)
@@ -393,12 +439,23 @@ fn main() {
          \"disk_warm_fresh_process_s\": {disk_warm_s:.6},\n  \
          \"disk_warm_speedup\": {disk_warm_speedup_json},\n  \
          \"disk_warm_library_builds\": {dw_builds},\n  \
+         \"governed\": {{\"deadline_s\": {gov_deadline:.3}, \"done\": {gov_done}, \
+         \"failed\": {gov_failed}, \"cancelled\": {gov_cancelled}, \
+         \"deadline_exceeded\": {gov_deadline_exceeded}, \"drained\": {gov_drained}, \
+         \"partial\": {gov_partial}}},\n  \
          \"worker_busy_s\": [{busy_s}],\n  \"worker_utilization\": [{util}],\n  \
          \"cold_cache\": {cold},\n  \"warm_cache\": {warm},\n  \"parallel_cache\": {par},\n  \
          \"disk_cold_cache\": {disk_cold}\n}}\n",
         cores = ParallelExecutor::default_workers(),
         disk_warm_s = dw.warm_s,
         dw_builds = dw.library_builds,
+        gov_deadline = deadline.as_secs_f64(),
+        gov_done = governed.done_count(),
+        gov_failed = governed.count("failed"),
+        gov_cancelled = governed.count("cancelled"),
+        gov_deadline_exceeded = governed.count("deadline_exceeded"),
+        gov_drained = governed.count("drained"),
+        gov_partial = governed.is_partial(),
         busy_s = f64_list(&busy),
         util = f64_list(&utilization),
         cold = stats_json(&cold_stats),

@@ -27,6 +27,15 @@
 //! fan-out entirely); all diagnostics — per-driver timings, executor
 //! utilization, cache statistics — go to stderr.
 //!
+//! `--deadline-s N` puts the pre-warm fan-out under a whole-run
+//! wall-clock budget through the resource governor: when the budget
+//! expires the executor cancels cooperatively and returns whatever
+//! points completed. stdout is still byte-identical — a driver whose
+//! points were cancelled simply recomputes them serially — so the flag
+//! bounds only the parallel leg, never the answer. Fractional seconds
+//! are accepted. With `--jobs 1` there is no fan-out to govern and the
+//! flag is a no-op.
+//!
 //! `--trace FILE` attaches a [`JsonlRecorder`] to the run: every flow
 //! event (stage spans, retries, checkpoints, cache traffic, steals) is
 //! appended to FILE as one JSON object per line. `--report FILE`
@@ -45,20 +54,20 @@
 
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use m3d_bench::{cli, node_drivers, paper_drivers, SMOKE_SUBSET};
 use m3d_netlist::BenchScale;
 use m3d_tech::NodeId;
 use monolith3d::{
     experiments, ArtifactCache, DiskStore, ExperimentPlan, JsonlRecorder, MetricsRegistry,
-    ParallelExecutor, Recorder, Tee,
+    ParallelExecutor, Recorder, RunGovernor, Tee,
 };
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: paper_tables [--small] [--subset] [--node NAME] [--jobs N] \
-         [--cache-dir DIR] [--trace FILE] [--report FILE] <experiment | all>"
+         [--deadline-s N] [--cache-dir DIR] [--trace FILE] [--report FILE] <experiment | all>"
     );
     std::process::exit(2);
 }
@@ -69,6 +78,7 @@ fn main() {
     let mut subset = false;
     let mut node: Option<NodeId> = None;
     let mut jobs = ParallelExecutor::default_workers();
+    let mut deadline: Option<Duration> = None;
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -87,6 +97,12 @@ fn main() {
             "--jobs" => {
                 jobs = cli::parse_jobs(it.next().map(String::as_str))
                     .unwrap_or_else(|e| usage_exit(&e.to_string()));
+            }
+            "--deadline-s" => {
+                deadline = Some(
+                    cli::parse_deadline(it.next().map(String::as_str))
+                        .unwrap_or_else(|e| usage_exit(&e.to_string())),
+                );
             }
             "--cache-dir" => {
                 cache_dir = Some(
@@ -116,6 +132,10 @@ fn main() {
                     );
                 } else if let Some(v) = other.strip_prefix("--jobs=") {
                     jobs = cli::parse_jobs(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string()));
+                } else if let Some(v) = other.strip_prefix("--deadline-s=") {
+                    deadline = Some(
+                        cli::parse_deadline(Some(v)).unwrap_or_else(|e| usage_exit(&e.to_string())),
+                    );
                 } else if let Some(v) = other.strip_prefix("--cache-dir=") {
                     cache_dir = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--trace=") {
@@ -242,21 +262,49 @@ fn main() {
                 plan.len()
             );
             let t = Instant::now();
-            let report = ParallelExecutor::new(jobs).run(&plan);
-            let util = report.utilization();
-            eprintln!(
-                "[executor: {} points in {:.1} s; worker utilization {}]",
-                report.ok_count(),
-                t.elapsed().as_secs_f64(),
-                util.iter()
-                    .map(|u| format!("{:.0}%", u * 100.0))
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            );
-            if let Some(e) = report.first_error() {
-                // The responsible driver will hit the same failure
-                // serially and panic with full context.
-                eprintln!("[executor: a flow point failed: {e}]");
+            match deadline {
+                // A budgeted fan-out runs through the governor: on
+                // expiry the executor cancels cooperatively and the
+                // drivers below recompute whatever is missing serially,
+                // so stdout never changes — only how much of the warm-up
+                // finished in time.
+                Some(budget) => {
+                    let gov = RunGovernor::new().with_run_deadline(budget);
+                    let report = ParallelExecutor::new(jobs).run_governed(&plan, &gov);
+                    eprintln!(
+                        "[executor: {} of {} points in {:.1} s under a {:.1} s budget{}]",
+                        report.done_count(),
+                        plan.len(),
+                        t.elapsed().as_secs_f64(),
+                        budget.as_secs_f64(),
+                        if report.is_partial() {
+                            "; budget expired, drivers recompute the rest"
+                        } else {
+                            ""
+                        }
+                    );
+                    if let Some(e) = report.first_error() {
+                        eprintln!("[executor: a flow point failed: {e}]");
+                    }
+                }
+                None => {
+                    let report = ParallelExecutor::new(jobs).run(&plan);
+                    let util = report.utilization();
+                    eprintln!(
+                        "[executor: {} points in {:.1} s; worker utilization {}]",
+                        report.ok_count(),
+                        t.elapsed().as_secs_f64(),
+                        util.iter()
+                            .map(|u| format!("{:.0}%", u * 100.0))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                    if let Some(e) = report.first_error() {
+                        // The responsible driver will hit the same failure
+                        // serially and panic with full context.
+                        eprintln!("[executor: a flow point failed: {e}]");
+                    }
+                }
             }
         }
     }

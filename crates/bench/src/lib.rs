@@ -115,6 +115,54 @@ pub mod cli {
         }
         Ok(n)
     }
+
+    /// Typed error from parsing a `--deadline-s` run budget.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum DeadlineError {
+        /// `--deadline-s` was the last argument: no value followed it.
+        MissingValue,
+        /// The value was not a number of seconds.
+        NotANumber(String),
+        /// The budget was zero, negative, or not finite — a run that can
+        /// never admit a single point.
+        NotPositive(String),
+    }
+
+    impl fmt::Display for DeadlineError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                DeadlineError::MissingValue => {
+                    write!(f, "--deadline-s needs a budget in seconds")
+                }
+                DeadlineError::NotANumber(v) => {
+                    write!(f, "bad --deadline-s value '{v}': not a number of seconds")
+                }
+                DeadlineError::NotPositive(v) => write!(
+                    f,
+                    "--deadline-s {v} rejected: the run budget must be a positive number of seconds"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for DeadlineError {}
+
+    /// Parses a `--deadline-s` operand (`None` models a missing one)
+    /// into a whole-run wall-clock budget.
+    ///
+    /// Fractional seconds are accepted (`--deadline-s 0.5`); zero,
+    /// negative and non-finite budgets are rejected rather than clamped,
+    /// for the same reason `--jobs 0` is.
+    pub fn parse_deadline(value: Option<&str>) -> Result<std::time::Duration, DeadlineError> {
+        let v = value.ok_or(DeadlineError::MissingValue)?;
+        let s: f64 = v
+            .parse()
+            .map_err(|_| DeadlineError::NotANumber(v.to_string()))?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err(DeadlineError::NotPositive(v.to_string()));
+        }
+        Ok(std::time::Duration::from_secs_f64(s))
+    }
 }
 
 /// Builds the (library, netlist) pair the pipeline benches share.
@@ -237,6 +285,47 @@ mod tests {
         assert!(msg.contains("four"), "got: {msg}");
         let msg = cli::parse_jobs(Some("0")).expect_err("zero").to_string();
         assert!(msg.contains("at least one worker"), "got: {msg}");
+    }
+
+    #[test]
+    fn parse_deadline_accepts_positive_seconds() {
+        use std::time::Duration;
+        assert_eq!(cli::parse_deadline(Some("30")), Ok(Duration::from_secs(30)));
+        assert_eq!(
+            cli::parse_deadline(Some("0.5")),
+            Ok(Duration::from_millis(500))
+        );
+    }
+
+    #[test]
+    fn parse_deadline_rejects_missing_junk_and_nonpositive() {
+        assert_eq!(
+            cli::parse_deadline(None),
+            Err(cli::DeadlineError::MissingValue)
+        );
+        assert!(matches!(
+            cli::parse_deadline(Some("soon")),
+            Err(cli::DeadlineError::NotANumber(_))
+        ));
+        for bad in ["0", "-3", "inf", "NaN"] {
+            assert!(
+                matches!(
+                    cli::parse_deadline(Some(bad)),
+                    Err(cli::DeadlineError::NotPositive(_))
+                ),
+                "'{bad}' must be rejected as non-positive"
+            );
+        }
+        // The message names the offending value so the usage line that
+        // wraps it is actionable.
+        let msg = cli::parse_deadline(Some("soon"))
+            .expect_err("junk")
+            .to_string();
+        assert!(msg.contains("soon"), "got: {msg}");
+        let msg = cli::parse_deadline(Some("0"))
+            .expect_err("zero")
+            .to_string();
+        assert!(msg.contains("positive"), "got: {msg}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ use m3d_cells::CellLibrary;
 use m3d_netlist::{BenchScale, Benchmark};
 use m3d_tech::{DesignStyle, MetalClass, NodeId, StackKind, TechNode};
 
-use crate::error::FlowError;
+use crate::error::{FlowError, FlowStage};
 use crate::flow::{default_clock_scale_at, FlowConfig, FlowResult};
 use crate::observe::{self, CacheKind, EventKind, Recorder};
 use crate::sharded::Sharded;
@@ -406,6 +406,11 @@ impl BuildCell {
 /// Default LRU capacities: sized for the full paper reproduction (a
 /// handful of distinct libraries, a few hundred distinct flow points)
 /// with headroom, while still bounding a pathological sweep.
+/// How long a *governed* coalescing waiter sleeps between cancellation
+/// checks while another thread builds the library it wants. Ungoverned
+/// waiters block without slicing.
+const BUILD_WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(15);
+
 const DEFAULT_LIBRARY_CAPACITY: usize = 32;
 const DEFAULT_RESULT_CAPACITY: usize = 512;
 
@@ -604,7 +609,28 @@ impl ArtifactCache {
                 }
                 BuildState::Building => {
                     waited = true;
-                    state = cell.ready.wait(state).expect("build cell lock");
+                    // A governed caller (its stage worker installed a
+                    // CancelToken thread-locally) must never hang
+                    // behind a coalesced build: wait in bounded slices
+                    // and unwind with a typed error once cancelled.
+                    // Ungoverned callers keep the plain blocking wait.
+                    match crate::govern::current() {
+                        Some(tok) => {
+                            if tok.is_cancelled() {
+                                return Err(FlowError::Cancelled {
+                                    stage: FlowStage::Library,
+                                });
+                            }
+                            let (s, _) = cell
+                                .ready
+                                .wait_timeout(state, BUILD_WAIT_SLICE)
+                                .expect("build cell lock");
+                            state = s;
+                        }
+                        None => {
+                            state = cell.ready.wait(state).expect("build cell lock");
+                        }
+                    }
                 }
                 BuildState::Idle => {
                     *state = BuildState::Building;

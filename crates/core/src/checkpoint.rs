@@ -81,7 +81,10 @@ const MAGIC: &[u8; 8] = b"M3DCKPT1";
 // Struct codecs
 // ---------------------------------------------------------------------
 
-fn enc_config(e: &mut Enc, c: &FlowConfig) {
+/// Shared with `govern`'s plan-remainder codec, so a drained plan's
+/// points round-trip through the exact same field order as supervisor
+/// checkpoints.
+pub(crate) fn enc_config(e: &mut Enc, c: &FlowConfig) {
     enc_node(e, c.node_id);
     enc_scale(e, c.bench_scale);
     e.opt(&c.stack_kind, |e, s| enc_stack_kind(e, *s));
@@ -97,7 +100,7 @@ fn enc_config(e: &mut Enc, c: &FlowConfig) {
     e.f64(c.clock_scale);
 }
 
-fn dec_config(d: &mut Dec) -> DecResult<FlowConfig> {
+pub(crate) fn dec_config(d: &mut Dec) -> DecResult<FlowConfig> {
     let node_id = dec_node(d)?;
     let mut cfg = FlowConfig::new(node_id);
     cfg.bench_scale = dec_scale(d)?;

@@ -243,6 +243,14 @@ pub enum FlowError {
         /// Stage whose entry the kill landed on.
         stage: FlowStage,
     },
+    /// The run was cancelled cooperatively (a governor's cancel, or a
+    /// run/point deadline observed through the [`crate::CancelToken`]
+    /// chain). Not retried: the supervisor unwinds immediately and the
+    /// executor maps it to a typed [`crate::PointOutcome`].
+    Cancelled {
+        /// The stage the cancellation was observed in (or at entry to).
+        stage: FlowStage,
+    },
     /// An error restored from a checkpointed attempt log. The typed
     /// original lived in the crashed process; only its rendering
     /// survives the round-trip.
@@ -284,6 +292,7 @@ impl FlowError {
             // reports which stage re-runs through the attempt records.
             FlowError::CorruptCheckpoint { .. } => None,
             FlowError::Interrupted { stage } => Some(*stage),
+            FlowError::Cancelled { stage } => Some(*stage),
             FlowError::Restored { stage, .. } => *stage,
         }
     }
@@ -324,6 +333,9 @@ impl std::fmt::Display for FlowError {
             FlowError::Interrupted { stage } => {
                 write!(f, "run interrupted at entry to stage {stage}")
             }
+            FlowError::Cancelled { stage } => {
+                write!(f, "run cancelled at stage {stage}")
+            }
             FlowError::Restored { stage, message } => match stage {
                 Some(s) => write!(f, "restored from checkpoint (stage {s}): {message}"),
                 None => write!(f, "restored from checkpoint: {message}"),
@@ -351,6 +363,7 @@ impl std::error::Error for FlowError {
             | FlowError::DeadlineExceeded { .. }
             | FlowError::CorruptCheckpoint { .. }
             | FlowError::Interrupted { .. }
+            | FlowError::Cancelled { .. }
             | FlowError::Restored { .. } => None,
         }
     }

@@ -28,6 +28,8 @@
 //! partition would leave workers idle behind the slowest stripe.
 
 use std::collections::{HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -37,7 +39,9 @@ use m3d_tech::DesignStyle;
 use crate::cache::{ArtifactCache, FlowKey};
 use crate::error::FlowError;
 use crate::flow::{Flow, FlowConfig, FlowResult};
+use crate::govern::{self, CancelCause, PointOutcome, RunGovernor};
 use crate::observe::EventKind;
+use crate::supervisor::{FlowSupervisor, SupervisorPolicy};
 
 /// One point of the experiment matrix: a full flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +165,57 @@ impl ExecutorReport {
     /// The first error, if any point failed.
     pub fn first_error(&self) -> Option<&FlowError> {
         self.results.iter().find_map(|r| r.as_ref().err())
+    }
+}
+
+/// What [`ParallelExecutor::run_governed`] returns: *partial results*.
+/// Completed slots carry their [`FlowResult`] intact; slots the
+/// governor stopped carry a typed [`PointOutcome`] — never a panic,
+/// never a hang.
+#[derive(Debug)]
+pub struct GovernedReport {
+    /// One outcome per plan point, **in plan order**.
+    pub outcomes: Vec<PointOutcome>,
+    /// Wall-clock seconds for the whole governed fan-out.
+    pub wall_s: f64,
+    /// Per-worker accounting, indexed by worker id.
+    pub workers: Vec<WorkerReport>,
+    /// Plan points never started because of a drain, in plan order
+    /// (empty unless the run drained).
+    pub remainder: Vec<PlanPoint>,
+    /// Where the remainder was persisted, when the governor carries a
+    /// drain directory and the save succeeded.
+    pub remainder_path: Option<PathBuf>,
+}
+
+impl GovernedReport {
+    /// Points that closed with a result.
+    pub fn done_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_done()).count()
+    }
+
+    /// Outcomes matching a terminal key (`"cancelled"`, …).
+    pub fn count(&self, key: &str) -> usize {
+        self.outcomes.iter().filter(|o| o.key() == key).count()
+    }
+
+    /// The first genuine flow error (governor interventions are not
+    /// errors and don't show up here).
+    pub fn first_error(&self) -> Option<&FlowError> {
+        self.outcomes.iter().find_map(|o| match o {
+            PointOutcome::Failed(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// True when the governor stopped at least one point.
+    pub fn is_partial(&self) -> bool {
+        self.outcomes.iter().any(|o| {
+            matches!(
+                o,
+                PointOutcome::Cancelled | PointOutcome::DeadlineExceeded | PointOutcome::Drained
+            )
+        })
     }
 }
 
@@ -290,6 +345,224 @@ impl ParallelExecutor {
                 .collect(),
             wall_s: t0.elapsed().as_secs_f64(),
             workers: reports,
+        }
+    }
+
+    /// [`ParallelExecutor::run`] under a [`RunGovernor`]: the same
+    /// work-stealing schedule and the same cache interactions (a
+    /// governed point that completes warms the cache bit-identically to
+    /// an ungoverned one), plus cooperative cancellation, run/point
+    /// deadlines, and graceful drain.
+    ///
+    /// Workers check the governor between points: on cancel or deadline
+    /// they stop popping and the in-flight point unwinds through the
+    /// supervisor's between-stage checks and watchdog; on
+    /// [`RunGovernor::drain`] they finish their in-flight point and
+    /// stop. Slots never started get a typed [`PointOutcome`], and a
+    /// drain's unstarted remainder is persisted through the checkpoint
+    /// codec when the governor carries a drain directory.
+    pub fn run_governed(&self, plan: &ExperimentPlan, gov: &RunGovernor) -> GovernedReport {
+        let n = plan.len();
+        if n == 0 {
+            return GovernedReport {
+                outcomes: Vec::new(),
+                wall_s: 0.0,
+                workers: Vec::new(),
+                remainder: Vec::new(),
+                remainder_path: None,
+            };
+        }
+        gov.arm();
+        let workers = self.workers.min(n);
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new(((w..n).step_by(workers)).collect()))
+            .collect();
+        let slots: Vec<Mutex<Option<PointOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let t0 = Instant::now();
+        let recorder = self.cache.recorder();
+        // First-observer flags: cancel and drain are each announced
+        // exactly once per run, by whichever thread notices first.
+        let cancel_announced = AtomicBool::new(false);
+        let drain_announced = AtomicBool::new(false);
+        let announce_stop = |cause: Option<CancelCause>, draining: bool| {
+            if let Some(c) = cause {
+                if !cancel_announced.swap(true, Ordering::AcqRel) && recorder.enabled() {
+                    recorder.record(EventKind::CancelRequested {
+                        reason: match c {
+                            CancelCause::Cancelled => "explicit",
+                            CancelCause::DeadlineExceeded => "deadline",
+                        },
+                    });
+                }
+            }
+            if draining && !drain_announced.swap(true, Ordering::AcqRel) && recorder.enabled() {
+                recorder.record(EventKind::DrainStarted);
+            }
+        };
+        let stopped = || {
+            let cause = gov.cause();
+            let draining = gov.is_draining();
+            announce_stop(cause, draining);
+            cause.is_some() || draining
+        };
+
+        let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let slots = &slots;
+                    let stopped = &stopped;
+                    let recorder = &recorder;
+                    let this = &*self;
+                    s.spawn(move || {
+                        let mut rep = WorkerReport::default();
+                        loop {
+                            if stopped() {
+                                break;
+                            }
+                            let mut stolen_from = None;
+                            let mut next = queues[w].lock().expect("queue lock").pop_front();
+                            if next.is_none() {
+                                for v in 1..workers {
+                                    let victim = (w + v) % workers;
+                                    next = queues[victim].lock().expect("queue lock").pop_back();
+                                    if next.is_some() {
+                                        stolen_from = Some(victim);
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(i) = next else { break };
+                            // A stop may have landed while we were
+                            // popping; put the point back untouched so
+                            // it counts as never started.
+                            if stopped() {
+                                queues[w].lock().expect("queue lock").push_front(i);
+                                break;
+                            }
+                            if let Some(victim) = stolen_from {
+                                if recorder.enabled() {
+                                    recorder.record(EventKind::WorkerStolen {
+                                        worker: w,
+                                        victim,
+                                        point: i,
+                                    });
+                                }
+                            }
+                            let p = &plan.points()[i];
+                            let t = Instant::now();
+                            let outcome = this.run_governed_point(gov, p);
+                            rep.busy_s += t.elapsed().as_secs_f64();
+                            rep.items += 1;
+                            rep.steals += usize::from(stolen_from.is_some());
+                            *slots[i].lock().expect("slot lock") = Some(outcome);
+                        }
+                        rep
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+
+        // Collection: completed slots keep their outcome; never-started
+        // slots get a typed one from the run's terminal state. A drain
+        // that raced a cancel counts as cancelled — the remainder is
+        // only meaningful for a clean drain.
+        let cause = gov.cause();
+        let draining = gov.is_draining();
+        announce_stop(cause, draining);
+        let clean_drain = draining && cause.is_none();
+        let mut outcomes = Vec::with_capacity(n);
+        let mut remainder: Vec<PlanPoint> = Vec::new();
+        for (i, m) in slots.into_iter().enumerate() {
+            match m.into_inner().expect("slot lock") {
+                Some(o) => outcomes.push(o),
+                None => {
+                    let p = &plan.points()[i];
+                    let o = if clean_drain {
+                        remainder.push(p.clone());
+                        PointOutcome::Drained
+                    } else {
+                        match cause {
+                            Some(CancelCause::DeadlineExceeded) => PointOutcome::DeadlineExceeded,
+                            _ => PointOutcome::Cancelled,
+                        }
+                    };
+                    if recorder.enabled() {
+                        recorder.record(EventKind::PointCancelled {
+                            bench: p.bench,
+                            style: p.style,
+                            outcome: o.key(),
+                        });
+                    }
+                    outcomes.push(o);
+                }
+            }
+        }
+        let mut remainder_path = None;
+        if clean_drain {
+            if let Some(dir) = gov.drain_dir() {
+                let path = dir.join(govern::REMAINDER_FILE);
+                if govern::save_remainder(&path, &remainder).is_ok() {
+                    remainder_path = Some(path);
+                }
+            }
+        }
+        if draining && recorder.enabled() {
+            recorder.record(EventKind::DrainFinished {
+                pending: remainder.len() as u64,
+            });
+        }
+
+        GovernedReport {
+            outcomes,
+            wall_s: t0.elapsed().as_secs_f64(),
+            workers: reports,
+            remainder,
+            remainder_path,
+        }
+    }
+
+    /// One governed plan point: the exact cache contract of
+    /// [`Flow::try_run_with_cache`] (validate → result-cache lookup →
+    /// strict supervisor → result-cache store), with the governor's
+    /// token, stage budgets and fault plan threaded into the
+    /// supervisor. Governor interventions map to typed outcomes via the
+    /// point token's cause; everything else is a plain `Failed`.
+    fn run_governed_point(&self, gov: &RunGovernor, p: &PlanPoint) -> PointOutcome {
+        if let Err(e) = p.config.validate() {
+            return PointOutcome::Failed(e);
+        }
+        if let Some(hit) = self.cache.lookup_result(p.bench, p.style, &p.config) {
+            return PointOutcome::Done(Box::new(hit));
+        }
+        let tok = gov.point_token();
+        let mut policy = SupervisorPolicy::strict();
+        if let Some(d) = gov.stage_deadlines() {
+            policy.deadlines = Some(d.clone());
+        }
+        let mut sup = FlowSupervisor::new(p.bench, p.style, p.config.clone())
+            .policy(policy)
+            .with_cache(Arc::clone(&self.cache))
+            .with_cancel(tok.clone());
+        if !gov.faults().is_empty() {
+            sup = sup.with_faults(gov.faults().clone());
+        }
+        match sup.run().into_result() {
+            Ok(result) => {
+                self.cache
+                    .store_result(p.bench, p.style, &p.config, &result);
+                PointOutcome::Done(Box::new(result))
+            }
+            Err(e) => match tok.cause() {
+                Some(CancelCause::Cancelled) => PointOutcome::Cancelled,
+                Some(CancelCause::DeadlineExceeded) => PointOutcome::DeadlineExceeded,
+                None => PointOutcome::Failed(e),
+            },
         }
     }
 }

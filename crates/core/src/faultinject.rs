@@ -20,6 +20,11 @@
 //! * **`Delay`** — the stage sleeps before running; long delays drive
 //!   the watchdog's [`FlowError::DeadlineExceeded`] path (a hang is a
 //!   delay longer than the stage budget);
+//! * **`StuckStage`** — the stage wedges forever but listens for
+//!   cooperative cancellation; the governor's watchdog must win without
+//!   abandoning a thread;
+//! * **`SlowStage`** — the stage stalls for the duration (cancellably),
+//!   then runs normally — a degraded-but-alive worker;
 //! * **`CorruptCheckpoint`** — the stage runs normally, then the newest
 //!   durable checkpoint file is bit-flipped, exercising hash-mismatch
 //!   quarantine on the next resume;
@@ -29,8 +34,7 @@
 //!
 //! Stages are addressed by the stage graph's names (`"route"`,
 //! `"signoff"`, … — see [`FlowStage::key`]) via [`FaultPlan::fail_stage`]
-//! and friends. The enum-keyed [`FaultPlan::fail_on`] /
-//! [`FaultPlan::always`] are deprecated in favor of the name-keyed API.
+//! and friends; both short and display names resolve.
 
 use std::time::Duration;
 
@@ -51,6 +55,15 @@ pub enum FaultKind {
     CorruptCheckpoint,
     /// The run stops at the stage entry as if the process died there.
     Kill,
+    /// The stage wedges forever, but cooperatively: it parks on the
+    /// installed cancel token and returns a cancelled verdict once the
+    /// watchdog fires. Proves cancellation wins against a stuck worker
+    /// without leaking a thread.
+    StuckStage,
+    /// The stage stalls (cancellably) for the duration, then runs
+    /// normally — a slow-but-alive worker that a generous budget
+    /// tolerates and a tight one cancels.
+    SlowStage(Duration),
 }
 
 /// One planned fault.
@@ -93,19 +106,6 @@ impl FaultPlan {
             detail,
         });
         self
-    }
-
-    /// Fails `stage` on its `invocation`-th entry (1-based); other
-    /// entries run normally.
-    #[deprecated(note = "address stages by name: use `FaultPlan::fail_stage`")]
-    pub fn fail_on(self, stage: FlowStage, invocation: u32) -> Self {
-        self.push(stage, Some(invocation.max(1)), FaultKind::Error)
-    }
-
-    /// Fails `stage` on every entry — an unrecoverable fault.
-    #[deprecated(note = "address stages by name: use `FaultPlan::always_stage`")]
-    pub fn always(self, stage: FlowStage) -> Self {
-        self.push(stage, None, FaultKind::Error)
     }
 
     /// Fails the stage named `stage` (stage-graph short name or display
@@ -166,6 +166,40 @@ impl FaultPlan {
             resolve(stage),
             Some(invocation.max(1)),
             FaultKind::CorruptCheckpoint,
+        )
+    }
+
+    /// Wedges the stage named `stage` forever on its `invocation`-th
+    /// entry: the worker parks on the installed cancel token and only
+    /// returns once cancelled. Under a governed run the watchdog's
+    /// cooperative cancel wins cleanly (no abandoned thread); without a
+    /// governor the stage hangs, which is the point — don't use it
+    /// ungoverned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn stuck_stage(self, stage: &str, invocation: u32) -> Self {
+        self.push(
+            resolve(stage),
+            Some(invocation.max(1)),
+            FaultKind::StuckStage,
+        )
+    }
+
+    /// Stalls the stage named `stage` by `delay` (cancellably) on its
+    /// `invocation`-th entry, then runs it normally. Unlike
+    /// [`FaultPlan::delay_stage`], the stall wakes promptly on
+    /// cancellation instead of sleeping through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name no stage in the graph answers to.
+    pub fn slow_stage(self, stage: &str, invocation: u32, delay: Duration) -> Self {
+        self.push(
+            resolve(stage),
+            Some(invocation.max(1)),
+            FaultKind::SlowStage(delay),
         )
     }
 
@@ -366,19 +400,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_enum_builders_match_the_named_api() {
-        let by_name = FaultPlan::new()
-            .fail_stage("route", 2)
-            .always_stage("signoff");
-        let by_enum = FaultPlan::new()
-            .fail_on(FlowStage::Routing, 2)
-            .always(FlowStage::SignOff);
-        assert_eq!(by_name, by_enum);
-        // Display names resolve too.
+    fn display_names_resolve_like_short_names() {
         assert_eq!(
             FaultPlan::new().fail_stage("post-route optimization", 1),
             FaultPlan::new().fail_stage("postroute", 1)
+        );
+    }
+
+    #[test]
+    fn governor_kinds_carry_through_the_injector() {
+        let mut inj = FaultInjector::new(FaultPlan::new().stuck_stage("route", 1).slow_stage(
+            "place",
+            2,
+            Duration::from_millis(9),
+        ));
+        assert_eq!(
+            inj.tick(FlowStage::Routing).map(|f| f.kind),
+            Some(FaultKind::StuckStage)
+        );
+        assert!(inj.tick(FlowStage::Placement).is_none());
+        assert_eq!(
+            inj.tick(FlowStage::Placement).map(|f| f.kind),
+            Some(FaultKind::SlowStage(Duration::from_millis(9)))
         );
     }
 

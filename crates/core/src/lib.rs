@@ -40,6 +40,14 @@
 //! degradation ladder, and [`faultinject`] plants deterministic faults —
 //! addressed to stages by name — to test that machinery.
 //!
+//! Governance: [`govern`] layers a resource governor over the executor —
+//! a [`CancelToken`] hierarchy threaded through workers, the supervisor
+//! watchdog and cache build waits; run/point deadline budgets returning
+//! typed partial results ([`PointOutcome`]); a bounded [`AdmissionQueue`]
+//! with priorities, quotas and a backpressure policy; and
+//! [`RunGovernor::drain`], which finishes in-flight points and persists
+//! the unstarted remainder for a later process to resume.
+//!
 //! Observability: the supervisor, cache and executor emit typed events
 //! (stage spans with wall/busy durations, retries, degradation rungs,
 //! checkpoint writes/resumes, cache traffic, work stealing) into a
@@ -77,6 +85,7 @@ pub mod experiments;
 pub mod faultinject;
 mod flow;
 pub mod gmi;
+pub mod govern;
 pub mod observe;
 mod sharded;
 pub mod stage;
@@ -89,13 +98,19 @@ pub use checkpoint::CheckpointStore;
 pub use compare::Comparison;
 pub use error::StoreFailure;
 pub use error::{ConfigError, FlowError, FlowStage};
-pub use executor::{ExecutorReport, ExperimentPlan, ParallelExecutor, PlanPoint, WorkerReport};
+pub use executor::{
+    ExecutorReport, ExperimentPlan, GovernedReport, ParallelExecutor, PlanPoint, WorkerReport,
+};
 pub use faultinject::{
     FaultInjector, FaultKind, FaultPlan, InjectedFault, PlannedFault, PlannedStoreFault,
     StoreFaultKind, StoreFaultPlan,
 };
 pub use flow::{default_clock_scale, default_clock_scale_at, Flow, FlowConfig, FlowResult};
 pub use flow::{estimate_models, extraction_models, try_extraction_models};
+pub use govern::{
+    load_remainder, save_remainder, AdmissionError, AdmissionQueue, Backpressure, CancelCause,
+    CancelToken, PointOutcome, Priority, RunGovernor, REMAINDER_FILE,
+};
 pub use observe::{
     CacheKind, Event, EventKind, JsonlRecorder, MetricsRegistry, NullRecorder, Recorder, RunReport,
     StageOutcome, Tee, TraceSummary, VecRecorder,

@@ -74,6 +74,9 @@ pub enum StageOutcome {
     /// The process "died" at stage entry (kill fault); never paired
     /// with a start — kills model SIGKILL, which leaves no trace.
     Interrupted,
+    /// The stage was cancelled cooperatively (governor cancel or a
+    /// run/point deadline): the span opened normally and closes here.
+    Cancelled,
 }
 
 impl StageOutcome {
@@ -85,6 +88,7 @@ impl StageOutcome {
             StageOutcome::Panicked => "panicked",
             StageOutcome::TimedOut => "timed_out",
             StageOutcome::Interrupted => "interrupted",
+            StageOutcome::Cancelled => "cancelled",
         }
     }
 
@@ -94,6 +98,7 @@ impl StageOutcome {
             FlowError::StagePanicked { .. } => StageOutcome::Panicked,
             FlowError::DeadlineExceeded { .. } => StageOutcome::TimedOut,
             FlowError::Interrupted { .. } => StageOutcome::Interrupted,
+            FlowError::Cancelled { .. } => StageOutcome::Cancelled,
             _ => StageOutcome::Failed,
         }
     }
@@ -198,6 +203,39 @@ pub enum EventKind {
     /// in-memory tier for the rest of the run (emitted once per store;
     /// `reason` is a stable failure class, not free text).
     StoreDegraded { reason: &'static str },
+    /// A governed run observed its cancellation: emitted once per run
+    /// by the first worker (or the collector) to notice. `reason` is
+    /// `"explicit"` (someone called cancel) or `"deadline"` (the
+    /// whole-run budget passed).
+    CancelRequested { reason: &'static str },
+    /// A plan point the governor stopped before completion; `outcome`
+    /// is the point's terminal key: `"cancelled"`,
+    /// `"deadline_exceeded"` or `"drained"`.
+    PointCancelled {
+        bench: Benchmark,
+        style: DesignStyle,
+        outcome: &'static str,
+    },
+    /// The admission queue refused a submission (`reason` is
+    /// `"queue_full"` or `"draining"`).
+    AdmissionRejected { client: u64, reason: &'static str },
+    /// A client hit its per-client quota of queued points.
+    QuotaExhausted { client: u64 },
+    /// A graceful drain began: workers finish in-flight points and
+    /// start nothing new.
+    DrainStarted,
+    /// The drain completed; `pending` unstarted points form the
+    /// persisted remainder.
+    DrainFinished { pending: u64 },
+    /// A stage worker ignored its cancellation for the whole abandon
+    /// grace period and was detached — the one case where leaked work
+    /// is possible, and it is always traced.
+    StageAbandoned {
+        bench: Benchmark,
+        style: DesignStyle,
+        stage: FlowStage,
+        budget_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -221,6 +259,13 @@ impl EventKind {
             EventKind::DiskEvicted { .. } => "disk_evicted",
             EventKind::DiskQuarantined { .. } => "disk_quarantined",
             EventKind::StoreDegraded { .. } => "store_degraded",
+            EventKind::CancelRequested { .. } => "cancel_requested",
+            EventKind::PointCancelled { .. } => "point_cancelled",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
+            EventKind::QuotaExhausted { .. } => "quota_exhausted",
+            EventKind::DrainStarted => "drain_started",
+            EventKind::DrainFinished { .. } => "drain_finished",
+            EventKind::StageAbandoned { .. } => "stage_abandoned",
         }
     }
 }
@@ -560,6 +605,45 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
         EventKind::StoreDegraded { reason } => {
             let _ = write!(buf, ",\"reason\":\"{reason}\"");
         }
+        EventKind::CancelRequested { reason } => {
+            let _ = write!(buf, ",\"reason\":\"{reason}\"");
+        }
+        EventKind::PointCancelled {
+            bench,
+            style,
+            outcome,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"outcome\":\"{outcome}\"",
+                bench.name(),
+                style.label()
+            );
+        }
+        EventKind::AdmissionRejected { client, reason } => {
+            let _ = write!(buf, ",\"client\":{client},\"reason\":\"{reason}\"");
+        }
+        EventKind::QuotaExhausted { client } => {
+            let _ = write!(buf, ",\"client\":{client}");
+        }
+        EventKind::DrainStarted => {}
+        EventKind::DrainFinished { pending } => {
+            let _ = write!(buf, ",\"pending\":{pending}");
+        }
+        EventKind::StageAbandoned {
+            bench,
+            style,
+            stage,
+            budget_ms,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"budget_ms\":{budget_ms}",
+                bench.name(),
+                style.label(),
+                stage.key()
+            );
+        }
     }
     buf.push('}');
 }
@@ -684,6 +768,7 @@ impl MetricsRegistry {
                 StageOutcome::Panicked => "stage_finished_panicked",
                 StageOutcome::TimedOut => "stage_finished_timed_out",
                 StageOutcome::Interrupted => "stage_finished_interrupted",
+                StageOutcome::Cancelled => "stage_finished_cancelled",
             },
             EventKind::RetryScheduled { .. } => "retry_scheduled",
             EventKind::DegradationRungEntered { .. } => "degradation_rung_entered",
@@ -720,6 +805,13 @@ impl MetricsRegistry {
             },
             EventKind::DiskQuarantined { .. } => "disk_quarantined",
             EventKind::StoreDegraded { .. } => "store_degraded",
+            EventKind::CancelRequested { .. } => "cancel_requested",
+            EventKind::PointCancelled { .. } => "point_cancelled",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
+            EventKind::QuotaExhausted { .. } => "quota_exhausted",
+            EventKind::DrainStarted => "drain_started",
+            EventKind::DrainFinished { .. } => "drain_finished",
+            EventKind::StageAbandoned { .. } => "stage_abandoned",
         }
     }
 
@@ -891,7 +983,7 @@ pub struct TraceSummary {
 }
 
 /// Every event name the engine emits, for schema validation.
-const KNOWN_KINDS: [&str; 16] = [
+const KNOWN_KINDS: [&str; 23] = [
     "stage_started",
     "stage_finished",
     "retry_scheduled",
@@ -908,6 +1000,13 @@ const KNOWN_KINDS: [&str; 16] = [
     "disk_evicted",
     "disk_quarantined",
     "store_degraded",
+    "cancel_requested",
+    "point_cancelled",
+    "admission_rejected",
+    "quota_exhausted",
+    "drain_started",
+    "drain_finished",
+    "stage_abandoned",
 ];
 
 /// Extracts the raw text of `"field":<value>` from a recorder-shaped
@@ -1092,6 +1191,31 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 str_field(line, "reason", lineno)?;
                 summary.store_degraded += 1;
             }
+            "cancel_requested" => {
+                str_field(line, "reason", lineno)?;
+            }
+            "point_cancelled" => {
+                str_field(line, "bench", lineno)?;
+                str_field(line, "style", lineno)?;
+                str_field(line, "outcome", lineno)?;
+            }
+            "admission_rejected" => {
+                u64_field(line, "client", lineno)?;
+                str_field(line, "reason", lineno)?;
+            }
+            "quota_exhausted" => {
+                u64_field(line, "client", lineno)?;
+            }
+            "drain_started" => {}
+            "drain_finished" => {
+                u64_field(line, "pending", lineno)?;
+            }
+            "stage_abandoned" => {
+                str_field(line, "bench", lineno)?;
+                str_field(line, "style", lineno)?;
+                str_field(line, "stage", lineno)?;
+                u64_field(line, "budget_ms", lineno)?;
+            }
             _ => unreachable!("kind checked against KNOWN_KINDS"),
         }
     }
@@ -1227,13 +1351,32 @@ mod tests {
         rec.record(EventKind::StoreDegraded {
             reason: "read_only",
         });
+        rec.record(EventKind::CancelRequested { reason: "explicit" });
+        rec.record(EventKind::PointCancelled {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            outcome: "cancelled",
+        });
+        rec.record(EventKind::AdmissionRejected {
+            client: 7,
+            reason: "queue_full",
+        });
+        rec.record(EventKind::QuotaExhausted { client: 7 });
+        rec.record(EventKind::DrainStarted);
+        rec.record(EventKind::DrainFinished { pending: 3 });
+        rec.record(EventKind::StageAbandoned {
+            bench: Benchmark::Des,
+            style: DesignStyle::TwoD,
+            stage: FlowStage::Routing,
+            budget_ms: 40,
+        });
         let mut trace = String::new();
         for ev in rec.events() {
             write_event_json(&mut trace, &ev);
             trace.push('\n');
         }
         let summary = validate_jsonl(&trace).expect("trace validates");
-        assert_eq!(summary.events, 16);
+        assert_eq!(summary.events, 23);
         assert_eq!(summary.stage_spans, 2);
         assert_eq!(summary.cache_misses, 1);
         assert_eq!(summary.checkpoints_written, 1);

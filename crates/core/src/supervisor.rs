@@ -53,6 +53,7 @@ use crate::checkpoint::{CheckpointStore, Cursor, EnvKnobs, PersistedState};
 use crate::error::{FlowError, FlowStage};
 use crate::faultinject::{FaultInjector, FaultKind, FaultPlan};
 use crate::flow::{FlowConfig, FlowResult};
+use crate::govern::{self, CancelToken};
 use crate::observe::{EventKind, Recorder, StageOutcome};
 use crate::stage::{Stage, StageGraph};
 
@@ -308,6 +309,31 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// stderr backtrace would only be noise).
 const WORKER_PREFIX: &str = "m3d-stage-";
 
+/// The watchdog waits for the worker in slices this long, so it can
+/// observe run-level cancellation while a stage is in flight. Bounds
+/// the reaction latency of both cancel and deadline to one slice.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(15);
+
+/// After cancelling an attempt's token, how long the watchdog waits for
+/// the worker to comply before detaching it (and tracing the leak as a
+/// `stage_abandoned` event). Part of the bounded-termination guarantee:
+/// a governed run returns within its deadline plus one watchdog slice
+/// plus this grace, per in-flight stage.
+const ABANDON_GRACE: Duration = Duration::from_millis(100);
+
+/// How a planted fault manifests inside the stage worker thread.
+#[derive(Debug)]
+enum WorkerFault {
+    /// Plain (non-cancellable) sleep before the stage body.
+    Delay(Duration),
+    /// Panic before the stage body.
+    Panic(String),
+    /// Park on the attempt token until cancelled ([`FaultKind::StuckStage`]).
+    Stuck,
+    /// Cancellable stall, then the normal body ([`FaultKind::SlowStage`]).
+    Slow(Duration),
+}
+
 fn silence_contained_panics() {
     static INSTALLED: OnceLock<()> = OnceLock::new();
     INSTALLED.get_or_init(|| {
@@ -348,6 +374,8 @@ pub struct FlowSupervisor {
     /// Explicit event sink; `None` inherits the cache's recorder at
     /// [`FlowSupervisor::run`] time.
     recorder: Option<Arc<dyn Recorder>>,
+    /// Cancellation point for this run; `None` runs ungoverned.
+    cancel: Option<CancelToken>,
 }
 
 impl FlowSupervisor {
@@ -367,6 +395,7 @@ impl FlowSupervisor {
             resume: None,
             incidents: Vec::new(),
             recorder: None,
+            cancel: None,
         }
     }
 
@@ -389,6 +418,16 @@ impl FlowSupervisor {
     /// Arms a deterministic fault plan (test harness).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.injector = FaultInjector::new(plan);
+        self
+    }
+
+    /// Threads a cancellation point through the run: the stage loop
+    /// checks it between stages, the watchdog folds it into its wait,
+    /// and each stage attempt installs a child of it thread-locally so
+    /// deep waits (the cache's coalescing wait included) unwind with
+    /// [`FlowError::Cancelled`] instead of hanging.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -457,6 +496,7 @@ impl FlowSupervisor {
             resume: Some(state),
             incidents,
             recorder: None,
+            cancel: None,
         })
     }
 
@@ -481,6 +521,7 @@ impl FlowSupervisor {
             resume,
             incidents,
             recorder,
+            cancel,
         } = self;
         // An explicit recorder wins; otherwise inherit the cache's, so
         // attaching a sink to the cache instruments the whole run.
@@ -507,6 +548,7 @@ impl FlowSupervisor {
             round1_best: None,
             routing_ckpt: None,
             corrupt_next_save: false,
+            cancel,
         };
 
         match resume {
@@ -585,6 +627,8 @@ struct Engine {
     /// Armed by a `CorruptCheckpoint` fault: the next snapshot write is
     /// bit-flipped after landing on disk.
     corrupt_next_save: bool,
+    /// Run-level cancellation point; `None` runs ungoverned.
+    cancel: Option<CancelToken>,
 }
 
 impl Engine {
@@ -625,8 +669,13 @@ impl Engine {
                 Err((stage, error)) => {
                     // A kill is not a failure to recover from in-process:
                     // the run stops dead, leaving the checkpoint
-                    // directory exactly as a SIGKILL would.
-                    let killed = matches!(error, FlowError::Interrupted { .. });
+                    // directory exactly as a SIGKILL would. A cancel
+                    // likewise: the governor asked the run to stop, so
+                    // the ladder must not outlive it.
+                    let killed = matches!(
+                        error,
+                        FlowError::Interrupted { .. } | FlowError::Cancelled { .. }
+                    );
                     // Config/library errors are structural: no physical
                     // knob fixes them, so fail fast. Otherwise walk the
                     // ladder until it runs out.
@@ -699,6 +748,13 @@ impl Engine {
     /// `Decide` is pure and replays deterministically on resume.
     fn execute_rung(&mut self, cx: &mut FlowContext) -> Result<FlowResult, (FlowStage, FlowError)> {
         loop {
+            // Cooperative cancellation point between stages: a governed
+            // run stops at the next stage boundary without opening a
+            // new span, attributed to the stage it was about to enter.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                let stage = self.cursor_stage();
+                return Err((stage, FlowError::Cancelled { stage }));
+            }
             match self.cursor {
                 Cursor::Synth => {
                     self.run_stage(FlowStage::Synthesis, cx)
@@ -764,6 +820,19 @@ impl Engine {
                     return Ok(result);
                 }
             }
+        }
+    }
+
+    /// The stage the cursor machine would enter next — what a
+    /// between-stage cancellation is attributed to.
+    fn cursor_stage(&self) -> FlowStage {
+        match self.cursor {
+            Cursor::Synth => FlowStage::Synthesis,
+            Cursor::Place => FlowStage::Placement,
+            Cursor::Preroute => FlowStage::PreRouteOpt,
+            Cursor::Route => FlowStage::Routing,
+            Cursor::Postroute => FlowStage::PostRouteOpt,
+            Cursor::Decide | Cursor::Signoff => FlowStage::SignOff,
         }
     }
 
@@ -846,18 +915,14 @@ impl Engine {
             let (outcome, busy_s) = match &fault {
                 Some(f) if f.kind == FaultKind::Error => (Err(f.error()), 0.0),
                 _ => {
-                    let delay = match &fault {
-                        Some(f) => match f.kind {
-                            FaultKind::Delay(d) => Some(d),
-                            _ => None,
-                        },
-                        None => None,
-                    };
-                    let panic_with = fault
-                        .as_ref()
-                        .filter(|f| f.kind == FaultKind::Panic)
-                        .map(|f| f.detail.clone());
-                    self.run_contained(Arc::clone(&stage), cx, &checkpoint, delay, panic_with)
+                    let wfault = fault.as_ref().and_then(|f| match &f.kind {
+                        FaultKind::Delay(d) => Some(WorkerFault::Delay(*d)),
+                        FaultKind::Panic => Some(WorkerFault::Panic(f.detail.clone())),
+                        FaultKind::StuckStage => Some(WorkerFault::Stuck),
+                        FaultKind::SlowStage(d) => Some(WorkerFault::Slow(*d)),
+                        _ => None,
+                    });
+                    self.run_contained(Arc::clone(&stage), cx, &checkpoint, wfault)
                 }
             };
             let wall_s = wall_t0.elapsed().as_secs_f64();
@@ -892,7 +957,9 @@ impl Engine {
                         error: Some(e.clone()),
                     });
                     cx.art = checkpoint.clone();
-                    if attempt >= max_attempts {
+                    // A cancelled attempt is never retried: the
+                    // governor asked the run to stop, so unwind now.
+                    if matches!(e, FlowError::Cancelled { .. }) || attempt >= max_attempts {
                         return Err(e);
                     }
                     self.emit(|| EventKind::RetryScheduled {
@@ -909,27 +976,35 @@ impl Engine {
     /// One contained stage attempt: the context moves onto a named
     /// worker thread, the stage body runs under `catch_unwind`, and the
     /// supervisor waits at most the stage's deadline budget for the
-    /// context to come back.
+    /// context to come back — in cancellable slices, so a governor's
+    /// cancel is honored mid-stage, not just at stage boundaries.
     ///
-    /// On a panic the context died with the worker's unwind; on a
-    /// deadline overrun the worker is *abandoned* (detached, its
-    /// eventual result discarded — safe Rust offers no sound way to kill
-    /// a compute-bound thread). In both cases the context is rebuilt
-    /// from the pre-attempt environment and artifact checkpoint, so the
-    /// caller's retry semantics are identical across all failure modes.
+    /// Every attempt gets its own [`CancelToken`] (a child of the run
+    /// token when one exists), installed thread-locally on the worker
+    /// so deep waits — the cache's coalescing wait included — unwind
+    /// instead of hanging. On overrun or cancel the watchdog cancels
+    /// the attempt token and gives the worker one grace period to
+    /// comply: a cooperative worker joins cleanly (no leak, no event);
+    /// one that ignores its token is detached *visibly*, with a
+    /// `stage_abandoned` event — leaked work is always traced.
+    ///
+    /// On a panic the context died with the worker's unwind; after any
+    /// failure the context is rebuilt from the pre-attempt environment
+    /// and artifact checkpoint, so the caller's retry semantics are
+    /// identical across all failure modes.
     ///
     /// The second return value is the attempt's *busy* time: seconds
     /// measured inside the worker around the stage body. The caller
     /// times the wall clock around this whole call; the difference is
     /// spawn/channel/watchdog overhead (plus any injected delay).
-    /// Attempts that never report back — panics, overruns — yield 0.
+    /// Attempts that never report back — panics, overruns, cancels —
+    /// yield 0.
     fn run_contained(
         &mut self,
         stage: Arc<dyn Stage>,
         cx: &mut FlowContext,
         checkpoint: &Artifacts,
-        delay: Option<Duration>,
-        panic_with: Option<String>,
+        fault: Option<WorkerFault>,
     ) -> (Result<(), FlowError>, f64) {
         let id = stage.id();
         let env_snapshot = cx.env.clone();
@@ -942,18 +1017,42 @@ impl Engine {
         // run identity, no artifacts) to be overwritten on return.
         let shell = FlowContext::new(cx.bench, cx.style, cx.config.clone(), Arc::clone(&cx.cache));
         let owned = std::mem::replace(cx, shell);
+        let (bench, style) = (cx.bench, cx.style);
         let (tx, rx) = mpsc::channel();
+        // The attempt's own cancellation point: the watchdog cancels it
+        // (not the run token) on overrun, so one abandoned attempt
+        // never takes the rest of the run with it.
+        let attempt_tok = match &self.cancel {
+            Some(run_tok) => run_tok.child(),
+            None => CancelToken::new(),
+        };
+        let worker_tok = attempt_tok.clone();
         let builder = thread::Builder::new().name(format!("{WORKER_PREFIX}{}", id.key()));
         let handle = builder
             .spawn(move || {
-                if let Some(d) = delay {
-                    thread::sleep(d);
-                }
+                let _guard = govern::install(worker_tok.clone());
                 let verdict = panic::catch_unwind(AssertUnwindSafe(move || {
-                    if let Some(message) = panic_with {
-                        panic!("{message}");
-                    }
                     let mut cx = owned;
+                    match fault {
+                        Some(WorkerFault::Panic(message)) => panic!("{message}"),
+                        // A non-cooperative wedge: plain sleep, blind
+                        // to cancellation — exercises the watchdog's
+                        // abandon path.
+                        Some(WorkerFault::Delay(d)) => thread::sleep(d),
+                        // A cooperative wedge: parks on the attempt
+                        // token until cancelled, then unwinds cleanly —
+                        // proves cancellation wins without a leak.
+                        Some(WorkerFault::Stuck) => {
+                            worker_tok.wait_cancelled();
+                            return (cx, Err(FlowError::Cancelled { stage: id }), 0.0);
+                        }
+                        // A slow stage: cancellable stall (the guard
+                        // blocks for up to `d`), then the normal body.
+                        Some(WorkerFault::Slow(d)) if worker_tok.wait_cancelled_for(d) => {
+                            return (cx, Err(FlowError::Cancelled { stage: id }), 0.0);
+                        }
+                        Some(WorkerFault::Slow(_)) | None => {}
+                    }
                     let busy_t0 = Instant::now();
                     let outcome = stage.run(&mut cx);
                     (cx, outcome, busy_t0.elapsed().as_secs_f64())
@@ -963,21 +1062,73 @@ impl Engine {
                 let _ = tx.send(verdict);
             })
             .expect("spawning a stage worker thread");
-        let received = match self.policy.deadlines.as_ref() {
-            Some(deadlines) => {
-                let budget_ms = deadlines.budget_ms(id);
-                match rx.recv_timeout(Duration::from_millis(budget_ms)) {
-                    Ok(v) => v,
+        let budget_ms = self.policy.deadlines.as_ref().map(|d| d.budget_ms(id));
+        let governed = self.cancel.is_some();
+        let received = if budget_ms.is_none() && !governed {
+            // Ungoverned and unbounded: one blocking wait, the
+            // pre-governor fast path.
+            match rx.recv() {
+                Ok(v) => v,
+                Err(_) => {
+                    let _ = handle.join();
+                    rebuild(cx);
+                    return (
+                        Err(FlowError::StagePanicked {
+                            stage: id,
+                            payload: "stage worker vanished without a result".to_string(),
+                        }),
+                        0.0,
+                    );
+                }
+            }
+        } else {
+            let t0 = Instant::now();
+            loop {
+                match rx.recv_timeout(WATCHDOG_SLICE) {
+                    Ok(v) => break v,
                     Err(RecvTimeoutError::Timeout) => {
-                        drop(handle); // detach the wedged worker
-                        rebuild(cx);
-                        return (
-                            Err(FlowError::DeadlineExceeded {
-                                stage: id,
-                                budget_ms,
-                            }),
-                            0.0,
+                        let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                        let blown =
+                            budget_ms.is_some_and(|b| t0.elapsed() >= Duration::from_millis(b));
+                        if !(cancelled || blown) {
+                            continue;
+                        }
+                        // Ask the attempt to stop, and give it one
+                        // grace period to comply.
+                        attempt_tok.cancel();
+                        let responded = !matches!(
+                            rx.recv_timeout(ABANDON_GRACE),
+                            Err(RecvTimeoutError::Timeout)
                         );
+                        if responded {
+                            // Cooperative exit: clean join, no leak.
+                            // The late verdict is discarded — the
+                            // attempt failed either way and the state
+                            // is rebuilt below.
+                            let _ = handle.join();
+                        } else {
+                            // The worker ignored its token: detach it,
+                            // visibly.
+                            let abandoned_ms =
+                                budget_ms.unwrap_or_else(|| t0.elapsed().as_millis() as u64);
+                            self.emit(|| EventKind::StageAbandoned {
+                                bench,
+                                style,
+                                stage: id,
+                                budget_ms: abandoned_ms,
+                            });
+                            drop(handle);
+                        }
+                        rebuild(cx);
+                        let error = if cancelled {
+                            FlowError::Cancelled { stage: id }
+                        } else {
+                            FlowError::DeadlineExceeded {
+                                stage: id,
+                                budget_ms: budget_ms.expect("blown implies a budget"),
+                            }
+                        };
+                        return (Err(error), 0.0);
                     }
                     Err(RecvTimeoutError::Disconnected) => {
                         let _ = handle.join();
@@ -992,20 +1143,6 @@ impl Engine {
                     }
                 }
             }
-            None => match rx.recv() {
-                Ok(v) => v,
-                Err(_) => {
-                    let _ = handle.join();
-                    rebuild(cx);
-                    return (
-                        Err(FlowError::StagePanicked {
-                            stage: id,
-                            payload: "stage worker vanished without a result".to_string(),
-                        }),
-                        0.0,
-                    );
-                }
-            },
         };
         let _ = handle.join();
         match received {

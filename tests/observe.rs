@@ -241,6 +241,16 @@ fn normalize(events: &[Event]) -> (Groups, CacheCounts) {
             | EventKind::DiskEvicted { .. }
             | EventKind::DiskQuarantined { .. }
             | EventKind::StoreDegraded { .. } => continue,
+            // Governance events describe the run's life-cycle, not the
+            // flow semantics of any one point, so the normalized trace
+            // identity excludes them too.
+            EventKind::CancelRequested { .. }
+            | EventKind::PointCancelled { .. }
+            | EventKind::AdmissionRejected { .. }
+            | EventKind::QuotaExhausted { .. }
+            | EventKind::DrainStarted
+            | EventKind::DrainFinished { .. }
+            | EventKind::StageAbandoned { .. } => continue,
         };
         groups.entry(key).or_default().push(norm);
     }
@@ -438,6 +448,7 @@ fn metrics_registry_aggregates_exactly_the_recorded_events() {
                 StageOutcome::Panicked => ("stage_finished_panicked", 1),
                 StageOutcome::TimedOut => ("stage_finished_timed_out", 1),
                 StageOutcome::Interrupted => ("stage_finished_interrupted", 1),
+                StageOutcome::Cancelled => ("stage_finished_cancelled", 1),
             },
             EventKind::RetryScheduled { .. } => ("retry_scheduled", 1),
             EventKind::DegradationRungEntered { .. } => ("degradation_rung_entered", 1),
@@ -474,6 +485,13 @@ fn metrics_registry_aggregates_exactly_the_recorded_events() {
             },
             EventKind::DiskQuarantined { .. } => ("disk_quarantined", 1),
             EventKind::StoreDegraded { .. } => ("store_degraded", 1),
+            EventKind::CancelRequested { .. } => ("cancel_requested", 1),
+            EventKind::PointCancelled { .. } => ("point_cancelled", 1),
+            EventKind::AdmissionRejected { .. } => ("admission_rejected", 1),
+            EventKind::QuotaExhausted { .. } => ("quota_exhausted", 1),
+            EventKind::DrainStarted => ("drain_started", 1),
+            EventKind::DrainFinished { .. } => ("drain_finished", 1),
+            EventKind::StageAbandoned { .. } => ("stage_abandoned", 1),
         };
         *expected.entry(key).or_insert(0) += by;
     }
@@ -485,10 +503,17 @@ fn metrics_registry_aggregates_exactly_the_recorded_events() {
         .collect();
     assert_eq!(got, expected, "registry counters vs raw event stream");
     // The per-stage histograms account for every terminated span.
-    let finished: u64 = ["ok", "failed", "panicked", "timed_out", "interrupted"]
-        .iter()
-        .map(|o| run.report.counter(&format!("stage_finished_{o}")))
-        .sum();
+    let finished: u64 = [
+        "ok",
+        "failed",
+        "panicked",
+        "timed_out",
+        "interrupted",
+        "cancelled",
+    ]
+    .iter()
+    .map(|o| run.report.counter(&format!("stage_finished_{o}")))
+    .sum();
     let histogrammed: u64 = run.report.stage_wall.iter().map(|(_, h)| h.count).sum();
     assert_eq!(histogrammed, finished, "histograms vs terminal events");
     // And the JSON rendering carries every counter verbatim.
