@@ -38,10 +38,11 @@ use m3d_tech::DesignStyle;
 
 use crate::cache::{ArtifactCache, FlowKey};
 use crate::error::FlowError;
+use crate::faultinject::FaultPlan;
 use crate::flow::{Flow, FlowConfig, FlowResult};
-use crate::govern::{self, CancelCause, PointOutcome, RunGovernor};
+use crate::govern::{self, CancelCause, CancelToken, PointOutcome, RunGovernor};
 use crate::observe::EventKind;
-use crate::supervisor::{FlowSupervisor, SupervisorPolicy};
+use crate::supervisor::{FlowSupervisor, StageDeadlines, SupervisorPolicy};
 
 /// One point of the experiment matrix: a full flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -534,23 +535,44 @@ impl ParallelExecutor {
     /// supervisor. Governor interventions map to typed outcomes via the
     /// point token's cause; everything else is a plain `Failed`.
     fn run_governed_point(&self, gov: &RunGovernor, p: &PlanPoint) -> PointOutcome {
+        self.run_point_inner(p, &gov.point_token(), gov.stage_deadlines(), gov.faults())
+    }
+
+    /// Runs one plan point under `tok` on this executor's cache —
+    /// the single-request entry `m3d-serve` dispatches on: the same
+    /// validate → cache lookup → strict supervisor → store contract as
+    /// a governed batch point, so concurrent identical requests from
+    /// different connections coalesce on the cache's per-key build
+    /// cell and characterize exactly once. Cancel `tok` (or arm a
+    /// deadline on it) to get a typed [`PointOutcome::Cancelled`] /
+    /// [`PointOutcome::DeadlineExceeded`] back.
+    pub fn run_point(&self, p: &PlanPoint, tok: &CancelToken) -> PointOutcome {
+        self.run_point_inner(p, tok, None, &FaultPlan::new())
+    }
+
+    fn run_point_inner(
+        &self,
+        p: &PlanPoint,
+        tok: &CancelToken,
+        stage_deadlines: Option<&StageDeadlines>,
+        faults: &FaultPlan,
+    ) -> PointOutcome {
         if let Err(e) = p.config.validate() {
             return PointOutcome::Failed(e);
         }
         if let Some(hit) = self.cache.lookup_result(p.bench, p.style, &p.config) {
             return PointOutcome::Done(Box::new(hit));
         }
-        let tok = gov.point_token();
         let mut policy = SupervisorPolicy::strict();
-        if let Some(d) = gov.stage_deadlines() {
+        if let Some(d) = stage_deadlines {
             policy.deadlines = Some(d.clone());
         }
         let mut sup = FlowSupervisor::new(p.bench, p.style, p.config.clone())
             .policy(policy)
             .with_cache(Arc::clone(&self.cache))
             .with_cancel(tok.clone());
-        if !gov.faults().is_empty() {
-            sup = sup.with_faults(gov.faults().clone());
+        if !faults.is_empty() {
+            sup = sup.with_faults(faults.clone());
         }
         match sup.run().into_result() {
             Ok(result) => {

@@ -35,6 +35,7 @@
 //! a run that was never cancelled (`tests/govern.rs` pins this).
 
 use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::io::Write as _;
@@ -509,6 +510,32 @@ impl QueueState {
     fn total(&self) -> usize {
         self.classes.iter().map(VecDeque::len).sum()
     }
+
+    /// Releases exactly one quota slot for `client` — the inverse of
+    /// the increment in [`AdmissionQueue::submit`]. A release with no
+    /// admitted points is an accounting bug (each popped point must
+    /// release exactly once); it panics in debug builds and returns
+    /// `false` in release builds instead of silently saturating, so a
+    /// double-release can never grant a client headroom it still
+    /// occupies.
+    fn release_quota(&mut self, client: u64) -> bool {
+        match self.queued.entry(client) {
+            Entry::Occupied(mut slot) => {
+                *slot.get_mut() -= 1;
+                if *slot.get() == 0 {
+                    slot.remove();
+                }
+                true
+            }
+            Entry::Vacant(_) => {
+                debug_assert!(
+                    false,
+                    "quota release for client {client} with no admitted points"
+                );
+                false
+            }
+        }
+    }
 }
 
 /// A bounded, priority-ordered intake for flow points, with per-client
@@ -622,12 +649,7 @@ impl AdmissionQueue {
         let mut st = self.state.lock().expect("admission queue lock");
         for pri in Priority::ALL {
             if let Some((client, point)) = st.classes[pri.index()].pop_front() {
-                if let Some(n) = st.queued.get_mut(&client) {
-                    *n = n.saturating_sub(1);
-                    if *n == 0 {
-                        st.queued.remove(&client);
-                    }
-                }
+                st.release_quota(client);
                 drop(st);
                 self.space.notify_one();
                 return Some((client, point));
@@ -926,6 +948,81 @@ mod tests {
             point(Benchmark::M256, DesignStyle::TwoD),
         )
         .expect("quota slot freed");
+    }
+
+    #[test]
+    fn quota_release_is_exactly_once_across_pop_and_drain() {
+        // Regression: release used to saturating_sub, so a double
+        // release (an accounting bug) silently freed quota a client
+        // still occupied. Pop/drain must release each admitted point
+        // exactly once — counters reach exactly zero, never wrap.
+        let q = AdmissionQueue::new(8, Backpressure::Reject).with_quota(2);
+        for bench in [Benchmark::Des, Benchmark::Aes] {
+            q.submit(7, Priority::Normal, point(bench, DesignStyle::TwoD))
+                .expect("admits");
+        }
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "queue observed empty");
+        // Exactly two slots came back: the client re-admits up to
+        // quota and not past it.
+        for bench in [Benchmark::Des, Benchmark::Aes] {
+            q.submit(7, Priority::Normal, point(bench, DesignStyle::TwoD))
+                .expect("slots freed exactly");
+        }
+        assert!(matches!(
+            q.submit(
+                7,
+                Priority::Normal,
+                point(Benchmark::Fpu, DesignStyle::TwoD)
+            ),
+            Err(AdmissionError::QuotaExhausted { .. })
+        ));
+        // Drain releases the remainder in aggregate.
+        let remainder = q.drain();
+        assert_eq!(remainder.len(), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "quota release"))]
+    fn quota_release_without_admission_is_a_checked_error() {
+        let mut st = QueueState {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queued: HashMap::new(),
+            draining: false,
+        };
+        // Debug builds panic on the accounting bug; release builds
+        // refuse the release and keep the map untouched.
+        let released = st.release_quota(42);
+        assert!(!released, "phantom release must not report success");
+        assert!(st.queued.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_cancels_before_the_first_wait_slice() {
+        // A deadline of zero (or already past) must reject instantly,
+        // not after one 15 ms wake slice — m3d-serve maps per-request
+        // deadlines onto these tokens.
+        let tok = CancelToken::new();
+        tok.arm_deadline_in(Duration::ZERO);
+        assert!(tok.is_cancelled(), "zero deadline is an immediate cancel");
+        let t0 = Instant::now();
+        assert!(tok.wait_cancelled_for(Duration::from_secs(30)));
+        assert!(
+            t0.elapsed() < WAKE_SLICE,
+            "wait returned only after a wake slice: {:?}",
+            t0.elapsed()
+        );
+        // Same through a child: the parent's elapsed deadline is
+        // visible without waiting.
+        let parent = CancelToken::new();
+        parent.arm_deadline_in(Duration::ZERO);
+        let child = parent.child();
+        let t0 = Instant::now();
+        assert!(child.wait_cancelled_for(Duration::from_secs(30)));
+        assert!(t0.elapsed() < WAKE_SLICE);
+        assert_eq!(child.cause(), Some(CancelCause::DeadlineExceeded));
     }
 
     #[test]

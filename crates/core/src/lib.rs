@@ -112,8 +112,9 @@ pub use govern::{
     CancelToken, PointOutcome, Priority, RunGovernor, REMAINDER_FILE,
 };
 pub use observe::{
-    CacheKind, Event, EventKind, JsonlRecorder, MetricsRegistry, NullRecorder, Recorder, RunReport,
-    StageOutcome, Tee, TraceSummary, VecRecorder,
+    escape_json_into, json_raw_field, json_str_field, unescape_json, CacheKind, Event, EventKind,
+    JsonlRecorder, MetricsRegistry, NullRecorder, Recorder, RunReport, StageOutcome, Tee,
+    TraceSummary, VecRecorder,
 };
 pub use stage::{Stage, StageGraph};
 pub use store::{DiskCounters, DiskStore};

@@ -472,17 +472,118 @@ impl Recorder for JsonlRecorder {
     }
 }
 
+/// Appends `s` to `buf` as the *body* of a JSON string (no surrounding
+/// quotes), escaping the minimal set JSON requires: `"` and `\` get a
+/// backslash, the common control characters use their short forms
+/// (`\n`, `\r`, `\t`), and every other control byte below 0x20 becomes
+/// a `\u00XX` sequence. Everything else — including non-ASCII — passes
+/// through verbatim.
+///
+/// This is the one escaping routine for every JSON string the engine
+/// emits: the trace recorder, the run report, and the `m3d-serve` wire
+/// protocol all write through it, and [`unescape_json`] is its exact
+/// inverse ([`tests`] pin the round trip on hostile inputs).
+pub fn escape_json_into(buf: &mut String, s: &str) {
+    // Fast path: most values are clean static identifiers.
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        buf.push_str(s);
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Decodes a JSON string body (the text between the quotes) back to the
+/// value [`escape_json_into`] encoded. Accepts the full JSON escape
+/// repertoire (`\" \\ \/ \b \f \n \r \t \uXXXX`, including surrogate
+/// pairs), so it also decodes strings other writers produced. Returns
+/// `None` on a malformed escape — truncated, unknown, or a lone
+/// surrogate — never panics.
+pub fn unescape_json(s: &str) -> Option<String> {
+    if !s.contains('\\') {
+        return Some(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{0008}'),
+            'f' => out.push('\u{000c}'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hi = hex4(&mut chars)?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a \uXXXX low half must follow.
+                    if chars.next()? != '\\' || chars.next()? != 'u' {
+                        return None;
+                    }
+                    let lo = hex4(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return None;
+                    }
+                    let v = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    out.push(char::from_u32(v)?);
+                } else {
+                    out.push(char::from_u32(hi)?);
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = (v << 4) | chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
+/// Writes `,"name":"value"` with the value escaped — the one way every
+/// string payload field reaches an event line.
+fn kv_str(buf: &mut String, name: &str, value: &str) {
+    let _ = write!(buf, ",\"{name}\":\"");
+    escape_json_into(buf, value);
+    buf.push('"');
+}
+
 /// Serializes one stamped event as a single flat JSON object (no
 /// trailing newline). Field order is fixed: stamps, kind, payload.
+/// Every string value is escaped via [`escape_json_into`]; the engine's
+/// own values are static identifiers today, but nothing here trusts
+/// that — a bench name or cursor tag carrying `"`, `\` or a control
+/// character serializes to a valid line instead of corrupting the
+/// trace.
 pub fn write_event_json(buf: &mut String, ev: &Event) {
+    buf.push_str("{\"seq\":");
     let _ = write!(
         buf,
-        "{{\"seq\":{},\"thread\":{},\"t_s\":{:.6},\"kind\":\"{}\"",
-        ev.seq,
-        ev.thread,
-        ev.t_s,
-        ev.kind.name()
+        "{},\"thread\":{},\"t_s\":{:.6}",
+        ev.seq, ev.thread, ev.t_s
     );
+    kv_str(buf, "kind", ev.kind.name());
     match ev.kind {
         EventKind::StageStarted {
             bench,
@@ -492,16 +593,17 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             attempt,
             consumes,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"rung\":{rung},\"attempt\":{attempt},\"consumes\":[",
-                bench.name(),
-                style.label(),
-                stage.key()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "stage", stage.key());
+            let _ = write!(buf, ",\"rung\":{rung},\"attempt\":{attempt},\"consumes\":[");
             for (i, c) in consumes.iter().enumerate() {
-                let sep = if i == 0 { "" } else { "," };
-                let _ = write!(buf, "{sep}\"{c}\"");
+                if i > 0 {
+                    buf.push(',');
+                }
+                buf.push('"');
+                escape_json_into(buf, c);
+                buf.push('"');
             }
             buf.push(']');
         }
@@ -515,14 +617,12 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             wall_s,
             busy_s,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"rung\":{rung},\"attempt\":{attempt},\"outcome\":\"{}\",\"wall_s\":{wall_s:.6},\"busy_s\":{busy_s:.6}",
-                bench.name(),
-                style.label(),
-                stage.key(),
-                outcome.key()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "stage", stage.key());
+            let _ = write!(buf, ",\"rung\":{rung},\"attempt\":{attempt}");
+            kv_str(buf, "outcome", outcome.key());
+            let _ = write!(buf, ",\"wall_s\":{wall_s:.6},\"busy_s\":{busy_s:.6}");
         }
         EventKind::RetryScheduled {
             bench,
@@ -530,21 +630,15 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             stage,
             next_attempt,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"next_attempt\":{next_attempt}",
-                bench.name(),
-                style.label(),
-                stage.key()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "stage", stage.key());
+            let _ = write!(buf, ",\"next_attempt\":{next_attempt}");
         }
         EventKind::DegradationRungEntered { bench, style, rung } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"rung\":{rung}",
-                bench.name(),
-                style.label()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            let _ = write!(buf, ",\"rung\":{rung}");
         }
         EventKind::CheckpointWritten {
             bench,
@@ -552,32 +646,28 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             cursor,
             bytes,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"cursor\":\"{cursor}\",\"bytes\":{bytes}",
-                bench.name(),
-                style.label()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "cursor", cursor);
+            let _ = write!(buf, ",\"bytes\":{bytes}");
         }
         EventKind::CheckpointResumed {
             bench,
             style,
             cursor,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"cursor\":\"{cursor}\"",
-                bench.name(),
-                style.label()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "cursor", cursor);
         }
         EventKind::CacheHit { kind }
         | EventKind::CacheMiss { kind }
         | EventKind::CacheCoalesced { kind } => {
-            let _ = write!(buf, ",\"cache\":\"{}\"", kind.key());
+            kv_str(buf, "cache", kind.key());
         }
         EventKind::CacheEvicted { kind, count } => {
-            let _ = write!(buf, ",\"cache\":\"{}\",\"count\":{count}", kind.key());
+            kv_str(buf, "cache", kind.key());
+            let _ = write!(buf, ",\"count\":{count}");
         }
         EventKind::WorkerStolen {
             worker,
@@ -590,38 +680,33 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             );
         }
         EventKind::DiskHit { kind } | EventKind::DiskMiss { kind } => {
-            let _ = write!(buf, ",\"cache\":\"{}\"", kind.key());
+            kv_str(buf, "cache", kind.key());
         }
         EventKind::DiskEvicted { kind, count, bytes } => {
-            let _ = write!(
-                buf,
-                ",\"cache\":\"{}\",\"count\":{count},\"bytes\":{bytes}",
-                kind.key()
-            );
+            kv_str(buf, "cache", kind.key());
+            let _ = write!(buf, ",\"count\":{count},\"bytes\":{bytes}");
         }
         EventKind::DiskQuarantined { what } => {
-            let _ = write!(buf, ",\"what\":\"{what}\"");
+            kv_str(buf, "what", what);
         }
         EventKind::StoreDegraded { reason } => {
-            let _ = write!(buf, ",\"reason\":\"{reason}\"");
+            kv_str(buf, "reason", reason);
         }
         EventKind::CancelRequested { reason } => {
-            let _ = write!(buf, ",\"reason\":\"{reason}\"");
+            kv_str(buf, "reason", reason);
         }
         EventKind::PointCancelled {
             bench,
             style,
             outcome,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"outcome\":\"{outcome}\"",
-                bench.name(),
-                style.label()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "outcome", outcome);
         }
         EventKind::AdmissionRejected { client, reason } => {
-            let _ = write!(buf, ",\"client\":{client},\"reason\":\"{reason}\"");
+            let _ = write!(buf, ",\"client\":{client}");
+            kv_str(buf, "reason", reason);
         }
         EventKind::QuotaExhausted { client } => {
             let _ = write!(buf, ",\"client\":{client}");
@@ -636,13 +721,10 @@ pub fn write_event_json(buf: &mut String, ev: &Event) {
             stage,
             budget_ms,
         } => {
-            let _ = write!(
-                buf,
-                ",\"bench\":\"{}\",\"style\":\"{}\",\"stage\":\"{}\",\"budget_ms\":{budget_ms}",
-                bench.name(),
-                style.label(),
-                stage.key()
-            );
+            kv_str(buf, "bench", bench.name());
+            kv_str(buf, "style", style.label());
+            kv_str(buf, "stage", stage.key());
+            let _ = write!(buf, ",\"budget_ms\":{budget_ms}");
         }
     }
     buf.push('}');
@@ -1010,15 +1092,17 @@ const KNOWN_KINDS: [&str; 23] = [
 ];
 
 /// Extracts the raw text of `"field":<value>` from a recorder-shaped
-/// line: quoted values lose their quotes, numbers/arrays come verbatim.
-/// The writer emits no escapes and no nested objects, so scanning to
-/// the closing quote / next comma at depth zero is exact.
+/// line: quoted values lose their quotes but keep their escapes
+/// (decode with [`unescape_json`]), numbers/arrays come verbatim. The
+/// quoted scan honors backslash escapes, so a value containing `\"`
+/// extracts to the real closing quote instead of truncating at the
+/// first escaped one.
 fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
     let pat = format!("\"{name}\":");
     let at = line.find(&pat)? + pat.len();
     let rest = &line[at..];
     if let Some(stripped) = rest.strip_prefix('"') {
-        stripped.split('"').next()
+        scan_string_body(stripped)
     } else {
         let mut depth = 0usize;
         let mut end = rest.len();
@@ -1037,6 +1121,43 @@ fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
     }
 }
 
+/// Scans a JSON string body (text after the opening quote) to its
+/// unescaped closing quote and returns the still-escaped body slice.
+/// `None` when the line ends before the string closes.
+fn scan_string_body(s: &str) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(&s[..i]),
+            // Skip the escaped character; a backslash at end-of-input
+            // runs off the slice and falls through to None.
+            b'\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Wire-protocol view of [`field`]: the raw text of `"name":<value>`
+/// in a flat single-line JSON object. Quoted values lose their quotes
+/// but keep their escapes; numbers/arrays come verbatim. `m3d-serve`
+/// frames parse through this so the trace codec and the wire protocol
+/// cannot drift apart.
+pub fn json_raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    field(line, name)
+}
+
+/// Extracts and unescapes the quoted string field `"name":"…"` from a
+/// flat single-line JSON object. `None` when the field is missing, not
+/// a string, unterminated, or carries an invalid escape.
+pub fn json_str_field(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\":");
+    let at = line.find(&pat)? + pat.len();
+    let body = scan_string_body(line[at..].strip_prefix('"')?)?;
+    unescape_json(body)
+}
+
 fn u64_field(line: &str, name: &str, lineno: usize) -> Result<u64, TraceError> {
     let raw = field(line, name).ok_or_else(|| TraceError::Malformed {
         line: lineno,
@@ -1052,6 +1173,16 @@ fn str_field<'a>(line: &'a str, name: &str, lineno: usize) -> Result<&'a str, Tr
     field(line, name).ok_or_else(|| TraceError::Malformed {
         line: lineno,
         reason: format!("missing field {name:?}"),
+    })
+}
+
+/// [`str_field`] plus unescaping: the decoded value of a string field,
+/// rejecting invalid escape sequences as [`TraceError::Malformed`].
+fn string_field(line: &str, name: &str, lineno: usize) -> Result<String, TraceError> {
+    let raw = str_field(line, name, lineno)?;
+    unescape_json(raw).ok_or_else(|| TraceError::Malformed {
+        line: lineno,
+        reason: format!("field {name:?} has an invalid JSON escape: {raw:?}"),
     })
 }
 
@@ -1102,20 +1233,17 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 reason: format!("field \"t_s\" not a non-negative number: {t_s:?}"),
             });
         }
-        let kind = str_field(line, "kind", lineno)?;
-        if !KNOWN_KINDS.contains(&kind) {
-            return Err(TraceError::UnknownKind {
-                line: lineno,
-                kind: kind.to_string(),
-            });
+        let kind = string_field(line, "kind", lineno)?;
+        if !KNOWN_KINDS.contains(&kind.as_str()) {
+            return Err(TraceError::UnknownKind { line: lineno, kind });
         }
-        match kind {
+        match kind.as_str() {
             "stage_started" | "stage_finished" => {
                 let span = format!(
                     "{}/{}/{} rung {} attempt {}",
-                    str_field(line, "bench", lineno)?,
-                    str_field(line, "style", lineno)?,
-                    str_field(line, "stage", lineno)?,
+                    string_field(line, "bench", lineno)?,
+                    string_field(line, "style", lineno)?,
+                    string_field(line, "stage", lineno)?,
                     u64_field(line, "rung", lineno)?,
                     u64_field(line, "attempt", lineno)?,
                 );
@@ -1123,7 +1251,7 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                     str_field(line, "consumes", lineno)?;
                     *open.entry(span).or_insert(0) += 1;
                 } else {
-                    str_field(line, "outcome", lineno)?;
+                    string_field(line, "outcome", lineno)?;
                     str_field(line, "wall_s", lineno)?;
                     str_field(line, "busy_s", lineno)?;
                     match open.get_mut(&span) {
@@ -1139,31 +1267,31 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 }
             }
             "retry_scheduled" => {
-                str_field(line, "stage", lineno)?;
+                string_field(line, "stage", lineno)?;
                 u64_field(line, "next_attempt", lineno)?;
             }
             "degradation_rung_entered" => {
                 u64_field(line, "rung", lineno)?;
             }
             "checkpoint_written" => {
-                str_field(line, "cursor", lineno)?;
+                string_field(line, "cursor", lineno)?;
                 u64_field(line, "bytes", lineno)?;
                 summary.checkpoints_written += 1;
             }
             "checkpoint_resumed" => {
-                str_field(line, "cursor", lineno)?;
+                string_field(line, "cursor", lineno)?;
                 summary.checkpoints_resumed += 1;
             }
             "cache_hit" | "cache_miss" | "cache_coalesced" => {
-                str_field(line, "cache", lineno)?;
-                match kind {
+                string_field(line, "cache", lineno)?;
+                match kind.as_str() {
                     "cache_hit" => summary.cache_hits += 1,
                     "cache_miss" => summary.cache_misses += 1,
                     _ => {}
                 }
             }
             "cache_evicted" => {
-                str_field(line, "cache", lineno)?;
+                string_field(line, "cache", lineno)?;
                 u64_field(line, "count", lineno)?;
             }
             "worker_stolen" => {
@@ -1172,36 +1300,36 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 u64_field(line, "point", lineno)?;
             }
             "disk_hit" | "disk_miss" => {
-                str_field(line, "cache", lineno)?;
-                match kind {
+                string_field(line, "cache", lineno)?;
+                match kind.as_str() {
                     "disk_hit" => summary.disk_hits += 1,
                     _ => summary.disk_misses += 1,
                 }
             }
             "disk_evicted" => {
-                str_field(line, "cache", lineno)?;
+                string_field(line, "cache", lineno)?;
                 u64_field(line, "count", lineno)?;
                 u64_field(line, "bytes", lineno)?;
             }
             "disk_quarantined" => {
-                str_field(line, "what", lineno)?;
+                string_field(line, "what", lineno)?;
                 summary.disk_quarantined += 1;
             }
             "store_degraded" => {
-                str_field(line, "reason", lineno)?;
+                string_field(line, "reason", lineno)?;
                 summary.store_degraded += 1;
             }
             "cancel_requested" => {
-                str_field(line, "reason", lineno)?;
+                string_field(line, "reason", lineno)?;
             }
             "point_cancelled" => {
-                str_field(line, "bench", lineno)?;
-                str_field(line, "style", lineno)?;
-                str_field(line, "outcome", lineno)?;
+                string_field(line, "bench", lineno)?;
+                string_field(line, "style", lineno)?;
+                string_field(line, "outcome", lineno)?;
             }
             "admission_rejected" => {
                 u64_field(line, "client", lineno)?;
-                str_field(line, "reason", lineno)?;
+                string_field(line, "reason", lineno)?;
             }
             "quota_exhausted" => {
                 u64_field(line, "client", lineno)?;
@@ -1211,9 +1339,9 @@ pub fn validate_jsonl(trace: &str) -> Result<TraceSummary, TraceError> {
                 u64_field(line, "pending", lineno)?;
             }
             "stage_abandoned" => {
-                str_field(line, "bench", lineno)?;
-                str_field(line, "style", lineno)?;
-                str_field(line, "stage", lineno)?;
+                string_field(line, "bench", lineno)?;
+                string_field(line, "style", lineno)?;
+                string_field(line, "stage", lineno)?;
                 u64_field(line, "budget_ms", lineno)?;
             }
             _ => unreachable!("kind checked against KNOWN_KINDS"),
@@ -1465,6 +1593,130 @@ mod tests {
             validate_jsonl("stage_started synth\n"),
             Err(TraceError::Malformed { .. })
         ));
+    }
+
+    /// The corpus every escaping test drives: quotes, backslashes, the
+    /// named control shorts, raw control bytes, non-ASCII, and the
+    /// pathological combinations (trailing backslash-ish shapes,
+    /// escape-like literals).
+    const HOSTILE: &[&str] = &[
+        "plain",
+        "",
+        "with \"quotes\" inside",
+        "back\\slash",
+        "trailing backslash \\",
+        "\\\"",
+        "line\nbreak\r\ttab",
+        "\u{0000}\u{0001}\u{001f}",
+        "unicode: caf\u{e9} \u{65e5}\u{672c} \u{1f600}",
+        "looks like an escape: \\n \\u0041",
+        "\"}{\"seq\":999,\"kind\":\"fake\"",
+    ];
+
+    #[test]
+    fn escape_unescape_round_trips_hostile_strings() {
+        for &s in HOSTILE {
+            let mut buf = String::new();
+            escape_json_into(&mut buf, s);
+            // The encoded body is safe to embed: no raw control
+            // byte, and every quote sits behind a backslash.
+            assert!(buf.bytes().all(|b| b >= 0x20), "raw control in {buf:?}");
+            assert_eq!(
+                scan_string_body(&format!("{buf}\"")),
+                Some(buf.as_str()),
+                "a quote terminates the string early for {s:?}: {buf:?}"
+            );
+            assert_eq!(
+                unescape_json(&buf).as_deref(),
+                Some(s),
+                "round trip broke for {s:?} via {buf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unescape_accepts_full_json_repertoire_and_rejects_garbage() {
+        // Escapes our writer never emits but JSON allows.
+        assert_eq!(unescape_json("a\\/b").as_deref(), Some("a/b"));
+        assert_eq!(
+            unescape_json("\\b\\f\\u0041").as_deref(),
+            Some("\u{0008}\u{000c}A")
+        );
+        assert_eq!(
+            unescape_json("\\ud83d\\ude00").as_deref(),
+            Some("\u{1f600}")
+        );
+        // Malformed escapes decode to None, never panic.
+        for bad in [
+            "\\",
+            "\\q",
+            "\\u",
+            "\\u12",
+            "\\u12g4",
+            "\\ud800",
+            "\\ud800x",
+            "\\ud800\\u0041",
+            "\\udc00",
+            "tail\\",
+        ] {
+            assert_eq!(unescape_json(bad), None, "accepted invalid escape {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_payload_strings_round_trip_through_writer_and_validator() {
+        for &s in HOSTILE {
+            // Payload strings are &'static str by design; leak per
+            // iteration to exercise the writer with hostile values.
+            let reason: &'static str = Box::leak(s.to_string().into_boxed_str());
+            let rec = VecRecorder::new();
+            rec.record(EventKind::StoreDegraded { reason });
+            rec.record(EventKind::DiskQuarantined { what: reason });
+            let mut trace = String::new();
+            for ev in rec.events() {
+                write_event_json(&mut trace, &ev);
+                trace.push('\n');
+            }
+            let (line_a, rest) = trace.split_once('\n').unwrap();
+            let line_b = rest.trim_end();
+            // Each event is one line no matter what the payload held.
+            assert_eq!(trace.lines().count(), 2, "payload {s:?} split a line");
+            // The validator accepts the trace and the readers recover
+            // the exact original value.
+            let summary = validate_jsonl(&trace).unwrap_or_else(|e| {
+                panic!("validator rejected hostile payload {s:?}: {e}");
+            });
+            assert_eq!(summary.events, 2);
+            assert_eq!(json_str_field(line_a, "reason").as_deref(), Some(s));
+            assert_eq!(json_str_field(line_b, "what").as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_escapes_in_string_fields() {
+        let trace = "{\"seq\":0,\"thread\":0,\"t_s\":0.0,\"kind\":\"store_degraded\",\"reason\":\"bad\\q\"}\n";
+        assert!(matches!(
+            validate_jsonl(trace),
+            Err(TraceError::Malformed { .. })
+        ));
+        // An unterminated string (escaped closing quote) is a missing
+        // field, not a bogus extraction.
+        let trace = "{\"seq\":0,\"thread\":0,\"t_s\":0.0,\"kind\":\"store_degraded\",\"reason\":\"oops\\\"}\n";
+        assert!(matches!(
+            validate_jsonl(trace),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn json_field_accessors_honor_escapes() {
+        let line = "{\"n\":7,\"name\":\"a\\\"b\\\\c\",\"arr\":[1,2]}";
+        assert_eq!(json_raw_field(line, "n"), Some("7"));
+        assert_eq!(json_raw_field(line, "name"), Some("a\\\"b\\\\c"));
+        assert_eq!(json_str_field(line, "name").as_deref(), Some("a\"b\\c"));
+        assert_eq!(json_raw_field(line, "arr"), Some("[1,2]"));
+        assert_eq!(json_str_field(line, "arr"), None);
+        assert_eq!(json_str_field(line, "missing"), None);
     }
 
     #[test]

@@ -1013,6 +1013,25 @@ impl Engine {
             cx.art = checkpoint.clone();
             cx.result = None;
         };
+        let budget_ms = self.policy.deadlines.as_ref().map(|d| d.budget_ms(id));
+        // An attempt that is over before it starts — run token already
+        // cancelled, or a zero stage budget — never spawns a worker:
+        // server requests with an expired deadline must reject
+        // instantly, not after a watchdog slice (or a full stage body).
+        {
+            let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+            if cancelled || budget_ms == Some(0) {
+                let error = if cancelled {
+                    FlowError::Cancelled { stage: id }
+                } else {
+                    FlowError::DeadlineExceeded {
+                        stage: id,
+                        budget_ms: 0,
+                    }
+                };
+                return (Err(error), 0.0);
+            }
+        }
         // Move the context into the worker; leave a hollow shell (same
         // run identity, no artifacts) to be overwritten on return.
         let shell = FlowContext::new(cx.bench, cx.style, cx.config.clone(), Arc::clone(&cx.cache));
@@ -1062,7 +1081,6 @@ impl Engine {
                 let _ = tx.send(verdict);
             })
             .expect("spawning a stage worker thread");
-        let budget_ms = self.policy.deadlines.as_ref().map(|d| d.budget_ms(id));
         let governed = self.cancel.is_some();
         let received = if budget_ms.is_none() && !governed {
             // Ungoverned and unbounded: one blocking wait, the
@@ -1084,52 +1102,52 @@ impl Engine {
         } else {
             let t0 = Instant::now();
             loop {
+                // Check before waiting (including before the first
+                // slice): a cancel or deadline that is already due
+                // aborts the attempt now, not one 15 ms slice later.
+                let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                let blown = budget_ms.is_some_and(|b| t0.elapsed() >= Duration::from_millis(b));
+                if cancelled || blown {
+                    // Ask the attempt to stop, and give it one grace
+                    // period to comply.
+                    attempt_tok.cancel();
+                    let responded = !matches!(
+                        rx.recv_timeout(ABANDON_GRACE),
+                        Err(RecvTimeoutError::Timeout)
+                    );
+                    if responded {
+                        // Cooperative exit: clean join, no leak. The
+                        // late verdict is discarded — the attempt
+                        // failed either way and the state is rebuilt
+                        // below.
+                        let _ = handle.join();
+                    } else {
+                        // The worker ignored its token: detach it,
+                        // visibly.
+                        let abandoned_ms =
+                            budget_ms.unwrap_or_else(|| t0.elapsed().as_millis() as u64);
+                        self.emit(|| EventKind::StageAbandoned {
+                            bench,
+                            style,
+                            stage: id,
+                            budget_ms: abandoned_ms,
+                        });
+                        drop(handle);
+                    }
+                    rebuild(cx);
+                    let error = if cancelled {
+                        FlowError::Cancelled { stage: id }
+                    } else {
+                        FlowError::DeadlineExceeded {
+                            stage: id,
+                            budget_ms: budget_ms.expect("blown implies a budget"),
+                        }
+                    };
+                    return (Err(error), 0.0);
+                }
                 match rx.recv_timeout(WATCHDOG_SLICE) {
                     Ok(v) => break v,
-                    Err(RecvTimeoutError::Timeout) => {
-                        let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
-                        let blown =
-                            budget_ms.is_some_and(|b| t0.elapsed() >= Duration::from_millis(b));
-                        if !(cancelled || blown) {
-                            continue;
-                        }
-                        // Ask the attempt to stop, and give it one
-                        // grace period to comply.
-                        attempt_tok.cancel();
-                        let responded = !matches!(
-                            rx.recv_timeout(ABANDON_GRACE),
-                            Err(RecvTimeoutError::Timeout)
-                        );
-                        if responded {
-                            // Cooperative exit: clean join, no leak.
-                            // The late verdict is discarded — the
-                            // attempt failed either way and the state
-                            // is rebuilt below.
-                            let _ = handle.join();
-                        } else {
-                            // The worker ignored its token: detach it,
-                            // visibly.
-                            let abandoned_ms =
-                                budget_ms.unwrap_or_else(|| t0.elapsed().as_millis() as u64);
-                            self.emit(|| EventKind::StageAbandoned {
-                                bench,
-                                style,
-                                stage: id,
-                                budget_ms: abandoned_ms,
-                            });
-                            drop(handle);
-                        }
-                        rebuild(cx);
-                        let error = if cancelled {
-                            FlowError::Cancelled { stage: id }
-                        } else {
-                            FlowError::DeadlineExceeded {
-                                stage: id,
-                                budget_ms: budget_ms.expect("blown implies a budget"),
-                            }
-                        };
-                        return (Err(error), 0.0);
-                    }
+                    Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => {
                         let _ = handle.join();
                         rebuild(cx);

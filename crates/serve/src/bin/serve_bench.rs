@@ -1,0 +1,375 @@
+//! Load generator and smoke client for `m3d_serve`.
+//!
+//! ```text
+//! serve_bench (--unix PATH | --tcp ADDR) [--out FILE] [--clients LIST]
+//!             [--requests N] [--small] [--smoke-out] [--check-coalesce N]
+//!             [--shutdown]
+//! ```
+//!
+//! Default mode drives a saturation curve: for each client count in
+//! `--clients` (comma-separated, default `1,2,4,8`) it opens that many
+//! connections, fires `--requests` `run` requests per connection over
+//! the small-scale flow matrix, and records requests/sec, p50/p99
+//! latency, and the coalesce rate (fraction of runs that did NOT force
+//! a fresh library characterization, from the server's own `stats`
+//! deltas) into `--out` (default `BENCH_serve.json`).
+//!
+//! `--smoke-out` instead renders the flow-heavy smoke subset through
+//! `table` requests and prints it to stdout in exactly the format of
+//! `paper_tables --small --subset` — CI diffs the two byte-for-byte to
+//! prove the server serves the same science as the batch binary.
+//!
+//! `--check-coalesce N` opens N connections, fires one *identical* run
+//! request from each at the same instant, and fails loudly unless the
+//! server characterized exactly one library for all N — the
+//! cross-connection coalescing guarantee.
+//!
+//! `--shutdown` sends the graceful-drain op after the chosen mode.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use m3d_bench::{paper_drivers, SMOKE_SUBSET};
+use m3d_serve::client::{response_error, response_ok, ClientStream};
+use monolith3d::{json_raw_field, json_str_field};
+
+#[derive(Clone)]
+enum Target {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+fn connect(t: &Target) -> ClientStream {
+    let r = match t {
+        Target::Unix(p) => ClientStream::connect_unix(p),
+        Target::Tcp(a) => ClientStream::connect_tcp(a),
+    };
+    r.unwrap_or_else(|e| fail(&format!("cannot connect to the server: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\nusage: serve_bench (--unix PATH | --tcp ADDR) [--out FILE] \
+         [--clients LIST] [--requests N] [--small] [--smoke-out] \
+         [--check-coalesce N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+/// The small-scale flow matrix the load loop cycles through: every
+/// bench × style the paper tables exercise.
+const BENCHES: [&str; 5] = ["FPU", "AES", "LDPC", "DES", "M256"];
+const STYLES: [&str; 2] = ["2D", "3D"];
+
+fn run_request(id: u64, slot: usize, scale: &str) -> String {
+    let bench = BENCHES[slot % BENCHES.len()];
+    let style = STYLES[(slot / BENCHES.len()) % STYLES.len()];
+    format!(
+        "{{\"id\":{id},\"op\":\"run\",\"bench\":\"{bench}\",\"style\":\"{style}\",\"scale\":\"{scale}\"}}"
+    )
+}
+
+fn stat(line: &str, name: &str) -> u64 {
+    json_raw_field(line, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(&format!("stats response lacks {name:?}: {line}")))
+}
+
+fn fetch_stats(t: &Target) -> String {
+    let mut c = connect(t);
+    let id = c.fresh_id();
+    c.request(&format!("{{\"id\":{id},\"op\":\"stats\"}}"))
+        .unwrap_or_else(|e| fail(&format!("stats request failed: {e}")))
+}
+
+struct Level {
+    clients: usize,
+    requests: u64,
+    wall_s: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    coalesce_rate: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn drive_level(t: &Target, clients: usize, per_client: u64, scale: &str) -> Level {
+    let before = fetch_stats(t);
+    let barrier = Arc::new(Barrier::new(clients));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let t = t.clone();
+        let barrier = Arc::clone(&barrier);
+        let scale = scale.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = connect(&t);
+            let mut lat_ms = Vec::with_capacity(per_client as usize);
+            barrier.wait();
+            for i in 0..per_client {
+                let id = conn.fresh_id();
+                // Offset per client so concurrent clients overlap on
+                // the same points — the coalescing path under load.
+                let line = run_request(id, c + i as usize, &scale);
+                let t1 = Instant::now();
+                let resp = conn
+                    .request(&line)
+                    .unwrap_or_else(|e| fail(&format!("run request failed: {e}")));
+                lat_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+                if !response_ok(&resp) {
+                    fail(&format!(
+                        "run rejected ({}): {resp}",
+                        response_error(&resp).unwrap_or_default()
+                    ));
+                }
+            }
+            lat_ms
+        }));
+    }
+    let mut lat_ms: Vec<f64> = Vec::new();
+    for h in handles {
+        lat_ms.extend(
+            h.join()
+                .unwrap_or_else(|_| fail("a client thread panicked")),
+        );
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = fetch_stats(t);
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let total = clients as u64 * per_client;
+    let builds = stat(&after, "library_builds") - stat(&before, "library_builds");
+    Level {
+        clients,
+        requests: total,
+        wall_s,
+        rps: total as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        coalesce_rate: 1.0 - builds as f64 / total.max(1) as f64,
+    }
+}
+
+fn write_bench_json(path: &str, scale: &str, levels: &[Level]) {
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n  \"levels\": [\n"));
+    for (i, l) in levels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.3}, \
+             \"rps\": {:.1}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \
+             \"coalesce_rate\": {:.4}}}{}\n",
+            l.clients,
+            l.requests,
+            l.wall_s,
+            l.rps,
+            l.p50_ms,
+            l.p99_ms,
+            l.coalesce_rate,
+            if i + 1 < levels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).unwrap_or_else(|e| fail(&format!("cannot write '{path}': {e}")));
+    eprintln!("[saturation curve written to {path}]");
+}
+
+/// Renders `paper_tables --small --subset` stdout through `table`
+/// requests: same headers, same driver text, byte for byte.
+fn smoke_out(t: &Target, scale: &str) {
+    let mut conn = connect(t);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // paper_tables prints selections in registry order, not subset
+    // order; match it or the byte-identity diff fails on ordering.
+    let names: Vec<&str> = paper_drivers()
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| SMOKE_SUBSET.contains(n))
+        .collect();
+    for name in names {
+        let id = conn.fresh_id();
+        let resp = conn
+            .request(&format!(
+                "{{\"id\":{id},\"op\":\"table\",\"name\":\"{name}\",\"scale\":\"{scale}\"}}"
+            ))
+            .unwrap_or_else(|e| fail(&format!("table request failed: {e}")));
+        if !response_ok(&resp) {
+            fail(&format!("table {name} rejected: {resp}"));
+        }
+        let text = json_str_field(&resp, "text")
+            .unwrap_or_else(|| fail(&format!("table response lacks text: {resp}")));
+        writeln!(out, "==================== {name} ====================")
+            .and_then(|()| writeln!(out, "{text}"))
+            .unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+    }
+}
+
+/// N identical concurrent runs from N connections must characterize
+/// exactly one library.
+fn check_coalesce(t: &Target, n: usize, scale: &str) {
+    let before = fetch_stats(t);
+    let barrier = Arc::new(Barrier::new(n));
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let t = t.clone();
+        let barrier = Arc::clone(&barrier);
+        let scale = scale.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = connect(&t);
+            let id = conn.fresh_id();
+            // Slot 0 = FPU/2D for every thread: identical on purpose.
+            let line = run_request(id, 0, &scale);
+            barrier.wait();
+            conn.request(&line)
+                .unwrap_or_else(|e| fail(&format!("run request failed: {e}")))
+        }));
+    }
+    let mut first: Option<String> = None;
+    for h in handles {
+        let resp = h
+            .join()
+            .unwrap_or_else(|_| fail("a client thread panicked"));
+        if !response_ok(&resp) {
+            fail(&format!("coalesce run rejected: {resp}"));
+        }
+        // Responses must agree bit-for-bit modulo the echoed id.
+        let body = json_raw_field(&resp, "clock_ps")
+            .map(ToString::to_string)
+            .and_then(|c| json_raw_field(&resp, "total_power_mw").map(|p| format!("{c}/{p}")))
+            .unwrap_or_else(|| fail(&format!("run response lacks numbers: {resp}")));
+        match &first {
+            None => first = Some(body),
+            Some(f) => {
+                if *f != body {
+                    fail(&format!("coalesced responses disagree: {f} vs {body}"));
+                }
+            }
+        }
+    }
+    let after = fetch_stats(t);
+    let builds = stat(&after, "library_builds") - stat(&before, "library_builds");
+    if builds != 1 {
+        fail(&format!(
+            "{n} identical concurrent runs characterized {builds} libraries, wanted exactly 1"
+        ));
+    }
+    eprintln!("[coalesce check passed: {n} connections, 1 library build]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<Target> = None;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut clients: Vec<usize> = vec![1, 2, 4, 8];
+    let mut per_client: u64 = 16;
+    let mut scale = "small".to_string();
+    let mut smoke = false;
+    let mut coalesce: Option<usize> = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (flag, mut inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (a.as_str(), None),
+        };
+        let mut value = |flag: &str| {
+            inline
+                .take()
+                .or_else(|| it.next().cloned())
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--unix" => target = Some(Target::Unix(PathBuf::from(value("--unix")))),
+            "--tcp" => target = Some(Target::Tcp(value("--tcp"))),
+            "--out" => out = value("--out"),
+            "--clients" => {
+                clients = value("--clients")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage_exit(&format!("bad client count '{s}'")))
+                    })
+                    .collect();
+                if clients.is_empty() {
+                    usage_exit("--clients needs at least one count");
+                }
+            }
+            "--requests" => {
+                per_client = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--requests needs a number"));
+            }
+            "--small" => scale = "small".to_string(),
+            "--smoke-out" => smoke = true,
+            "--check-coalesce" => {
+                coalesce = Some(
+                    value("--check-coalesce")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("--check-coalesce needs a number")),
+                );
+            }
+            "--shutdown" => shutdown = true,
+            other => usage_exit(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(target) = target else {
+        usage_exit("give a server address: --unix PATH or --tcp ADDR");
+    };
+
+    // A ping proves the transport before any mode commits to work.
+    {
+        let mut c = connect(&target);
+        let id = c.fresh_id();
+        let resp = c
+            .request(&format!("{{\"id\":{id},\"op\":\"ping\"}}"))
+            .unwrap_or_else(|e| fail(&format!("ping failed: {e}")));
+        if !response_ok(&resp) {
+            fail(&format!("ping rejected: {resp}"));
+        }
+    }
+
+    if let Some(n) = coalesce {
+        check_coalesce(&target, n, &scale);
+    } else if smoke {
+        smoke_out(&target, &scale);
+    } else {
+        let mut levels = Vec::new();
+        for &c in &clients {
+            eprintln!("[level: {c} clients x {per_client} requests]");
+            levels.push(drive_level(&target, c, per_client, &scale));
+            let l = levels.last().unwrap_or_else(|| fail("no level recorded"));
+            eprintln!(
+                "[  {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, coalesce {:.1}%]",
+                l.rps,
+                l.p50_ms,
+                l.p99_ms,
+                l.coalesce_rate * 100.0
+            );
+        }
+        write_bench_json(&out, &scale, &levels);
+    }
+
+    if shutdown {
+        let mut c = connect(&target);
+        let id = c.fresh_id();
+        let resp = c
+            .request(&format!("{{\"id\":{id},\"op\":\"shutdown\"}}"))
+            .unwrap_or_else(|e| fail(&format!("shutdown failed: {e}")));
+        let pending = json_raw_field(&resp, "pending").unwrap_or("?");
+        eprintln!("[server draining; {pending} points in the remainder]");
+    }
+}

@@ -1,0 +1,710 @@
+//! The long-running experiment server (DESIGN.md §15).
+//!
+//! Architecture: each accepted connection is a *client* with a fresh
+//! identity. A reader thread per connection parses JSONL frames;
+//! control ops (`ping`, `stats`, `shutdown`) and `table` renders are
+//! answered on that thread, while `run` points go through the PR 8
+//! [`AdmissionQueue`] — per-client quotas, priority classes,
+//! `Reject`/`Block` backpressure, every rejection mapped to a typed
+//! error response — and are executed by a pool of dispatcher threads
+//! over [`ParallelExecutor::run_point`] against the process-wide
+//! [`ArtifactCache`]. Identical concurrent submissions from different
+//! connections therefore coalesce on the cache's per-key build cell
+//! and characterize exactly once; every waiter gets its own response.
+//!
+//! Shutdown (the `shutdown` op, or [`Server::shutdown`] from a SIGTERM
+//! handler) routes through [`AdmissionQueue::drain`]: in-flight points
+//! finish and respond normally, queued-but-unstarted requests are
+//! answered with a typed `draining` error, and their deduplicated plan
+//! remainder is persisted via [`monolith3d::govern::save_remainder`]
+//! for a batch run to pick up. Per-request deadlines ride the
+//! [`CancelToken`] hierarchy: each `run` gets a child of the server's
+//! root token, armed at admission, so a deadline of zero rejects
+//! before any queue wait and an in-flight overrun comes back as a
+//! typed `deadline_exceeded`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use m3d_bench::{node_drivers, paper_drivers};
+use m3d_netlist::BenchScale;
+use m3d_tech::NodeId;
+use monolith3d::{
+    save_remainder, AdmissionError, AdmissionQueue, ArtifactCache, Backpressure, CancelCause,
+    CancelToken, FlowKey, ParallelExecutor, PointOutcome, Recorder, REMAINDER_FILE,
+};
+
+use crate::protocol::{
+    frame_id, parse_request, write_error, write_pong, write_run_done, write_shutdown, write_stats,
+    write_table, ErrorClass, Request, MAX_FRAME,
+};
+
+/// How often blocking loops (accept, reads, dispatcher idle waits)
+/// re-check the drain flag.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Where the server listens. A config may carry several (e.g. one unix
+/// socket and one TCP port).
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// A unix domain socket at this path (removed and re-bound).
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7333` (or `:0` for tests).
+    Tcp(String),
+}
+
+/// Server tuning; [`ServerConfig::default`] is sized for tests.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Listeners to bind.
+    pub listen: Vec<Listen>,
+    /// Dispatcher threads executing admitted `run` points. `0` is
+    /// legal (tests use it to observe queue states deterministically);
+    /// admitted points then wait until shutdown drains them.
+    pub dispatchers: usize,
+    /// Admission queue capacity (total queued points).
+    pub queue_capacity: usize,
+    /// Per-client quota of queued points, if bounded.
+    pub quota: Option<u32>,
+    /// What a full queue does to a submitter.
+    pub backpressure: Backpressure,
+    /// Directory the drain remainder persists into, if any.
+    pub remainder_dir: Option<PathBuf>,
+    /// Event sink for admission decisions (and, via the cache's own
+    /// recorder, everything else).
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: Vec::new(),
+            dispatchers: 2,
+            queue_capacity: 64,
+            quota: None,
+            backpressure: Backpressure::Reject,
+            remainder_dir: None,
+            recorder: None,
+        }
+    }
+}
+
+/// One queued `run` request waiting for a dispatcher: where to write
+/// the response and under which token to execute.
+struct Ticket {
+    id: u64,
+    tok: CancelToken,
+    conn: ConnWriter,
+}
+
+type ConnWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct SrvState {
+    draining: bool,
+    /// Tickets for queued-but-unstarted points, keyed by the identity
+    /// the [`AdmissionQueue`] hands back on pop. Multiple identical
+    /// submissions from one client queue FIFO under one key.
+    pending: HashMap<(u64, FlowKey), VecDeque<Ticket>>,
+}
+
+struct Inner {
+    cache: Arc<ArtifactCache>,
+    executor: ParallelExecutor,
+    queue: AdmissionQueue,
+    root: CancelToken,
+    state: Mutex<SrvState>,
+    work: Condvar,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    next_client: AtomicU64,
+    remainder_dir: Option<PathBuf>,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.state.lock().expect("server state lock").draining
+    }
+}
+
+/// A running server; dropping it does *not* stop it — call
+/// [`Server::shutdown`] (or send the `shutdown` op) then
+/// [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addrs: Vec<SocketAddr>,
+}
+
+impl Server {
+    /// Binds every listener in `cfg` and starts accepting. The
+    /// process-wide [`ArtifactCache::global`] backs all requests, so
+    /// `run` points, `table` renders and any in-process batch work
+    /// coalesce on the same build cells.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure, verbatim.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        Server::start_on(cfg, ArtifactCache::global())
+    }
+
+    /// [`Server::start`] on an explicit cache — tests isolate here.
+    pub fn start_on(cfg: ServerConfig, cache: Arc<ArtifactCache>) -> io::Result<Server> {
+        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.backpressure);
+        if let Some(q) = cfg.quota {
+            queue = queue.with_quota(q);
+        }
+        if let Some(rec) = &cfg.recorder {
+            queue = queue.with_recorder(Arc::clone(rec));
+        }
+        let inner = Arc::new(Inner {
+            executor: ParallelExecutor::new(1).with_cache(Arc::clone(&cache)),
+            cache,
+            queue,
+            root: CancelToken::new(),
+            state: Mutex::new(SrvState {
+                draining: false,
+                pending: HashMap::new(),
+            }),
+            work: Condvar::new(),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            next_client: AtomicU64::new(1),
+            remainder_dir: cfg.remainder_dir.clone(),
+        });
+        let mut threads = Vec::new();
+        let mut tcp_addrs = Vec::new();
+        for l in &cfg.listen {
+            match l {
+                Listen::Unix(path) => {
+                    // A stale socket file from a previous run blocks
+                    // the bind; replace it.
+                    let _ = std::fs::remove_file(path);
+                    let listener = UnixListener::bind(path)?;
+                    listener.set_nonblocking(true)?;
+                    let inner = Arc::clone(&inner);
+                    threads.push(spawn_named("m3d-serve-accept-unix", move || {
+                        accept_loop(inner, AnyListener::Unix(listener));
+                    }));
+                }
+                Listen::Tcp(addr) => {
+                    let listener = TcpListener::bind(addr)?;
+                    tcp_addrs.push(listener.local_addr()?);
+                    listener.set_nonblocking(true)?;
+                    let inner = Arc::clone(&inner);
+                    threads.push(spawn_named("m3d-serve-accept-tcp", move || {
+                        accept_loop(inner, AnyListener::Tcp(listener));
+                    }));
+                }
+            }
+        }
+        for i in 0..cfg.dispatchers {
+            let inner = Arc::clone(&inner);
+            threads.push(spawn_named(&format!("m3d-serve-dispatch-{i}"), move || {
+                dispatch_loop(&inner);
+            }));
+        }
+        Ok(Server {
+            inner,
+            threads,
+            tcp_addrs,
+        })
+    }
+
+    /// The bound TCP addresses, in `listen` order — how a test finds
+    /// the ephemeral port behind `127.0.0.1:0`.
+    pub fn tcp_addrs(&self) -> &[SocketAddr] {
+        &self.tcp_addrs
+    }
+
+    /// Whether a drain has started (via [`Server::shutdown`], a
+    /// controller, or the wire `shutdown` op).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining()
+    }
+
+    /// Initiates a graceful drain (idempotent): stop admitting, finish
+    /// in-flight points, answer queued-but-unstarted requests with
+    /// `draining`, persist their deduplicated remainder. Returns the
+    /// number of remainder points.
+    pub fn shutdown(&self) -> u64 {
+        shutdown_inner(&self.inner)
+    }
+
+    /// Waits for the accept and dispatcher threads to exit (they do
+    /// after [`Server::shutdown`]).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// A detached handle for signal handlers / other threads to
+    /// trigger shutdown.
+    pub fn controller(&self) -> ServerController {
+        ServerController {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A clonable shutdown handle (see [`Server::controller`]).
+#[derive(Clone)]
+pub struct ServerController {
+    inner: Arc<Inner>,
+}
+
+impl ServerController {
+    /// Same contract as [`Server::shutdown`].
+    pub fn shutdown(&self) -> u64 {
+        shutdown_inner(&self.inner)
+    }
+}
+
+fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawning a server thread")
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum AnyStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl AnyStream {
+    fn split(self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            AnyStream::Unix(s) => {
+                s.set_read_timeout(Some(POLL_SLICE))?;
+                let w = s.try_clone()?;
+                Ok((Box::new(s), Box::new(w)))
+            }
+            AnyStream::Tcp(s) => {
+                s.set_read_timeout(Some(POLL_SLICE))?;
+                s.set_nodelay(true)?;
+                let w = s.try_clone()?;
+                Ok((Box::new(s), Box::new(w)))
+            }
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: AnyListener) {
+    loop {
+        if inner.draining() {
+            return;
+        }
+        let accepted = match &listener {
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| AnyStream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                let client = inner.next_client.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(&inner);
+                // Connection threads are detached: they hold their own
+                // Arc<Inner> and exit when the client disconnects or
+                // the server drains.
+                let _ = spawn_named(&format!("m3d-serve-conn-{client}"), move || {
+                    connection_loop(&inner, client, stream);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_SLICE);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads one newline-terminated frame, bounded by [`MAX_FRAME`].
+/// `Ok(None)` on clean EOF; `Err(Oversized)` variants are signalled by
+/// the special error kind below.
+enum ReadFrame {
+    Line(String),
+    Eof,
+    Oversized,
+    NotUtf8,
+}
+
+fn read_frame(r: &mut impl Read, draining: &dyn Fn() -> bool, buf: &mut Vec<u8>) -> ReadFrame {
+    let mut byte = [0u8; 1];
+    buf.clear();
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadFrame::Eof
+                } else {
+                    match String::from_utf8(std::mem::take(buf)) {
+                        Ok(s) => ReadFrame::Line(s),
+                        Err(_) => ReadFrame::NotUtf8,
+                    }
+                }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return match String::from_utf8(std::mem::take(buf)) {
+                        Ok(s) => ReadFrame::Line(s),
+                        Err(_) => ReadFrame::NotUtf8,
+                    };
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_FRAME {
+                    return ReadFrame::Oversized;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Keep partial frames across timeout slices; only bail
+                // out between frames when the server is gone.
+                if buf.is_empty() && draining() {
+                    return ReadFrame::Eof;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadFrame::Eof,
+        }
+    }
+}
+
+/// Consumes whatever the peer already sent before a protocol-fatal
+/// close: closing with unread bytes in the receive queue resets the
+/// connection and can destroy the error frame in flight. Bounded so a
+/// firehose peer cannot pin the thread.
+fn drain_input(r: &mut impl Read) {
+    let mut scratch = [0u8; 4096];
+    let mut budget = 4 * MAX_FRAME;
+    loop {
+        match r.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    return;
+                }
+            }
+            // WouldBlock / TimedOut: the peer went quiet; good enough.
+            Err(_) => return,
+        }
+    }
+}
+
+fn send_line(conn: &ConnWriter, line: &str) {
+    let mut w = conn.lock().expect("connection writer lock");
+    // A dead peer is not the server's problem; drop the response.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+fn send_error(conn: &ConnWriter, id: u64, class: ErrorClass, detail: &str) {
+    let mut buf = String::new();
+    write_error(&mut buf, id, class, detail);
+    send_line(conn, &buf);
+}
+
+fn connection_loop(inner: &Arc<Inner>, client: u64, stream: AnyStream) {
+    let Ok((mut reader, writer)) = stream.split() else {
+        return;
+    };
+    let conn: ConnWriter = Arc::new(Mutex::new(writer));
+    let mut buf = Vec::new();
+    loop {
+        let draining = || inner.draining();
+        let line = match read_frame(&mut reader, &draining, &mut buf) {
+            ReadFrame::Eof => return,
+            ReadFrame::Oversized => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_error(
+                    &conn,
+                    0,
+                    ErrorClass::Oversized,
+                    &format!("frame exceeds {MAX_FRAME} bytes"),
+                );
+                drain_input(&mut reader);
+                return; // clean disconnect; other connections unaffected
+            }
+            ReadFrame::NotUtf8 => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_error(&conn, 0, ErrorClass::BadFrame, "frame is not UTF-8");
+                drain_input(&mut reader);
+                return;
+            }
+            ReadFrame::Line(l) => l,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let id = frame_id(&line);
+        match parse_request(&line) {
+            Err(e) => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_error(&conn, id, e.class, &e.detail);
+            }
+            Ok(req) => {
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                if !handle_request(inner, client, &conn, id, req) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one parsed request; `false` ends the connection loop (the
+/// server is shutting down).
+fn handle_request(
+    inner: &Arc<Inner>,
+    client: u64,
+    conn: &ConnWriter,
+    id: u64,
+    req: Request,
+) -> bool {
+    match req {
+        Request::Ping => {
+            let mut buf = String::new();
+            write_pong(&mut buf, id);
+            send_line(conn, &buf);
+            true
+        }
+        Request::Stats => {
+            let mut buf = String::new();
+            write_stats(
+                &mut buf,
+                id,
+                &inner.cache.stats(),
+                inner.requests.load(Ordering::Relaxed),
+                inner.protocol_errors.load(Ordering::Relaxed),
+                inner.draining(),
+            );
+            send_line(conn, &buf);
+            true
+        }
+        Request::Shutdown => {
+            let pending = shutdown_inner(inner);
+            let mut buf = String::new();
+            write_shutdown(&mut buf, id, pending);
+            send_line(conn, &buf);
+            false
+        }
+        Request::Table { name, node, scale } => {
+            if inner.draining() {
+                send_error(conn, id, ErrorClass::Draining, "server is draining");
+                return true;
+            }
+            // Rendered inline on the connection thread: the drivers
+            // run their flow points against the shared cache, so
+            // concurrent table requests (and any `run` traffic for the
+            // same points) coalesce on its build cells.
+            match render_table(&name, node, scale) {
+                Some(text) => {
+                    let mut buf = String::new();
+                    write_table(&mut buf, id, &name, &text);
+                    send_line(conn, &buf);
+                }
+                None => send_error(
+                    conn,
+                    id,
+                    ErrorClass::BadRequest,
+                    &format!("unknown table {name:?}"),
+                ),
+            }
+            true
+        }
+        Request::Run {
+            point,
+            priority,
+            deadline_ms,
+        } => {
+            let tok = inner.root.child();
+            if let Some(ms) = deadline_ms {
+                tok.arm_deadline_in(Duration::from_millis(ms));
+            }
+            // An already-expired deadline rejects before any queue
+            // wait — instantly, not after a wake slice (the zero-
+            // deadline pin of the cancellation substrate).
+            if let Some(cause) = tok.cause() {
+                let class = match cause {
+                    CancelCause::Cancelled => ErrorClass::Cancelled,
+                    CancelCause::DeadlineExceeded => ErrorClass::DeadlineExceeded,
+                };
+                send_error(conn, id, class, "deadline expired before admission");
+                return true;
+            }
+            let key = (client, FlowKey::of(point.bench, point.style, &point.config));
+            // Ticket first, then submit: a dispatcher may pop the
+            // point the instant submit releases the queue lock.
+            {
+                let mut st = inner.state.lock().expect("server state lock");
+                st.pending.entry(key).or_default().push_back(Ticket {
+                    id,
+                    tok,
+                    conn: Arc::clone(conn),
+                });
+            }
+            match inner.queue.submit(client, priority, point) {
+                Ok(()) => {
+                    // Notify under the state lock: a dispatcher between
+                    // its pop-check and its condvar wait holds it, so
+                    // the wakeup cannot fall into that window and cost
+                    // a full poll slice of latency.
+                    let st = inner.state.lock().expect("server state lock");
+                    inner.work.notify_all();
+                    drop(st);
+                    true
+                }
+                Err(e) => {
+                    // Roll the ticket back; it never entered the queue.
+                    let mut st = inner.state.lock().expect("server state lock");
+                    if let Some(q) = st.pending.get_mut(&key) {
+                        q.pop_back();
+                        if q.is_empty() {
+                            st.pending.remove(&key);
+                        }
+                    }
+                    drop(st);
+                    let class = match e {
+                        AdmissionError::QueueFull { .. } => ErrorClass::QueueFull,
+                        AdmissionError::QuotaExhausted { .. } => ErrorClass::QuotaExhausted,
+                        AdmissionError::Draining => ErrorClass::Draining,
+                    };
+                    send_error(conn, id, class, &e.to_string());
+                    true
+                }
+            }
+        }
+    }
+}
+
+fn render_table(name: &str, node: Option<NodeId>, scale: BenchScale) -> Option<String> {
+    match node {
+        None => paper_drivers()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, driver)| driver(scale)),
+        Some(nid) => node_drivers()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, driver)| driver(nid, scale)),
+    }
+}
+
+fn dispatch_loop(inner: &Arc<Inner>) {
+    loop {
+        // Pop under the state lock so a ticket inserted before submit
+        // is always visible by the time its point pops.
+        let popped = {
+            let mut st = inner.state.lock().expect("server state lock");
+            loop {
+                if let Some(x) = inner.queue.pop() {
+                    break Some(x);
+                }
+                if st.draining {
+                    break None;
+                }
+                let (g, _) = inner
+                    .work
+                    .wait_timeout(st, POLL_SLICE)
+                    .expect("server state lock");
+                st = g;
+            }
+        };
+        let Some((client, point)) = popped else {
+            return;
+        };
+        let key = (client, FlowKey::of(point.bench, point.style, &point.config));
+        let ticket = {
+            let mut st = inner.state.lock().expect("server state lock");
+            let t = st.pending.get_mut(&key).and_then(VecDeque::pop_front);
+            if st.pending.get(&key).is_some_and(VecDeque::is_empty) {
+                st.pending.remove(&key);
+            }
+            t
+        };
+        let Some(ticket) = ticket else {
+            // Unreachable by construction (tickets precede submits);
+            // drop the orphan point rather than wedge the dispatcher.
+            debug_assert!(false, "popped a point with no ticket");
+            continue;
+        };
+        let outcome = inner.executor.run_point(&point, &ticket.tok);
+        let mut buf = String::new();
+        match outcome {
+            PointOutcome::Done(result) => write_run_done(&mut buf, ticket.id, &result),
+            PointOutcome::Failed(e) => {
+                write_error(&mut buf, ticket.id, ErrorClass::Failed, &e.to_string())
+            }
+            PointOutcome::Cancelled => write_error(
+                &mut buf,
+                ticket.id,
+                ErrorClass::Cancelled,
+                "request cancelled",
+            ),
+            PointOutcome::DeadlineExceeded => write_error(
+                &mut buf,
+                ticket.id,
+                ErrorClass::DeadlineExceeded,
+                "request deadline exceeded",
+            ),
+            PointOutcome::Drained => write_error(
+                &mut buf,
+                ticket.id,
+                ErrorClass::Draining,
+                "server drained mid-request",
+            ),
+        }
+        send_line(&ticket.conn, &buf);
+    }
+}
+
+fn shutdown_inner(inner: &Arc<Inner>) -> u64 {
+    {
+        let mut st = inner.state.lock().expect("server state lock");
+        if st.draining {
+            return 0; // idempotent; the first call did the work
+        }
+        st.draining = true;
+    }
+    // Stop admissions and take the unstarted remainder (deduplicated
+    // by FlowKey, same as a batch plan).
+    let remainder = inner.queue.drain();
+    // Everything still ticketed is unstarted (dispatchers remove
+    // tickets at pop time): answer each with a typed drain error.
+    let tickets: Vec<Ticket> = {
+        let mut st = inner.state.lock().expect("server state lock");
+        st.pending.drain().flat_map(|(_, q)| q).collect()
+    };
+    for t in tickets {
+        send_error(
+            &t.conn,
+            t.id,
+            ErrorClass::Draining,
+            "server draining; request persisted to the plan remainder",
+        );
+    }
+    let pending = remainder.len() as u64;
+    if pending > 0 {
+        if let Some(dir) = &inner.remainder_dir {
+            let path = dir.join(REMAINDER_FILE);
+            if let Err(e) = save_remainder(&path, remainder.points()) {
+                eprintln!("[m3d-serve: remainder persistence failed: {e}]");
+            }
+        }
+    }
+    inner.work.notify_all();
+    pending
+}

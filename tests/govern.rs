@@ -144,6 +144,39 @@ fn run_deadline_bounds_a_wedged_run() {
     );
 }
 
+/// A run deadline of zero — the server's "request arrived already
+/// expired" shape — types every point `deadline_exceeded` before any
+/// stage work starts: no library characterizes, no 15 ms watchdog
+/// slice is waited, no worker thread is spawned for a doomed attempt.
+#[test]
+fn zero_run_deadline_rejects_points_before_any_work() {
+    let cache = Arc::new(ArtifactCache::default());
+    let gov = RunGovernor::new().with_run_deadline(Duration::ZERO);
+    let exec = ParallelExecutor::new(2).with_cache(Arc::clone(&cache));
+    let p = plan();
+    let t = Instant::now();
+    let report = exec.run_governed(&p, &gov);
+    let elapsed = t.elapsed();
+    assert_eq!(report.done_count(), 0);
+    assert_eq!(
+        report.count("deadline_exceeded"),
+        p.len(),
+        "outcomes: {:?}",
+        report.outcomes
+    );
+    assert_eq!(
+        cache.stats().library_builds,
+        0,
+        "an expired deadline must not start characterization"
+    );
+    // Generous CI slack; the real bound (no sliced waits on the
+    // rejection path) is pinned at unit level in `govern::tests`.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "instant rejection took {elapsed:?}"
+    );
+}
+
 /// A cooperative wedge (`StuckStage` parks on the cancel token) is won
 /// by cancellation with a clean join: the trace carries the cancel and
 /// per-point events but no `StageAbandoned`. Explicit cancel, not
